@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Ablation study (beyond the paper's figures): each DiGraph feature is
+ * toggled in isolation on PageRank over cnr and webbase — dependency-
+ * aware dispatching, work stealing, proxy vertices, head-to-tail path
+ * merging, hot-first (degree-sorted) traversal, and the D_MAX bound.
+ */
+
+#include <functional>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+struct Variant
+{
+    std::string name;
+    std::function<void(engine::EngineOptions &)> apply;
+};
+
+const std::vector<Variant> &
+variants()
+{
+    static const std::vector<Variant> v = {
+        {"baseline", [](engine::EngineOptions &) {}},
+        {"no-dag-dispatch",
+         [](engine::EngineOptions &o) { o.dag_dispatch = false; }},
+        {"no-work-stealing",
+         [](engine::EngineOptions &o) { o.work_stealing = false; }},
+        {"no-proxy",
+         [](engine::EngineOptions &o) { o.use_proxy = false; }},
+        {"no-merge",
+         [](engine::EngineOptions &o) {
+             o.preprocess.enable_merge = false;
+         }},
+        {"no-hot-first",
+         [](engine::EngineOptions &o) {
+             o.preprocess.decompose.degree_sorted = false;
+         }},
+        {"dmax-4",
+         [](engine::EngineOptions &o) {
+             o.preprocess.decompose.d_max = 4;
+         }},
+        {"dmax-64",
+         [](engine::EngineOptions &o) {
+             o.preprocess.decompose.d_max = 64;
+         }},
+    };
+    return v;
+}
+
+struct Point
+{
+    double sim_cycles = 0.0;
+    double updates = 0.0;
+    double avg_path_len = 0.0;
+};
+
+std::map<std::string, Point> g_points; // "variant/dataset"
+
+void
+BM_point(benchmark::State &state, const Variant &variant,
+         graph::Dataset d)
+{
+    const auto &g = dataset(d);
+    Point point;
+    for (auto _ : state) {
+        engine::EngineOptions opts;
+        opts.platform = benchPlatform(benchGpus());
+        variant.apply(opts);
+        engine::DiGraphEngine eng(g, opts);
+        const auto algo = algorithms::makeAlgorithm("pagerank", g);
+        const auto r = eng.run(*algo);
+        point.sim_cycles = r.sim_cycles;
+        point.updates = static_cast<double>(r.vertex_updates);
+        point.avg_path_len = eng.preprocessed().paths.avgLength();
+    }
+    g_points[variant.name + "/" + graph::datasetName(d)] = point;
+    state.counters["sim_cycles"] = point.sim_cycles;
+    state.counters["updates"] = point.updates;
+}
+
+const int registered = [] {
+    for (const auto &variant : variants()) {
+        for (const auto d :
+             {graph::Dataset::cnr, graph::Dataset::webbase}) {
+            benchmark::RegisterBenchmark(
+                ("ablation/" + variant.name + "/" +
+                 graph::datasetName(d))
+                    .c_str(),
+                [&variant, d](benchmark::State &s) {
+                    BM_point(s, variant, d);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Ablation — pagerank, DiGraph variants (cycles/updates "
+                "normalized to the full system)",
+                {"variant", "cnr cycles", "cnr updates", "cnr pathLen",
+                 "webbase cycles", "webbase updates", "webbase pathLen"});
+    for (const auto &variant : variants()) {
+        std::vector<std::string> row{variant.name};
+        for (const auto d :
+             {graph::Dataset::cnr, graph::Dataset::webbase}) {
+            const auto &base =
+                g_points["baseline/" + graph::datasetName(d)];
+            const auto &p =
+                g_points[variant.name + "/" + graph::datasetName(d)];
+            row.push_back(Table::num(
+                base.sim_cycles > 0 ? p.sim_cycles / base.sim_cycles
+                                    : 0.0));
+            row.push_back(Table::num(
+                base.updates > 0 ? p.updates / base.updates : 0.0));
+            row.push_back(Table::num(p.avg_path_len));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

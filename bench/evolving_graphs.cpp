@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Extension bench (the paper's Section 6 future work): evolving directed
+ * graphs. Measures warm incremental re-runs against cold re-runs after
+ * edge-insertion batches of growing size, for SSSP and Katz centrality
+ * over the webbase stand-in.
+ */
+
+#include <map>
+
+#include "algorithms/katz.hpp"
+#include "algorithms/sssp.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "engine/evolving.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const std::vector<std::size_t> kBatchSizes = {8, 64, 512};
+
+struct Point
+{
+    double warm_edges = 0.0;
+    double cold_edges = 0.0;
+    double warm_cycles = 0.0;
+    double cold_cycles = 0.0;
+};
+
+std::map<std::string, Point> g_points; // "algo/batch"
+
+std::vector<graph::Edge>
+randomBatch(const graph::DirectedGraph &g, std::size_t count,
+            std::uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<graph::Edge> batch;
+    batch.reserve(count);
+    while (batch.size() < count) {
+        const auto a =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        const auto b =
+            static_cast<VertexId>(rng.nextBounded(g.numVertices()));
+        if (a != b)
+            batch.push_back({a, b, 1.0 + rng.nextDouble() * 9.0});
+    }
+    return batch;
+}
+
+void
+BM_point(benchmark::State &state, const std::string &algo_name,
+         std::size_t batch_size)
+{
+    Point point;
+    for (auto _ : state) {
+        engine::EngineOptions opts;
+        opts.platform = benchPlatform(benchGpus());
+        engine::EvolvingEngine evolving(
+            graph::makeDataset(graph::Dataset::webbase, benchScale()),
+            opts);
+
+        const algorithms::Sssp sssp(0);
+        const algorithms::Katz katz(evolving.graph());
+        const algorithms::Algorithm &algo =
+            algo_name == "sssp"
+                ? static_cast<const algorithms::Algorithm &>(sssp)
+                : static_cast<const algorithms::Algorithm &>(katz);
+
+        evolving.run(algo);
+        const auto batch =
+            randomBatch(evolving.graph(), batch_size, 1234);
+        const auto warm = evolving.insertAndRun(algo, batch);
+        point.warm_edges = static_cast<double>(
+            warm.run.edge_processings);
+        point.warm_cycles = warm.run.sim_cycles;
+
+        // Cold reference on the same evolved snapshot.
+        const auto cold =
+            runSystemOn("digraph", evolving.graph(), algo_name,
+                        benchGpus());
+        point.cold_edges = static_cast<double>(cold.edge_processings);
+        point.cold_cycles = cold.sim_cycles;
+    }
+    g_points[algo_name + "/" + std::to_string(batch_size)] = point;
+    state.counters["warm_edges"] = point.warm_edges;
+    state.counters["cold_edges"] = point.cold_edges;
+}
+
+const int registered = [] {
+    for (const std::string algo : {"sssp", "katz"}) {
+        for (const std::size_t batch : kBatchSizes) {
+            benchmark::RegisterBenchmark(
+                ("evolving/" + algo + "/batch:" + std::to_string(batch))
+                    .c_str(),
+                [algo, batch](benchmark::State &s) {
+                    BM_point(s, algo, batch);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Evolving graphs (extension) — warm incremental re-run "
+                "vs cold re-run on webbase after edge insertions",
+                {"algorithm", "batch", "warm/cold edges processed",
+                 "warm/cold sim cycles"});
+    for (const std::string algo : {"sssp", "katz"}) {
+        for (const std::size_t batch : kBatchSizes) {
+            const auto &p =
+                g_points[algo + "/" + std::to_string(batch)];
+            table.addRow({algo, std::to_string(batch),
+                          Table::ratio(p.warm_edges, p.cold_edges),
+                          Table::ratio(p.warm_cycles, p.cold_cycles)});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Figure 2 — the motivation study:
+ *  (a) partition reprocessing counts of the Groute-like async engine
+ *      (SSSP, all vertices initially active, 4 GPUs);
+ *  (b) ratio of partitions needing reprocessing as the GPU count grows;
+ *  (c) active-vertex ratio of processed (non-convergent) partitions;
+ *  (d) fraction of vertices converging after exactly one update under
+ *      sequential topological execution, per algorithm and graph, next
+ *      to the giant-SCC vertex share.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+#include "graph/scc.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+struct GrouteStats
+{
+    double reprocessed_ratio = 0.0; // partitions processed > once
+    double mean_processings = 0.0;
+    double mean_active_ratio = 0.0; // Fig 2(c)
+};
+
+std::map<unsigned, GrouteStats> g_groute; // by #GPUs
+std::map<std::string, double> g_single_update; // "algo/dataset"
+std::map<std::string, double> g_giant_scc;     // dataset
+
+void
+BM_groute(benchmark::State &state, unsigned gpus)
+{
+    const auto &g = dataset(graph::Dataset::webbase);
+    const auto algo = algorithms::makeAlgorithm("sssp", g);
+    baselines::BaselineOptions opts;
+    opts.platform = benchPlatform(gpus);
+    opts.force_all_active = true; // the paper's Fig 2 methodology
+    baselines::AsyncResult result;
+    for (auto _ : state)
+        result = baselines::runAsync(g, *algo, opts);
+
+    GrouteStats stats;
+    std::uint64_t reprocessed = 0, total_proc = 0;
+    for (const auto count : result.partition_process_count) {
+        total_proc += count;
+        if (count > 1)
+            ++reprocessed;
+    }
+    stats.reprocessed_ratio =
+        static_cast<double>(reprocessed) /
+        static_cast<double>(result.partition_process_count.size());
+    stats.mean_processings =
+        static_cast<double>(total_proc) /
+        static_cast<double>(result.partition_process_count.size());
+    double active_sum = 0.0;
+    for (const double r : result.dispatch_active_ratio)
+        active_sum += r;
+    stats.mean_active_ratio =
+        result.dispatch_active_ratio.empty()
+            ? 0.0
+            : active_sum / result.dispatch_active_ratio.size();
+    g_groute[gpus] = stats;
+    state.counters["reprocessed%"] = stats.reprocessed_ratio * 100.0;
+    state.counters["mean_procs"] = stats.mean_processings;
+    state.counters["active%"] = stats.mean_active_ratio * 100.0;
+}
+
+void
+BM_topological(benchmark::State &state, graph::Dataset d,
+               const std::string &algo_name)
+{
+    const auto &g = dataset(d);
+    const auto algo = algorithms::makeAlgorithm(algo_name, g);
+    baselines::SequentialResult result;
+    for (auto _ : state)
+        result = baselines::runTopological(g, *algo);
+    const double frac = result.singleUpdateFraction();
+    g_single_update[algo_name + "/" + graph::datasetName(d)] = frac;
+    if (!g_giant_scc.count(graph::datasetName(d))) {
+        g_giant_scc[graph::datasetName(d)] =
+            graph::computeScc(g).giantFraction();
+    }
+    state.counters["one_update%"] = frac * 100.0;
+}
+
+const int registered = [] {
+    for (unsigned gpus = 1; gpus <= 4; ++gpus) {
+        benchmark::RegisterBenchmark(
+            ("fig02ab/groute_sssp_webbase/gpus:" +
+             std::to_string(gpus))
+                .c_str(),
+            [gpus](benchmark::State &s) { BM_groute(s, gpus); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (const auto d : graph::allDatasets()) {
+        for (const auto &a : algorithms::benchmarkNames()) {
+            benchmark::RegisterBenchmark(
+                ("fig02d/" + a + "/" + graph::datasetName(d)).c_str(),
+                [d, a](benchmark::State &s) { BM_topological(s, d, a); })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table ab("Fig 2(a,b) — Groute-like async engine, SSSP over webbase: "
+             "partition reprocessing vs #GPUs",
+             {"#GPUs", "reprocessed-partitions%", "mean processings",
+              "Fig2(c) mean active-vertex% per processed partition"});
+    for (const auto &[gpus, stats] : g_groute) {
+        ab.addRow({std::to_string(gpus),
+                   Table::num(stats.reprocessed_ratio * 100.0),
+                   Table::num(stats.mean_processings),
+                   Table::num(stats.mean_active_ratio * 100.0)});
+    }
+    ab.print();
+
+    Table d_table("Fig 2(d) — vertices needing exactly one update under "
+                  "sequential topological execution (%)",
+                  {"dataset", "pagerank", "adsorption", "sssp", "kcore",
+                   "giantSCC-vertex%"});
+    for (const auto ds : graph::allDatasets()) {
+        const std::string name = graph::datasetName(ds);
+        std::vector<std::string> row{name};
+        for (const auto &a : algorithms::benchmarkNames())
+            row.push_back(Table::num(
+                g_single_update[a + "/" + name] * 100.0));
+        row.push_back(Table::num(g_giant_scc[name] * 100.0));
+        d_table.addRow(row);
+    }
+    d_table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 6 — DiGraph against DiGraph-t (the same infrastructure driven by
+ * the traditional vertex-centric asynchronous execution model instead of
+ * the path-based one). Normalized graph processing time, four algorithms
+ * over six graphs on 4 simulated GPUs.
+ */
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const int registered = [] {
+    registerComparison("fig06", {"digraph", "digraph-t"},
+                       algorithms::benchmarkNames());
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Fig 6 — processing time of DiGraph normalized to "
+                "DiGraph-t (lower is better, paper: 0.35-0.7)",
+                {"algorithm", "dblp", "cnr", "ljournal", "webbase",
+                 "it04", "twitter"});
+    for (const auto &algo : algorithms::benchmarkNames()) {
+        std::vector<std::string> row{algo};
+        for (const auto d : graph::allDatasets()) {
+            const double digraph =
+                report("digraph", algo, d).sim_cycles;
+            const double trad = report("digraph-t", algo, d).sim_cycles;
+            row.push_back(Table::ratio(digraph, trad));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 7 — DiGraph against DiGraph-w (path-based execution without the
+ * per-SMX path scheduling strategy). Normalized graph processing time,
+ * four algorithms over six graphs on 4 simulated GPUs.
+ */
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const int registered = [] {
+    registerComparison("fig07", {"digraph", "digraph-w"},
+                       algorithms::benchmarkNames());
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Fig 7 — processing time of DiGraph normalized to "
+                "DiGraph-w (lower is better, paper: 0.65-0.95)",
+                {"algorithm", "dblp", "cnr", "ljournal", "webbase",
+                 "it04", "twitter"});
+    for (const auto &algo : algorithms::benchmarkNames()) {
+        std::vector<std::string> row{algo};
+        for (const auto d : graph::allDatasets()) {
+            const double digraph =
+                report("digraph", algo, d).sim_cycles;
+            const double nosched =
+                report("digraph-w", algo, d).sim_cycles;
+            row.push_back(Table::ratio(digraph, nosched));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

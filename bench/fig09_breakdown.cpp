@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 9 — execution time breakdown of the three systems (PageRank,
+ * 4 GPUs): the share of simulated cycles spent on communication
+ * (transfers, serialized view) versus computation, plus the CPU
+ * preprocessing wall-clock. The paper's point: DiGraph's extra
+ * preprocessing is tiny against the processing time it saves.
+ */
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const int registered = [] {
+    registerComparison("fig09", kSystems, {"pagerank"});
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Fig 9 — execution breakdown, pagerank on 4 GPUs",
+                {"system", "dataset", "sim_cycles", "comm_cycles",
+                 "comm%", "preprocess_s"});
+    for (const auto &system : kSystems) {
+        for (const auto d : graph::allDatasets()) {
+            const auto &r = report(system, "pagerank", d);
+            const double comm_pct =
+                r.sim_cycles > 0
+                    ? 100.0 * std::min(1.0, r.comm_cycles / r.sim_cycles)
+                    : 0.0;
+            table.addRow({system, graph::datasetName(d),
+                          Table::num(r.sim_cycles),
+                          Table::num(r.comm_cycles),
+                          Table::num(comm_pct),
+                          Table::num(r.preprocess_seconds)});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 10 — graph processing speedup over Gunrock (4 simulated GPUs),
+ * four algorithms over six graphs. The paper reports DiGraph at
+ * 2.25-7.39x over Gunrock and 1.59-3.54x over Groute.
+ */
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const int registered = [] {
+    registerComparison("fig10", kSystems, algorithms::benchmarkNames());
+    return 0;
+}();
+
+void
+printSummary()
+{
+    for (const auto &algo : algorithms::benchmarkNames()) {
+        Table table("Fig 10 — " + algo +
+                        ": speedup over Gunrock (higher is better)",
+                    {"system", "dblp", "cnr", "ljournal", "webbase",
+                     "it04", "twitter"});
+        for (const auto &system : kSystems) {
+            std::vector<std::string> row{system};
+            for (const auto d : graph::allDatasets()) {
+                const double base =
+                    report("gunrock", algo, d).sim_cycles;
+                const double mine = report(system, algo, d).sim_cycles;
+                row.push_back(Table::ratio(base, mine));
+            }
+            table.addRow(row);
+        }
+        table.print();
+    }
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 11 — number of vertex state updates to converge, normalized to
+ * Gunrock (4 GPUs). The paper reports DiGraph needing ~0.35-0.6x of
+ * Groute's updates, with the advantage growing with average distance.
+ */
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const int registered = [] {
+    registerComparison("fig11", kSystems, algorithms::benchmarkNames());
+    return 0;
+}();
+
+void
+printSummary()
+{
+    for (const auto &algo : algorithms::benchmarkNames()) {
+        Table table("Fig 11 — " + algo +
+                        ": vertex updates normalized to Gunrock (lower "
+                        "is better)",
+                    {"system", "dblp", "cnr", "ljournal", "webbase",
+                     "it04", "twitter"});
+        for (const auto &system : kSystems) {
+            std::vector<std::string> row{system};
+            for (const auto d : graph::allDatasets()) {
+                const double base = static_cast<double>(
+                    report("gunrock", algo, d).vertex_updates);
+                const double mine = static_cast<double>(
+                    report(system, algo, d).vertex_updates);
+                row.push_back(Table::ratio(mine, base));
+            }
+            table.addRow(row);
+        }
+        table.print();
+    }
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 12 — traffic volume of PageRank on 4 GPUs (host<->device +
+ * device<->device transfers + bytes streamed from global memory into the
+ * cores), normalized to Gunrock. The paper reports DiGraph lowest under
+ * all circumstances.
+ */
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const int registered = [] {
+    registerComparison("fig12", kSystems, {"pagerank"});
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Fig 12 — pagerank traffic volume normalized to Gunrock "
+                "(lower is better)",
+                {"system", "dblp", "cnr", "ljournal", "webbase", "it04",
+                 "twitter"});
+    for (const auto &system : kSystems) {
+        std::vector<std::string> row{system};
+        for (const auto d : graph::allDatasets()) {
+            const double base = static_cast<double>(
+                report("gunrock", "pagerank", d).trafficVolume());
+            const double mine = static_cast<double>(
+                report(system, "pagerank", d).trafficVolume());
+            row.push_back(Table::ratio(mine, base));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

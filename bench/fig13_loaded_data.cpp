@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 13 — utilization ratio of loaded data (useful vertex updates per
+ * vertex-value slot streamed into the cores) for PageRank, normalized to
+ * Gunrock. The paper reports DiGraph highest thanks to hot/cold path
+ * grouping and path-based processing.
+ */
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const int registered = [] {
+    registerComparison("fig13", kSystems, {"pagerank"});
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Fig 13 — loaded-data utilization normalized to Gunrock "
+                "(higher is better)",
+                {"system", "dblp", "cnr", "ljournal", "webbase", "it04",
+                 "twitter"});
+    for (const auto &system : kSystems) {
+        std::vector<std::string> row{system};
+        for (const auto d : graph::allDatasets()) {
+            const double base =
+                report("gunrock", "pagerank", d).loadedDataUtilization();
+            const double mine =
+                report(system, "pagerank", d).loadedDataUtilization();
+            row.push_back(Table::ratio(mine, base));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 14 — impact of the bidirectional-edge ratio on PageRank over the
+ * webbase stand-in: reverse edges are added until 40..100% of edges have
+ * a bidirectional partner, and all three systems run on each variant.
+ * The paper notes DiGraph still wins at 100% even though the
+ * dependency-aware dispatching becomes infeasible there (the whole graph
+ * collapses into one SCC).
+ */
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "graph/transform.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const std::vector<double> kRatios = {0.4, 0.55, 0.7, 0.85, 1.0};
+
+std::map<std::string, double> g_cycles; // "system/ratio"
+
+void
+BM_point(benchmark::State &state, const std::string &system, double ratio)
+{
+    static std::map<double, std::unique_ptr<graph::DirectedGraph>> cache;
+    auto &slot = cache[ratio];
+    if (!slot) {
+        slot = std::make_unique<graph::DirectedGraph>(
+            graph::withBidirectionalRatio(
+                dataset(graph::Dataset::webbase), ratio));
+    }
+    metrics::RunReport r;
+    for (auto _ : state)
+        r = runSystemOn(system, *slot, "pagerank", benchGpus());
+    g_cycles[system + "/" + Table::num(ratio)] = r.sim_cycles;
+    state.counters["sim_cycles"] = r.sim_cycles;
+}
+
+const int registered = [] {
+    for (const auto &system : kSystems) {
+        for (const double ratio : kRatios) {
+            benchmark::RegisterBenchmark(
+                ("fig14/" + system + "/bidir:" + Table::num(ratio))
+                    .c_str(),
+                [system, ratio](benchmark::State &s) {
+                    BM_point(s, system, ratio);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Fig 14 — pagerank on webbase vs bidirectional-edge "
+                "ratio (sim cycles; paper: DiGraph lowest throughout)",
+                {"system", "40%", "55%", "70%", "85%", "100%"});
+    for (const auto &system : kSystems) {
+        std::vector<std::string> row{system};
+        for (const double ratio : kRatios)
+            row.push_back(
+                Table::num(g_cycles[system + "/" + Table::num(ratio)]));
+        table.addRow(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

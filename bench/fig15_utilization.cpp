@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 15 — mean GPU (SMX) utilization for PageRank on 4 GPUs. The
+ * paper reports Gunrock lowest (barriers + skewed frontiers) and the two
+ * asynchronous systems substantially higher.
+ */
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+const int registered = [] {
+    registerComparison("fig15", kSystems, {"pagerank"});
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Fig 15 — GPU utilization of pagerank (%)",
+                {"system", "dblp", "cnr", "ljournal", "webbase", "it04",
+                 "twitter"});
+    for (const auto &system : kSystems) {
+        std::vector<std::string> row{system};
+        for (const auto d : graph::allDatasets()) {
+            row.push_back(Table::num(
+                report(system, "pagerank", d).utilization * 100.0));
+        }
+        table.addRow(row);
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 16 — scalability over webbase: PageRank and SSSP processing time
+ * as the GPU count grows from 1 to 4. The paper reports DiGraph scaling
+ * best (time reduced by 62.9% at 4 GPUs vs 46.3% for Gunrock and 56.5%
+ * for Groute).
+ */
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+std::map<std::string, double> g_cycles; // "system/algo/gpus"
+
+void
+BM_point(benchmark::State &state, const std::string &system,
+         const std::string &algo, unsigned gpus)
+{
+    metrics::RunReport r;
+    for (auto _ : state)
+        r = runSystem(system, graph::Dataset::webbase, algo, gpus);
+    g_cycles[system + "/" + algo + "/" + std::to_string(gpus)] =
+        r.sim_cycles;
+    state.counters["sim_cycles"] = r.sim_cycles;
+}
+
+const int registered = [] {
+    for (const auto &system : kSystems) {
+        for (const std::string algo : {"pagerank", "sssp"}) {
+            for (unsigned gpus = 1; gpus <= 4; ++gpus) {
+                benchmark::RegisterBenchmark(
+                    ("fig16/" + system + "/" + algo +
+                     "/gpus:" + std::to_string(gpus))
+                        .c_str(),
+                    [system, algo, gpus](benchmark::State &s) {
+                        BM_point(s, system, algo, gpus);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    return 0;
+}();
+
+void
+printSummary()
+{
+    for (const std::string algo : {"pagerank", "sssp"}) {
+        Table table("Fig 16 — " + algo +
+                        " over webbase: sim cycles vs #GPUs (last column:"
+                        " time reduction 1->4 GPUs)",
+                    {"system", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs",
+                     "reduction%"});
+        for (const auto &system : kSystems) {
+            std::vector<std::string> row{system};
+            double first = 0.0, last = 0.0;
+            for (unsigned gpus = 1; gpus <= 4; ++gpus) {
+                const double c = g_cycles[system + "/" + algo + "/" +
+                                          std::to_string(gpus)];
+                if (gpus == 1)
+                    first = c;
+                last = c;
+                row.push_back(Table::num(c));
+            }
+            row.push_back(Table::num(
+                first > 0 ? 100.0 * (1.0 - last / first) : 0.0));
+            table.addRow(row);
+        }
+        table.print();
+    }
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 17 — total execution time of PageRank on webbase under different
+ * CPU preprocessing thread counts and GPU counts. Total time combines
+ * the (wall-clock) CPU preprocessing with the simulated processing time
+ * converted at a nominal 1 GHz device clock. The paper's point: the
+ * parallel preprocessing scales with CPU threads, and DiGraph keeps its
+ * processing advantage at every machine size.
+ */
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+constexpr double kCyclesPerSecond = 1e9;
+
+struct Point
+{
+    double preprocess_s = 0.0;
+    double sim_cycles = 0.0;
+};
+
+std::map<std::string, Point> g_points; // "threads/gpus"
+
+void
+BM_point(benchmark::State &state, unsigned threads, unsigned gpus)
+{
+    const auto &g = dataset(graph::Dataset::webbase);
+    Point point;
+    for (auto _ : state) {
+        engine::EngineOptions opts;
+        opts.platform = benchPlatform(gpus);
+        opts.preprocess.decompose.num_threads = threads;
+        WallTimer timer;
+        engine::DiGraphEngine eng(g, opts);
+        point.preprocess_s = timer.seconds();
+        const auto algo = algorithms::makeAlgorithm("pagerank", g);
+        point.sim_cycles = eng.run(*algo).sim_cycles;
+    }
+    g_points[std::to_string(threads) + "/" + std::to_string(gpus)] =
+        point;
+    state.counters["preprocess_s"] = point.preprocess_s;
+    state.counters["sim_cycles"] = point.sim_cycles;
+}
+
+const int registered = [] {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        for (const unsigned gpus : {1u, 2u, 4u}) {
+            benchmark::RegisterBenchmark(
+                ("fig17/threads:" + std::to_string(threads) +
+                 "/gpus:" + std::to_string(gpus))
+                    .c_str(),
+                [threads, gpus](benchmark::State &s) {
+                    BM_point(s, threads, gpus);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Fig 17 — DiGraph total time, pagerank on webbase "
+                "(preprocess wall + sim processing at 1 GHz)",
+                {"CPU threads", "#GPUs", "preprocess_s", "processing_s",
+                 "total_s"});
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        for (const unsigned gpus : {1u, 2u, 4u}) {
+            const auto &p = g_points[std::to_string(threads) + "/" +
+                                     std::to_string(gpus)];
+            const double proc = p.sim_cycles / kCyclesPerSecond;
+            table.addRow({std::to_string(threads), std::to_string(gpus),
+                          Table::num(p.preprocess_s), Table::num(proc),
+                          Table::num(p.preprocess_s + proc)});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

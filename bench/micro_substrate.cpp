@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Microbenchmarks of the substrate operations (proper google-benchmark
+ * timing loops, unlike the figure harnesses): CSR construction, Tarjan
+ * SCC, the path pipeline stages, and the four-array storage build.
+ * Useful for tracking regressions in the preprocessing path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "partition/decomposer.hpp"
+#include "partition/dependency.hpp"
+#include "partition/merger.hpp"
+#include "partition/preprocess.hpp"
+#include "storage/path_storage.hpp"
+
+namespace {
+
+using namespace digraph;
+
+const graph::DirectedGraph &
+graphOf(std::int64_t edges)
+{
+    static std::map<std::int64_t, graph::DirectedGraph> cache;
+    auto it = cache.find(edges);
+    if (it == cache.end()) {
+        graph::GeneratorConfig c;
+        c.num_vertices = static_cast<VertexId>(edges / 8);
+        c.num_edges = static_cast<EdgeId>(edges);
+        c.scc_core_fraction = 0.5;
+        c.seed = 9;
+        it = cache.emplace(edges, graph::generate(c)).first;
+    }
+    return it->second;
+}
+
+void
+BM_csr_build(benchmark::State &state)
+{
+    const auto &g = graphOf(state.range(0));
+    const auto edges = g.edgeList();
+    for (auto _ : state) {
+        graph::GraphBuilder builder(g.numVertices());
+        builder.addEdges(edges);
+        const auto built = builder.build();
+        benchmark::DoNotOptimize(built.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(g.numEdges()));
+}
+
+void
+BM_tarjan_scc(benchmark::State &state)
+{
+    const auto &g = graphOf(state.range(0));
+    for (auto _ : state) {
+        const auto scc = graph::computeScc(g);
+        benchmark::DoNotOptimize(scc.num_components);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(g.numEdges()));
+}
+
+void
+BM_path_decompose(benchmark::State &state)
+{
+    const auto &g = graphOf(state.range(0));
+    const partition::SccRegions regions(g);
+    for (auto _ : state) {
+        const auto paths =
+            partition::decompose(g, {}, nullptr, &regions);
+        benchmark::DoNotOptimize(paths.numPaths());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(g.numEdges()));
+}
+
+void
+BM_path_merge(benchmark::State &state)
+{
+    const auto &g = graphOf(state.range(0));
+    const partition::SccRegions regions(g);
+    const auto raw = partition::decompose(g, {}, nullptr, &regions);
+    for (auto _ : state) {
+        const auto merged = partition::mergePaths(raw, g, {}, &regions);
+        benchmark::DoNotOptimize(merged.paths.numPaths());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(raw.numPaths()));
+}
+
+void
+BM_dependency_graph(benchmark::State &state)
+{
+    const auto &g = graphOf(state.range(0));
+    const partition::SccRegions regions(g);
+    auto raw = partition::decompose(g, {}, nullptr, &regions);
+    const auto paths =
+        partition::mergePaths(raw, g, {}, &regions).paths;
+    for (auto _ : state) {
+        const auto dep = partition::buildDependencyGraph(paths, g);
+        benchmark::DoNotOptimize(dep.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(paths.numPaths()));
+}
+
+void
+BM_full_preprocess(benchmark::State &state)
+{
+    const auto &g = graphOf(state.range(0));
+    partition::PreprocessOptions opts;
+    opts.decompose.num_threads = 2;
+    for (auto _ : state) {
+        const auto pre = partition::preprocess(g, opts);
+        benchmark::DoNotOptimize(pre.numPartitions());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(g.numEdges()));
+}
+
+void
+BM_storage_build(benchmark::State &state)
+{
+    const auto &g = graphOf(state.range(0));
+    const auto pre = partition::preprocess(g, {});
+    for (auto _ : state) {
+        storage::PathStorage built(pre.paths, g);
+        benchmark::DoNotOptimize(built.numPaths());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(g.numEdges()));
+}
+
+BENCHMARK(BM_csr_build)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_tarjan_scc)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_path_decompose)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_path_merge)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_dependency_graph)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_full_preprocess)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_storage_build)->Arg(1 << 14)->Arg(1 << 17);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 1 — dataset properties of the six synthetic stand-ins: vertex and
+ * edge counts, average degree (A_Deg) and sampled average distance
+ * (A_Dis), plus the structural knobs the substitution preserves (giant
+ * SCC share, bidirectional-edge ratio).
+ */
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace digraph;
+using namespace digraph::bench;
+
+namespace {
+
+std::map<std::string, graph::GraphProperties> g_props;
+
+void
+BM_measure(benchmark::State &state, graph::Dataset d)
+{
+    graph::GraphProperties props;
+    for (auto _ : state)
+        props = graph::measureProperties(dataset(d), 16);
+    g_props[graph::datasetName(d)] = props;
+    state.counters["V"] = static_cast<double>(props.num_vertices);
+    state.counters["E"] = static_cast<double>(props.num_edges);
+    state.counters["A_Deg"] = props.avg_degree;
+    state.counters["A_Dis"] = props.avg_distance;
+}
+
+const int registered = [] {
+    for (const auto d : graph::allDatasets()) {
+        benchmark::RegisterBenchmark(
+            ("table1/" + graph::datasetName(d)).c_str(),
+            [d](benchmark::State &s) { BM_measure(s, d); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    return 0;
+}();
+
+void
+printSummary()
+{
+    Table table("Table 1 — data set properties (synthetic stand-ins, "
+                "scale " + Table::num(benchScale()) + ")",
+                {"dataset", "#Vertices", "#Edges", "A_Deg", "A_Dis",
+                 "giantSCC%", "bidir%"});
+    for (const auto d : graph::allDatasets()) {
+        const auto &p = g_props[graph::datasetName(d)];
+        table.addRow({graph::datasetName(d),
+                      std::to_string(p.num_vertices),
+                      std::to_string(p.num_edges), Table::num(p.avg_degree),
+                      Table::num(p.avg_distance),
+                      Table::num(p.giant_scc_fraction * 100.0),
+                      Table::num(p.bidirectional_ratio * 100.0)});
+    }
+    table.print();
+}
+
+} // namespace
+
+DIGRAPH_BENCH_MAIN(printSummary)

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Citation ranking: PageRank over a synthetic citation network (papers
+ * cite earlier papers, so the graph is DAG-heavy — the case where the
+ * dependency-aware dispatching converges most paths in a single pass).
+ * Prints the top-ranked papers and cross-checks the engine against the
+ * sequential reference.
+ *
+ *   ./citation_ranking [num_papers]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "algorithms/pagerank.hpp"
+#include "baselines/sequential.hpp"
+#include "engine/digraph_engine.hpp"
+#include "graph/generators.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace digraph;
+
+    const VertexId n = argc > 1
+                           ? static_cast<VertexId>(std::atoi(argv[1]))
+                           : 4000;
+
+    // Citation-like graph: strong forward bias (papers cite the past),
+    // skewed in-degrees (famous papers), small cyclic core (mutual
+    // citation clusters / errata).
+    graph::GeneratorConfig config;
+    config.num_vertices = n;
+    config.num_edges = static_cast<EdgeId>(n) * 6;
+    config.degree_skew = 1.9;
+    config.forward_bias = 0.9;
+    config.scc_core_fraction = 0.1;
+    config.locality = 0.4;
+    config.seed = 2026;
+    const auto citations = graph::generate(config);
+
+    engine::EngineOptions options;
+    options.platform.num_devices = 4;
+    engine::DiGraphEngine engine(citations, options);
+
+    const algorithms::PageRank pagerank;
+    const auto report = engine.run(pagerank);
+
+    // Influence flows along citation direction: rank of the paper a
+    // citation points at grows. Top of the ranking:
+    std::vector<VertexId> order(citations.numVertices());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+        return report.final_state[a] > report.final_state[b];
+    });
+    std::printf("top influential papers (of %u):\n",
+                citations.numVertices());
+    for (int i = 0; i < 10; ++i) {
+        std::printf("  #%2d paper %5u  rank %.4f  (cited %zu times)\n",
+                    i + 1, order[i], report.final_state[order[i]],
+                    citations.inDegree(order[i]));
+    }
+
+    // Cross-check against the sequential reference.
+    const auto ref = baselines::runSequential(citations, pagerank);
+    double max_err = 0.0;
+    for (VertexId v = 0; v < citations.numVertices(); ++v) {
+        max_err = std::max(
+            max_err, std::abs(report.final_state[v] - ref.state[v]) /
+                         std::max(1.0, std::abs(ref.state[v])));
+    }
+    std::printf("max relative deviation from sequential reference: "
+                "%.2e\n",
+                max_err);
+    std::printf("engine updates: %llu, sequential updates: %llu\n",
+                static_cast<unsigned long long>(report.vertex_updates),
+                static_cast<unsigned long long>(ref.vertex_updates));
+    return max_err < 1e-3 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Community cores: iterative k-core peeling [14] over a synthetic
+ * interaction network, for several k thresholds — a standard density
+ * screen before community detection. Shows how the same preprocessed
+ * engine instance runs many algorithm configurations.
+ *
+ *   ./community_cores [num_members]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "algorithms/kcore.hpp"
+#include "engine/digraph_engine.hpp"
+#include "graph/generators.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace digraph;
+
+    const VertexId n = argc > 1
+                           ? static_cast<VertexId>(std::atoi(argv[1]))
+                           : 8000;
+
+    graph::GeneratorConfig config;
+    config.num_vertices = n;
+    config.num_edges = static_cast<EdgeId>(n) * 12;
+    config.degree_skew = 2.0;
+    config.locality = 0.3;
+    config.scc_core_fraction = 0.7;
+    config.seed = 4242;
+    const auto network = graph::generate(config);
+
+    engine::EngineOptions options;
+    options.platform.num_devices = 2;
+    engine::DiGraphEngine engine(network, options);
+    std::printf("interaction network: %u members, %llu directed "
+                "interactions\n",
+                network.numVertices(),
+                static_cast<unsigned long long>(network.numEdges()));
+
+    // Peel with growing k; the preprocessing (paths, DAG sketch,
+    // partitions) is reused across all runs.
+    std::printf("%4s  %10s  %10s  %12s\n", "k", "in k-core", "peeled",
+                "updates");
+    for (const unsigned k : {2u, 3u, 5u, 8u, 13u}) {
+        const algorithms::KCore kcore(k);
+        const auto report = engine.run(kcore);
+        VertexId alive = 0;
+        for (const Value state : report.final_state) {
+            if (kcore.alive(state))
+                ++alive;
+        }
+        std::printf("%4u  %10u  %10u  %12llu\n", k, alive,
+                    network.numVertices() - alive,
+                    static_cast<unsigned long long>(
+                        report.vertex_updates));
+    }
+    return 0;
+}

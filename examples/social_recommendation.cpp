@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Social recommendation: adsorption label propagation [3] over a
+ * synthetic follower network — the YouTube-style "random walks through
+ * the view graph" workload that motivates the paper's adsorption
+ * benchmark. A small seed set injects interest mass; the engine
+ * propagates it along weighted edges, and vertices with the highest
+ * absorbed score are the recommendation candidates.
+ *
+ *   ./social_recommendation [num_users]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "algorithms/adsorption.hpp"
+#include "engine/digraph_engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace digraph;
+
+    const VertexId n = argc > 1
+                           ? static_cast<VertexId>(std::atoi(argv[1]))
+                           : 6000;
+
+    // Follower-network stand-in: dense, short distances, giant SCC.
+    graph::GeneratorConfig config;
+    config.num_vertices = n;
+    config.num_edges = static_cast<EdgeId>(n) * 20;
+    config.degree_skew = 2.2;
+    config.locality = 0.1;
+    config.forward_bias = 0.5;
+    config.scc_core_fraction = 0.8;
+    config.seed = 77;
+    const auto network = graph::generate(config);
+
+    const auto props = graph::measureProperties(network, 8);
+    std::printf("network: %s\n", graph::describe(props).c_str());
+
+    engine::EngineOptions options;
+    options.platform.num_devices = 4;
+    engine::DiGraphEngine engine(network, options);
+
+    // Every 97th user is a seed (an account the target user already
+    // follows); adsorption spreads that interest over the graph.
+    const algorithms::Adsorption adsorption(network, /*seed_every=*/97);
+    const auto report = engine.run(adsorption);
+
+    std::vector<VertexId> order(network.numVertices());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+        return report.final_state[a] > report.final_state[b];
+    });
+
+    std::printf("top recommendation candidates (non-seeds):\n");
+    int shown = 0;
+    for (const VertexId v : order) {
+        if (v % 97 == 0)
+            continue; // already followed
+        std::printf("  user %5u  score %.5f  (followers %zu)\n", v,
+                    report.final_state[v], network.inDegree(v));
+        if (++shown == 10)
+            break;
+    }
+    std::printf("converged in %llu updates over %u partitions\n",
+                static_cast<unsigned long long>(report.vertex_updates),
+                static_cast<unsigned>(report.num_partitions));
+    return 0;
+}

@@ -1,0 +1,49 @@
+#include "algorithms/adsorption.hpp"
+
+namespace digraph::algorithms {
+
+Adsorption::Adsorption(const graph::DirectedGraph &g, VertexId seed_every,
+                       double p_inj, double p_cont, double eps)
+    : seed_every_(seed_every ? seed_every : 1), p_inj_(p_inj),
+      p_cont_(p_cont), eps_(eps)
+{
+    // Normalize incoming weights per destination so the update is a
+    // contraction with factor p_cont.
+    std::vector<Value> in_weight_sum(g.numVertices(), 0.0);
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        in_weight_sum[g.edgeTarget(e)] += g.edgeWeight(e);
+
+    norm_weight_.resize(g.numEdges());
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Value sum = in_weight_sum[g.edgeTarget(e)];
+        norm_weight_[e] = sum > 0.0 ? g.edgeWeight(e) / sum : 0.0;
+    }
+}
+
+Value
+Adsorption::initVertex(const graph::DirectedGraph &, VertexId v) const
+{
+    return isSeed(v) ? p_inj_ : 0.0;
+}
+
+bool
+Adsorption::processEdge(Value src, Value &edge_state, EdgeId edge_id,
+                        Value, std::uint32_t, Value &dst) const
+{
+    const Value delta = src - edge_state;
+    if (delta == 0.0)
+        return false;
+    edge_state = src;
+    const Value push = p_cont_ * norm_weight_[edge_id] * delta;
+    dst += push;
+    return push > eps_ || push < -eps_;
+}
+
+bool
+Adsorption::mergeMaster(Value &master, Value pushed) const
+{
+    master += pushed;
+    return pushed > eps_ || pushed < -eps_;
+}
+
+} // namespace digraph::algorithms

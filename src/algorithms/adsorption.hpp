@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Adsorption label propagation [3] (single-label score variant).
+ *
+ * Fixed point: x(v) = p_inj * inj(v) + p_cont * sum_{u->v} w'(u,v) x(u),
+ * where w'(u,v) normalizes each vertex's incoming weights to sum to one —
+ * the contraction (p_cont < 1) guarantees convergence under asynchronous
+ * delta propagation, using the same per-edge cache trick as PageRank.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+
+namespace digraph::algorithms {
+
+/** Asynchronous adsorption score propagation. */
+class Adsorption : public Algorithm
+{
+  public:
+    /**
+     * @param g          Graph (normalized in-weights are precomputed).
+     * @param seed_every Every seed_every-th vertex is an injection seed.
+     * @param p_inj      Injection probability.
+     * @param p_cont     Continuation probability (< 1).
+     * @param eps        Activation threshold.
+     */
+    explicit Adsorption(const graph::DirectedGraph &g,
+                        VertexId seed_every = 97, double p_inj = 0.25,
+                        double p_cont = 0.75, double eps = 1e-6);
+
+    std::string name() const override { return "adsorption"; }
+
+    Value initVertex(const graph::DirectedGraph &g,
+                     VertexId v) const override;
+
+    bool processEdge(Value src, Value &edge_state, EdgeId edge_id, Value,
+                     std::uint32_t, Value &dst) const override;
+
+    bool mergeMaster(Value &master, Value pushed) const override;
+
+    Value
+    pushValue(Value current, Value at_load) const override
+    {
+        return current - at_load;
+    }
+
+    bool supportsIncremental() const override
+    {
+        // Per-edge contributions are normalized by degrees, which shift
+        // under insertions; a warm start would mis-account old pushes.
+        return false;
+    }
+
+    bool
+    hasPush(Value current, Value at_load) const override
+    {
+        return current != at_load;
+    }
+
+    double epsilon() const override { return eps_; }
+    double resultTolerance() const override { return 256.0 * eps_; }
+
+  private:
+    bool isSeed(VertexId v) const { return v % seed_every_ == 0; }
+
+    VertexId seed_every_;
+    double p_inj_;
+    double p_cont_;
+    double eps_;
+    /** Per-edge normalized weight: w(e) / in-weight-sum(target(e)). */
+    std::vector<Value> norm_weight_;
+};
+
+} // namespace digraph::algorithms

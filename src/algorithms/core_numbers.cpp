@@ -1,0 +1,62 @@
+#include "algorithms/core_numbers.hpp"
+
+#include <algorithm>
+
+namespace digraph::algorithms {
+
+std::vector<std::uint32_t>
+coreNumbers(const graph::DirectedGraph &g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<std::uint32_t> degree(n);
+    std::uint32_t max_degree = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        degree[v] = static_cast<std::uint32_t>(g.inDegree(v));
+        max_degree = std::max(max_degree, degree[v]);
+    }
+
+    // Bucket sort by current degree (classic O(V + E) peeling).
+    std::vector<std::uint32_t> bucket_start(max_degree + 2, 0);
+    for (VertexId v = 0; v < n; ++v)
+        ++bucket_start[degree[v] + 1];
+    for (std::uint32_t d = 0; d + 1 <= max_degree; ++d)
+        bucket_start[d + 1] += bucket_start[d];
+
+    std::vector<VertexId> order(n);   // vertices sorted by degree
+    std::vector<VertexId> position(n);
+    {
+        std::vector<std::uint32_t> cursor(bucket_start.begin(),
+                                          bucket_start.end() - 1);
+        for (VertexId v = 0; v < n; ++v) {
+            position[v] = cursor[degree[v]];
+            order[position[v]] = v;
+            ++cursor[degree[v]];
+        }
+    }
+
+    std::vector<std::uint32_t> core(n, 0);
+    for (VertexId i = 0; i < n; ++i) {
+        const VertexId v = order[i];
+        core[v] = degree[v];
+        // Removing v lowers the alive in-degree of its successors.
+        for (const VertexId w : g.outNeighbors(v)) {
+            if (degree[w] <= degree[v])
+                continue;
+            // Swap w to the front of its bucket, then shrink its degree.
+            const std::uint32_t dw = degree[w];
+            const VertexId pw = position[w];
+            const VertexId front = bucket_start[dw];
+            const VertexId u = order[front];
+            if (u != w) {
+                std::swap(order[front], order[pw]);
+                position[w] = front;
+                position[u] = pw;
+            }
+            ++bucket_start[dw];
+            --degree[w];
+        }
+    }
+    return core;
+}
+
+} // namespace digraph::algorithms

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Full core-number decomposition (the k-core benchmark's [14] complete
+ * output): core(v) is the largest k such that v survives k-core peeling.
+ *
+ * Matches the engine's directed k-core semantics (alive in-degree
+ * threshold): computed with an exact bucket-peeling algorithm, it is the
+ * oracle for KCore across every k at once — core(v) >= k iff v is alive
+ * in the k-core fixed point.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace digraph::algorithms {
+
+/**
+ * Compute directed (in-degree) core numbers by bucket peeling:
+ * repeatedly remove the vertex with the smallest alive in-degree.
+ */
+std::vector<std::uint32_t> coreNumbers(const graph::DirectedGraph &g);
+
+} // namespace digraph::algorithms

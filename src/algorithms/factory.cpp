@@ -1,0 +1,41 @@
+#include "algorithms/factory.hpp"
+
+#include "algorithms/adsorption.hpp"
+#include "algorithms/katz.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "common/logging.hpp"
+
+namespace digraph::algorithms {
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "pagerank", "adsorption", "sssp", "kcore"};
+    return names;
+}
+
+AlgorithmPtr
+makeAlgorithm(const std::string &name, const graph::DirectedGraph &g)
+{
+    if (name == "pagerank")
+        return std::make_shared<PageRank>();
+    if (name == "adsorption")
+        return std::make_shared<Adsorption>(g);
+    if (name == "sssp")
+        return std::make_shared<Sssp>(0);
+    if (name == "kcore")
+        return std::make_shared<KCore>(3);
+    if (name == "katz")
+        return std::make_shared<Katz>(g);
+    if (name == "bfs")
+        return std::make_shared<Bfs>(0);
+    if (name == "wcc")
+        return std::make_shared<Wcc>();
+    fatal("makeAlgorithm: unknown algorithm '", name, "'");
+}
+
+} // namespace digraph::algorithms

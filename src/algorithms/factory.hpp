@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Algorithm factory and the paper's benchmark list.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+
+namespace digraph::algorithms {
+
+/** Names of the paper's four benchmark algorithms, in paper order. */
+const std::vector<std::string> &benchmarkNames();
+
+/**
+ * Create an algorithm by name: "pagerank", "adsorption", "sssp", "kcore",
+ * "katz", "bfs", or "wcc". Calls fatal() on an unknown name.
+ * @param g Graph (some algorithms precompute per-graph tables).
+ */
+AlgorithmPtr makeAlgorithm(const std::string &name,
+                           const graph::DirectedGraph &g);
+
+} // namespace digraph::algorithms

@@ -1,0 +1,70 @@
+#include "algorithms/hits.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace digraph::algorithms {
+
+namespace {
+
+void
+normalize(std::vector<Value> &values)
+{
+    double norm = 0.0;
+    for (const Value v : values)
+        norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm <= 0.0)
+        return;
+    for (Value &v : values)
+        v /= norm;
+}
+
+} // namespace
+
+HitsScores
+computeHits(const graph::DirectedGraph &g, unsigned max_iterations,
+            double eps)
+{
+    const VertexId n = g.numVertices();
+    HitsScores scores;
+    scores.authority.assign(n, 1.0);
+    scores.hub.assign(n, 1.0);
+    normalize(scores.authority);
+    normalize(scores.hub);
+
+    std::vector<Value> next(n);
+    for (unsigned it = 0; it < max_iterations; ++it) {
+        ++scores.iterations;
+
+        // Authority step: a(v) = sum of hub scores of predecessors.
+        std::fill(next.begin(), next.end(), 0.0);
+        for (VertexId v = 0; v < n; ++v) {
+            for (const VertexId u : g.inNeighbors(v))
+                next[v] += scores.hub[u];
+        }
+        normalize(next);
+        double delta = 0.0;
+        for (VertexId v = 0; v < n; ++v)
+            delta = std::max(delta,
+                             std::abs(next[v] - scores.authority[v]));
+        scores.authority.swap(next);
+
+        // Hub step: h(v) = sum of authority scores of successors.
+        std::fill(next.begin(), next.end(), 0.0);
+        for (VertexId v = 0; v < n; ++v) {
+            for (const VertexId w : g.outNeighbors(v))
+                next[v] += scores.authority[w];
+        }
+        normalize(next);
+        for (VertexId v = 0; v < n; ++v)
+            delta = std::max(delta, std::abs(next[v] - scores.hub[v]));
+        scores.hub.swap(next);
+
+        if (delta < eps)
+            break;
+    }
+    return scores;
+}
+
+} // namespace digraph::algorithms

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * HITS hubs & authorities [Kleinberg 1999].
+ *
+ * Unlike the engine algorithms, HITS alternates two coupled propagation
+ * directions (authority mass flows along edges, hub mass against them),
+ * so it is provided as a standalone power iteration over the CSR graph —
+ * an analysis utility complementing the engine-driven centralities
+ * (PageRank, Katz).
+ */
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace digraph::algorithms {
+
+/** Result of a HITS computation. */
+struct HitsScores
+{
+    /** Authority score per vertex (L2-normalized). */
+    std::vector<Value> authority;
+    /** Hub score per vertex (L2-normalized). */
+    std::vector<Value> hub;
+    /** Power iterations executed. */
+    unsigned iterations = 0;
+};
+
+/**
+ * Power-iterate HITS until the maximum per-vertex change drops below
+ * @p eps or @p max_iterations is reached.
+ */
+HitsScores computeHits(const graph::DirectedGraph &g,
+                       unsigned max_iterations = 100, double eps = 1e-9);
+
+} // namespace digraph::algorithms

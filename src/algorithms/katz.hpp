@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Katz centrality: x(v) = beta + alpha * sum_{u->v} x(u).
+ *
+ * Same asynchronous delta-accumulation scheme as PageRank; converges for
+ * alpha < 1 / max_in_degree (checked at construction against the graph),
+ * since the update is then a contraction.
+ */
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+#include "common/logging.hpp"
+
+namespace digraph::algorithms {
+
+/** Asynchronous delta Katz centrality. */
+class Katz : public Algorithm
+{
+  public:
+    /**
+     * @param g     Graph (used to validate the contraction condition).
+     * @param alpha Attenuation factor; must satisfy
+     *              alpha * max_in_degree < 1.
+     * @param beta  Base score.
+     * @param eps   Activation threshold.
+     */
+    explicit Katz(const graph::DirectedGraph &g, double alpha = 0.0,
+                  double beta = 1.0, double eps = 1e-6)
+        : alpha_(alpha), beta_(beta), eps_(eps)
+    {
+        std::size_t max_in = 1;
+        for (VertexId v = 0; v < g.numVertices(); ++v)
+            max_in = std::max(max_in, g.inDegree(v));
+        if (alpha_ == 0.0)
+            alpha_ = 0.5 / static_cast<double>(max_in);
+        if (alpha_ * static_cast<double>(max_in) >= 1.0) {
+            fatal("Katz: alpha ", alpha_, " violates the contraction "
+                  "condition for max in-degree ", max_in);
+        }
+    }
+
+    std::string name() const override { return "katz"; }
+
+    Value
+    initVertex(const graph::DirectedGraph &, VertexId) const override
+    {
+        return beta_;
+    }
+
+    bool
+    processEdge(Value src, Value &edge_state, EdgeId, Value,
+                std::uint32_t, Value &dst) const override
+    {
+        const Value delta = src - edge_state;
+        if (delta == 0.0)
+            return false;
+        edge_state = src;
+        const Value push = alpha_ * delta;
+        dst += push;
+        return push > eps_ || push < -eps_;
+    }
+
+    bool
+    mergeMaster(Value &master, Value pushed) const override
+    {
+        master += pushed;
+        return pushed > eps_ || pushed < -eps_;
+    }
+
+    Value
+    pushValue(Value current, Value at_load) const override
+    {
+        return current - at_load;
+    }
+
+    Value
+    warmEdgeState(const graph::DirectedGraph &, EdgeId,
+                  Value src_state) const override
+    {
+        return src_state; // contribution already delivered
+    }
+
+    bool
+    hasPush(Value current, Value at_load) const override
+    {
+        return current != at_load;
+    }
+
+    double epsilon() const override { return eps_; }
+    double resultTolerance() const override { return 256.0 * eps_; }
+
+    /** Effective attenuation factor. */
+    double alpha() const { return alpha_; }
+
+  private:
+    double alpha_;
+    double beta_;
+    double eps_;
+};
+
+} // namespace digraph::algorithms

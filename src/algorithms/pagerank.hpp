@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Delta-accumulative PageRank [29].
+ *
+ * Fixed point: x(v) = (1-d) + d * sum_{u->v} x(u) / outdeg(u).
+ * Each edge caches the last source rank it propagated (E_val); processing
+ * pushes only the difference, so contributions are counted exactly once
+ * regardless of processing order — the standard asynchronous-PageRank
+ * contraction argument guarantees convergence to the synchronous fixed
+ * point.
+ */
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace digraph::algorithms {
+
+/** Asynchronous delta PageRank. */
+class PageRank : public Algorithm
+{
+  public:
+    /** @param damping d in [0,1). @param eps activation threshold. */
+    explicit PageRank(double damping = 0.85, double eps = 1e-6)
+        : damping_(damping), eps_(eps)
+    {}
+
+    std::string name() const override { return "pagerank"; }
+
+    Value
+    initVertex(const graph::DirectedGraph &, VertexId) const override
+    {
+        return 1.0 - damping_;
+    }
+
+    bool
+    processEdge(Value src, Value &edge_state, EdgeId, Value,
+                std::uint32_t src_out_degree, Value &dst) const override
+    {
+        const Value delta = src - edge_state;
+        if (delta == 0.0)
+            return false;
+        edge_state = src;
+        const Value push =
+            damping_ * delta /
+            static_cast<Value>(src_out_degree ? src_out_degree : 1);
+        dst += push;
+        return push > eps_ || push < -eps_;
+    }
+
+    bool
+    mergeMaster(Value &master, Value pushed) const override
+    {
+        master += pushed;
+        return pushed > eps_ || pushed < -eps_;
+    }
+
+    Value
+    pushValue(Value current, Value at_load) const override
+    {
+        return current - at_load;
+    }
+
+    bool supportsIncremental() const override
+    {
+        // Per-edge contributions are normalized by degrees, which shift
+        // under insertions; a warm start would mis-account old pushes.
+        return false;
+    }
+
+    bool
+    hasPush(Value current, Value at_load) const override
+    {
+        return current != at_load;
+    }
+
+    double epsilon() const override { return eps_; }
+    double resultTolerance() const override { return 256.0 * eps_; }
+
+    /** Damping factor. */
+    double damping() const { return damping_; }
+
+  private:
+    double damping_;
+    double eps_;
+};
+
+} // namespace digraph::algorithms

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Single-source shortest paths [28] and BFS, as monotone min-plus
+ * propagation. Monotonicity makes every processing order safe; the edge
+ * cache (E_val) is unused.
+ */
+
+#pragma once
+
+#include <limits>
+
+#include "algorithms/algorithm.hpp"
+
+namespace digraph::algorithms {
+
+/** Asynchronous SSSP (non-negative weights). */
+class Sssp : public Algorithm
+{
+  public:
+    /** @param source Source vertex. */
+    explicit Sssp(VertexId source = 0) : source_(source) {}
+
+    std::string name() const override { return "sssp"; }
+
+    Value
+    initVertex(const graph::DirectedGraph &, VertexId v) const override
+    {
+        return v == source_ ? 0.0
+                            : std::numeric_limits<Value>::infinity();
+    }
+
+    bool
+    initActive(const graph::DirectedGraph &, VertexId v) const override
+    {
+        return v == source_;
+    }
+
+    bool
+    processEdge(Value src, Value &, EdgeId, Value weight, std::uint32_t,
+                Value &dst) const override
+    {
+        const Value cand = src + weight;
+        if (cand < dst) {
+            dst = cand;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    mergeMaster(Value &master, Value pushed) const override
+    {
+        if (pushed < master) {
+            master = pushed;
+            return true;
+        }
+        return false;
+    }
+
+    Value pushValue(Value current, Value) const override { return current; }
+
+    bool
+    hasPush(Value current, Value at_load) const override
+    {
+        return current < at_load;
+    }
+
+    Value
+    pull(Value master, Value mirror) const override
+    {
+        return master < mirror ? master : mirror;
+    }
+
+    double resultTolerance() const override { return 1e-9; }
+
+    /** Source vertex. */
+    VertexId source() const { return source_; }
+
+  private:
+    VertexId source_;
+};
+
+/** BFS = SSSP with unit edge weights. */
+class Bfs : public Sssp
+{
+  public:
+    explicit Bfs(VertexId source = 0) : Sssp(source) {}
+
+    std::string name() const override { return "bfs"; }
+
+    bool
+    processEdge(Value src, Value &, EdgeId, Value, std::uint32_t,
+                Value &dst) const override
+    {
+        const Value cand = src + 1.0;
+        if (cand < dst) {
+            dst = cand;
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace digraph::algorithms

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Connected-component labeling by min-label propagation.
+ *
+ * On a symmetrized graph (see graph::withBidirectionalRatio(g, 1.0)) this
+ * computes weakly connected components; on a plain directed graph it
+ * computes the "min reachable ancestor label" fixed point. Monotone, so
+ * any processing order converges to the same result.
+ */
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace digraph::algorithms {
+
+/** Min-label propagation (WCC on symmetrized inputs). */
+class Wcc : public Algorithm
+{
+  public:
+    std::string name() const override { return "wcc"; }
+
+    Value
+    initVertex(const graph::DirectedGraph &, VertexId v) const override
+    {
+        return static_cast<Value>(v);
+    }
+
+    bool
+    processEdge(Value src, Value &, EdgeId, Value, std::uint32_t,
+                Value &dst) const override
+    {
+        if (src < dst) {
+            dst = src;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    mergeMaster(Value &master, Value pushed) const override
+    {
+        if (pushed < master) {
+            master = pushed;
+            return true;
+        }
+        return false;
+    }
+
+    Value pushValue(Value current, Value) const override { return current; }
+
+    bool
+    hasPush(Value current, Value at_load) const override
+    {
+        return current < at_load;
+    }
+
+    Value
+    pull(Value master, Value mirror) const override
+    {
+        return master < mirror ? master : mirror;
+    }
+
+    double resultTolerance() const override { return 1e-9; }
+};
+
+} // namespace digraph::algorithms

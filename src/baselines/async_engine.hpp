@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Groute-like multi-GPU engine: asynchronous, vertex-centric, partition
+ * worklists, no global barrier.
+ *
+ * Vertex-range partitions are spread round-robin over the devices; an
+ * active partition is processed on its device's least-loaded SMX. Within
+ * one partition pass, sources are read from a pass-start snapshot (the
+ * lock-step SIMT behaviour the paper describes: already-processed
+ * vertices see a new state only on the next pass), while cross-partition
+ * updates propagate immediately through activation messages — no barrier
+ * between passes. Partition reprocessing counts (Fig 2a/b) and per-pass
+ * active-vertex ratios (Fig 2c) are recorded.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "baselines/baseline_options.hpp"
+#include "metrics/run_report.hpp"
+
+namespace digraph::baselines {
+
+/** Extended output of the async engine. */
+struct AsyncResult
+{
+    metrics::RunReport report;
+    /** Processing count per partition (Fig 2a). */
+    std::vector<std::uint32_t> partition_process_count;
+    /** Active-vertex ratio of each processed (non-convergent) partition,
+     *  in dispatch order (Fig 2c). */
+    std::vector<double> dispatch_active_ratio;
+    /** Partition vertex-range boundaries. */
+    std::vector<VertexId> partition_bounds;
+};
+
+/** Run @p algo to convergence with the async engine. */
+AsyncResult runAsync(const graph::DirectedGraph &g,
+                     const algorithms::Algorithm &algo,
+                     const BaselineOptions &options = {});
+
+} // namespace digraph::baselines

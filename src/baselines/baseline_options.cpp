@@ -1,0 +1,37 @@
+#include "baselines/baseline_options.hpp"
+
+#include <algorithm>
+
+namespace digraph::baselines {
+
+std::vector<VertexId>
+vertexRangePartitions(const graph::DirectedGraph &g,
+                      std::size_t edges_per_partition)
+{
+    const VertexId n = g.numVertices();
+    std::vector<VertexId> bounds{0};
+    std::size_t filled = 0;
+    const std::size_t budget = std::max<std::size_t>(1, edges_per_partition);
+    for (VertexId v = 0; v < n; ++v) {
+        const std::size_t deg = g.outDegree(v);
+        if (filled > 0 && filled + deg > budget) {
+            bounds.push_back(v);
+            filled = 0;
+        }
+        filled += deg;
+    }
+    bounds.push_back(n);
+    return bounds;
+}
+
+std::size_t
+defaultEdgeBudget(const graph::DirectedGraph &g,
+                  const gpusim::PlatformConfig &platform)
+{
+    // Groute-style worklist chunks scale with the machine's parallelism.
+    const std::size_t units = static_cast<std::size_t>(
+        std::max(1u, platform.num_devices * platform.smx_per_device));
+    return std::max<std::size_t>(256, g.numEdges() / (units * 8));
+}
+
+} // namespace digraph::baselines

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared configuration and helpers for the comparison systems (the
+ * Gunrock-like BSP engine and the Groute-like asynchronous engine).
+ *
+ * Both baselines run on the same simulated platform and account the same
+ * metrics as DiGraph, so every figure compares execution models rather
+ * than substrates — mirroring the paper's same-hardware methodology.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/config.hpp"
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace digraph::baselines {
+
+/** Options shared by both baseline engines. */
+struct BaselineOptions
+{
+    /** Simulated platform. */
+    gpusim::PlatformConfig platform;
+    /** Edge budget per vertex partition (0 = derived from the platform,
+     *  matching the DiGraph engine's default). */
+    std::size_t edges_per_partition = 0;
+    /** Activate every vertex initially (Fig 2 methodology). */
+    bool force_all_active = false;
+    /** Safety cap on rounds / dispatches. */
+    std::size_t max_rounds = 1u << 20;
+};
+
+/**
+ * Contiguous vertex-range partitions balanced by out-edge count.
+ * @return partition boundaries (size = #partitions + 1).
+ */
+std::vector<VertexId> vertexRangePartitions(const graph::DirectedGraph &g,
+                                            std::size_t edges_per_partition);
+
+/** Derived edge budget matching the DiGraph engine's default. */
+std::size_t defaultEdgeBudget(const graph::DirectedGraph &g,
+                              const gpusim::PlatformConfig &platform);
+
+} // namespace digraph::baselines

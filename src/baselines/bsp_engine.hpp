@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Gunrock-like multi-GPU engine: bulk-synchronous, frontier-centric,
+ * vertex/edge as the parallel unit, a global barrier between rounds.
+ *
+ * Per round, every frontier vertex scatters along its out-edges reading
+ * round-start (double-buffered) states; new states become visible only in
+ * the next round, so a state crosses exactly one hop per round — the slow
+ * propagation the paper's Section 2 criticizes.
+ */
+
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+#include "baselines/baseline_options.hpp"
+#include "metrics/run_report.hpp"
+
+namespace digraph::baselines {
+
+/** Run @p algo to convergence with the BSP engine. */
+metrics::RunReport runBsp(const graph::DirectedGraph &g,
+                          const algorithms::Algorithm &algo,
+                          const BaselineOptions &options = {});
+
+} // namespace digraph::baselines

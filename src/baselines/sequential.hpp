@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sequential reference engines.
+ *
+ * runSequential() computes the exact fixed point with a FIFO worklist —
+ * the oracle every parallel engine is tested against.
+ *
+ * runTopological() reproduces the Fig 2d experiment: vertices are handled
+ * sequentially and asynchronously along the topological order of the
+ * graph's SCC condensation, and the per-vertex update counts show how many
+ * vertices converge after exactly one update (all vertices of a DAG
+ * would).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "graph/digraph.hpp"
+
+namespace digraph::baselines {
+
+/** Result of a sequential run. */
+struct SequentialResult
+{
+    /** Final vertex states. */
+    std::vector<Value> state;
+    /** processEdge invocations. */
+    std::uint64_t edge_processings = 0;
+    /** Number of vertex-program executions ("updates"). */
+    std::uint64_t vertex_updates = 0;
+    /** Sweep rounds (topological mode only). */
+    std::uint64_t rounds = 0;
+    /** Per-vertex update counts. */
+    std::vector<std::uint32_t> updates_per_vertex;
+
+    /** Fraction of vertices updated exactly once (Fig 2d metric). */
+    double singleUpdateFraction() const;
+};
+
+/** Exact fixed point via FIFO worklist. */
+SequentialResult runSequential(const graph::DirectedGraph &g,
+                               const algorithms::Algorithm &algo);
+
+/**
+ * Sequential asynchronous sweeps along the topological order of the SCC
+ * condensation (Fig 2d). Every vertex starts active.
+ */
+SequentialResult runTopological(const graph::DirectedGraph &g,
+                                const algorithms::Algorithm &algo);
+
+} // namespace digraph::baselines

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A fixed-size bitset with atomic set/clear/test, used to track active
+ * vertices, visited edges, and convergence flags across worker threads.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace digraph {
+
+/**
+ * Fixed-size concurrent bitset.
+ *
+ * set()/reset() are atomic per bit; resizeAndClear() must not race with
+ * accessors.
+ */
+class AtomicBitset
+{
+  public:
+    AtomicBitset() = default;
+
+    /** Construct with @p bits bits, all clear. */
+    explicit AtomicBitset(std::size_t bits) { resizeAndClear(bits); }
+
+    AtomicBitset(const AtomicBitset &other) { copyFrom(other); }
+
+    AtomicBitset &
+    operator=(const AtomicBitset &other)
+    {
+        if (this != &other)
+            copyFrom(other);
+        return *this;
+    }
+
+    /** Number of bits. */
+    std::size_t size() const { return bits_; }
+
+    /** Resize to @p bits bits and clear everything. Not thread-safe. */
+    void
+    resizeAndClear(std::size_t bits)
+    {
+        bits_ = bits;
+        words_ = std::vector<std::atomic<std::uint64_t>>(
+            (bits + 63) / 64);
+        clearAll();
+    }
+
+    /** Clear every bit. Not thread-safe against concurrent setters. */
+    void
+    clearAll()
+    {
+        for (auto &w : words_)
+            w.store(0, std::memory_order_relaxed);
+    }
+
+    /** Atomically set bit @p i. @return true if the bit was previously 0. */
+    bool
+    set(std::size_t i)
+    {
+        const std::uint64_t mask = 1ULL << (i & 63);
+        const std::uint64_t old = words_[i >> 6].fetch_or(
+            mask, std::memory_order_acq_rel);
+        return (old & mask) == 0;
+    }
+
+    /** Atomically clear bit @p i. @return true if it was previously 1. */
+    bool
+    reset(std::size_t i)
+    {
+        const std::uint64_t mask = 1ULL << (i & 63);
+        const std::uint64_t old = words_[i >> 6].fetch_and(
+            ~mask, std::memory_order_acq_rel);
+        return (old & mask) != 0;
+    }
+
+    /** Test bit @p i. */
+    bool
+    test(std::size_t i) const
+    {
+        const std::uint64_t word =
+            words_[i >> 6].load(std::memory_order_acquire);
+        return (word & (1ULL << (i & 63))) != 0;
+    }
+
+    /** Count the set bits (racy under concurrent mutation; exact when
+     *  quiescent). */
+    std::size_t
+    count() const
+    {
+        std::size_t total = 0;
+        for (const auto &w : words_)
+            total += static_cast<std::size_t>(
+                __builtin_popcountll(w.load(std::memory_order_relaxed)));
+        return total;
+    }
+
+    /** True when no bit is set (quiescent reads only). */
+    bool
+    none() const
+    {
+        for (const auto &w : words_) {
+            if (w.load(std::memory_order_acquire) != 0)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    copyFrom(const AtomicBitset &other)
+    {
+        bits_ = other.bits_;
+        words_ = std::vector<std::atomic<std::uint64_t>>(
+            other.words_.size());
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            words_[i].store(
+                other.words_[i].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+    }
+
+    std::size_t bits_ = 0;
+    std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+} // namespace digraph

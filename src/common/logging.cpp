@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace digraph {
+
+namespace {
+
+const char *
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Debug: return "DEBUG";
+    }
+    return "?";
+}
+
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+LogLevel &
+Log::level()
+{
+    static LogLevel lvl = LogLevel::Warn;
+    return lvl;
+}
+
+void
+Log::write(LogLevel lvl, const std::string &msg)
+{
+    if (lvl > level() && lvl != LogLevel::Error)
+        return;
+    std::lock_guard<std::mutex> guard(logMutex());
+    std::fprintf(stderr, "[digraph %s] %s\n", levelName(lvl), msg.c_str());
+}
+
+} // namespace digraph

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal leveled logging for the library and the bench harnesses.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (exit), panic()
+ * is for internal invariant violations (abort).
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace digraph {
+
+/** Log severity levels, in increasing verbosity. */
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global logging configuration. */
+class Log
+{
+  public:
+    /** Current verbosity threshold (messages above it are dropped). */
+    static LogLevel &level();
+
+    /** Emit a message at @p lvl; no-op if below the threshold. */
+    static void write(LogLevel lvl, const std::string &msg);
+};
+
+namespace detail {
+
+template <typename... Args>
+std::string
+formatConcat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Log an informational message. */
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    Log::write(LogLevel::Info,
+               detail::formatConcat(std::forward<Args>(args)...));
+}
+
+/** Log a warning. */
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    Log::write(LogLevel::Warn,
+               detail::formatConcat(std::forward<Args>(args)...));
+}
+
+/** Log a debug message. */
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    Log::write(LogLevel::Debug,
+               detail::formatConcat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a user-visible error (bad input, bad configuration).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    Log::write(LogLevel::Error,
+               detail::formatConcat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Terminate because of an internal invariant violation (a DiGraph bug).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    Log::write(LogLevel::Error,
+               detail::formatConcat("panic: ",
+                                    std::forward<Args>(args)...));
+    std::abort();
+}
+
+} // namespace digraph

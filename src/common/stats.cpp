@@ -1,0 +1,42 @@
+#include "common/stats.hpp"
+
+namespace digraph {
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatsRegistry::snapshot() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_) {
+        out.emplace_back(name, counter->value());
+    }
+    return out;
+}
+
+std::uint64_t
+StatsRegistry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto &[name, counter] : counters_) {
+        (void)name;
+        counter->reset();
+    }
+}
+
+} // namespace digraph

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight named-counter registry.
+ *
+ * Engines and the GPU simulator record their metrics (vertex updates,
+ * traffic bytes, busy cycles...) into a StatsRegistry so the bench
+ * harnesses can print uniform tables across systems.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace digraph {
+
+/** A single monotonically increasing 64-bit counter. */
+class Counter
+{
+  public:
+    /** Add @p delta to the counter. */
+    void add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Current value. */
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset to zero. */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * Registry mapping stable string names to counters.
+ *
+ * Counter references returned by counter() stay valid for the registry's
+ * lifetime, so hot paths can cache them.
+ */
+class StatsRegistry
+{
+  public:
+    /** Get (or create) the counter named @p name. Thread-compatible for
+     *  lookups of existing names; creation should happen up front. */
+    Counter &counter(const std::string &name);
+
+    /** Snapshot of all counter values, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+    /** Value of @p name, or 0 if it was never created. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void resetAll();
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+} // namespace digraph

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Wall-clock timing helpers.
+ */
+
+#pragma once
+
+#include <chrono>
+
+namespace digraph {
+
+/**
+ * Simple monotonic wall-clock stopwatch.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Accumulating timer: sums the duration of several timed sections.
+ */
+class AccumTimer
+{
+  public:
+    /** Begin a timed section. */
+    void begin() { timer_.reset(); running_ = true; }
+
+    /** End the current section, adding it to the total. */
+    void
+    end()
+    {
+        if (running_) {
+            total_ += timer_.seconds();
+            running_ = false;
+        }
+    }
+
+    /** Total accumulated seconds. */
+    double seconds() const { return total_; }
+
+    /** Reset the accumulated total. */
+    void reset() { total_ = 0.0; running_ = false; }
+
+  private:
+    WallTimer timer_;
+    double total_ = 0.0;
+    bool running_ = false;
+};
+
+/** RAII guard that times a scope into an AccumTimer. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(AccumTimer &acc) : acc_(acc) { acc_.begin(); }
+    ~ScopedTimer() { acc_.end(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    AccumTimer &acc_;
+};
+
+} // namespace digraph

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental identifier and value types shared by every DiGraph module.
+ *
+ * All graph-scale quantities use fixed-width integers so that storage
+ * layouts (Section 3.2.1 of the paper) are portable and the simulated
+ * traffic accounting in gpusim is byte-exact.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace digraph {
+
+/** Identifier of a vertex in the input directed graph. */
+using VertexId = std::uint32_t;
+
+/** Identifier (index) of a directed edge. */
+using EdgeId = std::uint64_t;
+
+/** Identifier of a directed path produced by the path decomposition. */
+using PathId = std::uint32_t;
+
+/** Identifier of a graph partition (a set of paths dispatched together). */
+using PartitionId = std::uint32_t;
+
+/** Identifier of an SCC-vertex in the DAG sketch of the path dependency
+ *  graph (Section 3.1). */
+using SccId = std::uint32_t;
+
+/** Identifier of a simulated GPU device. */
+using DeviceId = std::uint32_t;
+
+/** Identifier of a streaming multiprocessor within a device. */
+using SmxId = std::uint32_t;
+
+/** State/edge value type used by the bundled vertex programs. */
+using Value = double;
+
+/** Sentinel meaning "no vertex". */
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/** Sentinel meaning "no edge". */
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/** Sentinel meaning "no path". */
+inline constexpr PathId kInvalidPath = std::numeric_limits<PathId>::max();
+
+/** Sentinel meaning "no partition". */
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+/** Sentinel meaning "no SCC-vertex". */
+inline constexpr SccId kInvalidScc = std::numeric_limits<SccId>::max();
+
+/** Number of lanes in a simulated warp (SIMT width). */
+inline constexpr unsigned kWarpSize = 32;
+
+} // namespace digraph

@@ -1,0 +1,919 @@
+#include "engine/digraph_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "graph/builder.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+
+namespace digraph::engine {
+
+namespace {
+
+/** Bytes per mirror-sync message (vertex id + value). */
+constexpr std::size_t kMessageBytes = sizeof(VertexId) + sizeof(Value);
+
+/** Words touched in global memory per processed edge
+ *  (E_idx pair read, S_val read+write, E_val read/write). */
+constexpr double kWordsPerEdge = 3.0;
+
+} // namespace
+
+std::string
+modeName(ExecutionMode mode)
+{
+    switch (mode) {
+      case ExecutionMode::PathAsync:   return "digraph";
+      case ExecutionMode::PathNoSched: return "digraph-w";
+      case ExecutionMode::VertexAsync: return "digraph-t";
+    }
+    return "?";
+}
+
+DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
+                             EngineOptions options)
+    : g_(g), options_(std::move(options)),
+      pre_([&] {
+          if (options_.auto_partition_budget) {
+              // The budget is independent of the device count so that
+              // scaling studies compare identical partitionings.
+              const auto &pc = options_.platform;
+              const std::size_t units = static_cast<std::size_t>(
+                  std::max(1u, 16 * pc.smx_per_device));
+              options_.preprocess.partition.edges_per_partition =
+                  std::max<std::size_t>(
+                      256, g.numEdges() / std::max<std::size_t>(
+                                              1, units));
+          }
+          return partition::preprocess(g, options_.preprocess);
+      }()),
+      storage_(pre_.paths, g), platform_(options_.platform)
+{
+    buildIndexes();
+}
+
+void
+DiGraphEngine::buildIndexes()
+{
+    const PathId np = pre_.paths.numPaths();
+    const PartitionId nparts = pre_.numPartitions();
+
+    // Path of each slot, partition of each path.
+    path_of_slot_.resize(storage_.eIdx().size());
+    is_src_slot_.assign(storage_.eIdx().size(), 0);
+    for (PathId p = 0; p < np; ++p) {
+        for (std::uint64_t s = storage_.pathOffset(p);
+             s < storage_.pathOffset(p + 1); ++s) {
+            path_of_slot_[s] = p;
+            is_src_slot_[s] = s + 1 < storage_.pathOffset(p + 1);
+        }
+    }
+    partition_of_path_.resize(np);
+    for (PartitionId q = 0; q < nparts; ++q) {
+        for (std::uint32_t p = pre_.partition_offsets[q];
+             p < pre_.partition_offsets[q + 1]; ++p) {
+            partition_of_path_[p] = q;
+        }
+    }
+
+    // Occurrence CSR: vertex -> slots.
+    const auto e_idx = storage_.eIdx();
+    occur_offsets_.assign(g_.numVertices() + 1, 0);
+    for (const VertexId v : e_idx)
+        ++occur_offsets_[v + 1];
+    for (VertexId v = 0; v < g_.numVertices(); ++v)
+        occur_offsets_[v + 1] += occur_offsets_[v];
+    occur_slots_.resize(e_idx.size());
+    {
+        std::vector<std::uint64_t> cursor(occur_offsets_.begin(),
+                                          occur_offsets_.end() - 1);
+        for (std::uint64_t s = 0; s < e_idx.size(); ++s)
+            occur_slots_[cursor[e_idx[s]]++] = s;
+    }
+
+    // Consumer-partition CSR: vertex -> partitions with a source
+    // occurrence (deduplicated).
+    consumer_offsets_.assign(g_.numVertices() + 1, 0);
+    {
+        std::vector<PartitionId> scratch;
+        for (VertexId v = 0; v < g_.numVertices(); ++v) {
+            scratch.clear();
+            for (std::uint64_t k = occur_offsets_[v];
+                 k < occur_offsets_[v + 1]; ++k) {
+                const std::uint64_t slot = occur_slots_[k];
+                if (is_src_slot_[slot]) {
+                    scratch.push_back(
+                        partition_of_path_[path_of_slot_[slot]]);
+                }
+            }
+            std::sort(scratch.begin(), scratch.end());
+            scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                          scratch.end());
+            consumer_offsets_[v + 1] =
+                consumer_offsets_[v] + scratch.size();
+            consumer_parts_.insert(consumer_parts_.end(), scratch.begin(),
+                                   scratch.end());
+        }
+    }
+
+    // Partition precursors via the DAG sketch: partitions holding paths
+    // of precursor SCC-vertices. SCC-vertices consisting only of
+    // auxiliary star hubs (see buildDependencyGraph) carry no paths, so
+    // dependencies are resolved *through* them to the nearest
+    // path-bearing ancestors.
+    std::vector<std::vector<PartitionId>> parts_of_scc(pre_.dag.num_sccs);
+    for (PathId p = 0; p < np; ++p)
+        parts_of_scc[pre_.scc_of_path[p]].push_back(partition_of_path_[p]);
+    for (auto &v : parts_of_scc) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+
+    // eff_parts[s]: partitions holding paths of the nearest path-bearing
+    // ancestor SCC-vertices of s, resolved *through* path-less (aux-only)
+    // SCC-vertices in topological order. Partition sets stay small
+    // (bounded by the partition count), so relaying through the
+    // dependency graph's star hubs cannot re-expand the quadratic
+    // producer x consumer structure the stars compressed.
+    std::vector<std::vector<PartitionId>> eff_parts(pre_.dag.num_sccs);
+    for (const VertexId s : graph::topologicalOrder(pre_.dag.sketch)) {
+        auto &mine = eff_parts[s];
+        for (const VertexId t : pre_.dag.sketch.inNeighbors(s)) {
+            const auto &src = pre_.dag.paths_in_scc[t].empty()
+                                  ? eff_parts[t]
+                                  : parts_of_scc[t];
+            mine.insert(mine.end(), src.begin(), src.end());
+        }
+        std::sort(mine.begin(), mine.end());
+        mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+    }
+
+    precursor_parts_.assign(nparts, {});
+    for (PartitionId q = 0; q < nparts; ++q) {
+        std::vector<PartitionId> pre_parts;
+        SccId last = kInvalidScc;
+        for (std::uint32_t p = pre_.partition_offsets[q];
+             p < pre_.partition_offsets[q + 1]; ++p) {
+            const SccId sv = pre_.scc_of_path[p];
+            if (sv == last)
+                continue; // partition paths are SCC-sorted
+            last = sv;
+            pre_parts.insert(pre_parts.end(), eff_parts[sv].begin(),
+                             eff_parts[sv].end());
+        }
+        std::sort(pre_parts.begin(), pre_parts.end());
+        pre_parts.erase(std::unique(pre_parts.begin(), pre_parts.end()),
+                        pre_parts.end());
+        std::erase(pre_parts, q);
+        precursor_parts_[q] = std::move(pre_parts);
+    }
+
+    // Partition-level dependency SCC groups (cyclically dependent
+    // partitions must iterate together) and their condensed DAG, used
+    // for the transitive upstream-quiescence readiness test. Besides the
+    // inter-SCC precursor edges, partitions sharing one SCC-vertex are
+    // mutually dependent (intra-SCC path dependencies are invisible in
+    // the sketch), so a cycle is threaded through each such partition
+    // set.
+    {
+        graph::GraphBuilder builder(nparts);
+        for (PartitionId q = 0; q < nparts; ++q) {
+            for (const PartitionId t : precursor_parts_[q])
+                builder.addEdge(t, q);
+        }
+        for (SccId s = 0; s < pre_.dag.num_sccs; ++s) {
+            const auto &parts = parts_of_scc[s];
+            if (parts.size() < 2)
+                continue;
+            for (std::size_t i = 0; i < parts.size(); ++i) {
+                builder.addEdge(parts[i],
+                                parts[(i + 1) % parts.size()]);
+            }
+        }
+        const auto part_graph = builder.build();
+        const auto scc = graph::computeScc(part_graph);
+        partition_group_ = scc.component;
+        group_dag_ = graph::condense(part_graph, scc);
+        group_topo_ = graph::topologicalOrder(group_dag_);
+    }
+
+    // Partition byte footprints.
+    partition_bytes_.resize(nparts);
+    for (PartitionId q = 0; q < nparts; ++q) {
+        partition_bytes_[q] = storage_.rangeBytes(
+            pre_.partition_offsets[q], pre_.partition_offsets[q + 1]);
+    }
+
+    // Pri(p) scale: alpha = 1 / (maxAvgDeg * maxN).
+    double max_deg = 1.0;
+    std::size_t max_n = 1;
+    for (PathId p = 0; p < np; ++p) {
+        max_deg = std::max(max_deg, pre_.path_avg_degree[p]);
+        max_n = std::max(max_n, pre_.paths.pathLength(p) + 1);
+    }
+    pri_alpha_ = 1.0 / (max_deg * static_cast<double>(max_n));
+}
+
+std::vector<std::uint8_t>
+DiGraphEngine::blockedGroups() const
+{
+    // A group is blocked while any group transitively upstream of it has
+    // an active partition — the paper's "dispatch when the precursors are
+    // inactive", evaluated against full upstream convergence rather than
+    // the momentary worklist flags.
+    std::vector<std::uint8_t> active(group_dag_.numVertices(), 0);
+    for (PartitionId q = 0; q < pre_.numPartitions(); ++q) {
+        if (partition_active_[q])
+            active[partition_group_[q]] = 1;
+    }
+    std::vector<std::uint8_t> blocked(group_dag_.numVertices(), 0);
+    for (const VertexId gid : group_topo_) {
+        for (const VertexId succ : group_dag_.outNeighbors(gid)) {
+            if (active[gid] || blocked[gid])
+                blocked[succ] = 1;
+        }
+    }
+    return blocked;
+}
+
+PartitionId
+DiGraphEngine::choosePartition(const std::vector<std::uint64_t> &stamp,
+                               std::uint64_t wave,
+                               const std::vector<std::uint8_t> *blocked)
+{
+    // Among active, unblocked partitions not yet dispatched in this wave
+    // pick (lowest layer, id) — topological dispatch order. With blocked
+    // == nullptr the call realizes the paper's "in advance" execution:
+    // the active partition with the fewest active direct precursors runs
+    // even though upstream work remains.
+    const PartitionId nparts = pre_.numPartitions();
+    PartitionId best = kInvalidPartition;
+    std::size_t best_pre = SIZE_MAX;
+    std::uint32_t best_layer = UINT32_MAX;
+    for (PartitionId q = 0; q < nparts; ++q) {
+        if (!partition_active_[q] || stamp[q] >= wave)
+            continue;
+        if (blocked && options_.dag_dispatch &&
+            (*blocked)[partition_group_[q]]) {
+            continue;
+        }
+        std::size_t active_pre = 0;
+        if (!blocked && options_.dag_dispatch) {
+            for (const PartitionId t : precursor_parts_[q]) {
+                if (partition_active_[t] &&
+                    partition_group_[t] != partition_group_[q]) {
+                    ++active_pre;
+                }
+            }
+        }
+        const std::uint32_t layer = pre_.partition_layer[q];
+        if (active_pre < best_pre ||
+            (active_pre == best_pre && layer < best_layer)) {
+            best = q;
+            best_pre = active_pre;
+            best_layer = layer;
+        }
+    }
+    return best;
+}
+
+DeviceId
+DiGraphEngine::chooseDevice(PartitionId p) const
+{
+    // Estimated-start-time dispatch: a device already holding the
+    // partition (or many of its precursors' buffered results) skips the
+    // host transfer, but a busy device must not hoard work — pick the
+    // device minimizing (least-loaded SMX clock + required transfer
+    // cost). This realizes both the paper's precursor affinity and the
+    // multi-GPU spreading of the giant SCC-vertex.
+    const double xfer_cost =
+        options_.platform.transfer_latency_cycles +
+        static_cast<double>(partition_bytes_[p]) /
+            options_.platform.host_link_bytes_per_cycle;
+    DeviceId best = 0;
+    double best_start = 0.0;
+    for (DeviceId d = 0; d < platform_.numDevices(); ++d) {
+        const auto &device = platform_.device(d);
+        double start = device.smx(device.leastLoadedSmx()).clock();
+        if (partition_device_[p] != d)
+            start += xfer_cost;
+        // Small bonus per resident precursor: remote results are local.
+        for (const PartitionId t : precursor_parts_[p]) {
+            if (partition_device_[t] == d)
+                start -= options_.platform.transfer_latency_cycles * 0.05;
+        }
+        if (d == 0 || start < best_start) {
+            best = d;
+            best_start = start;
+        }
+    }
+    return best;
+}
+
+double
+DiGraphEngine::ensureResident(PartitionId p, DeviceId dev,
+                              double issue_time,
+                              metrics::RunReport &report)
+{
+    auto &resident = device_resident_[dev];
+    const auto it = std::find(resident.begin(), resident.end(), p);
+    if (it != resident.end()) {
+        // LRU touch.
+        resident.erase(it);
+        resident.push_back(p);
+        return issue_time;
+    }
+
+    // Evict least-recently-used partitions until the batch fits.
+    auto &used = device_resident_bytes_[dev];
+    const std::size_t bytes = partition_bytes_[p];
+    auto &device = platform_.device(dev);
+    while (!resident.empty() &&
+           used + bytes > options_.platform.global_mem_bytes) {
+        const PartitionId victim = resident.front();
+        resident.erase(resident.begin());
+        used -= partition_bytes_[victim];
+        if (partition_device_[victim] == dev)
+            partition_device_[victim] = kInvalidVertex;
+        // Buffered results written back to host memory.
+        device.hostLink().transfer(issue_time, partition_bytes_[victim]);
+        report.comm_cycles +=
+            device.hostLink().cost(partition_bytes_[victim]);
+    }
+    resident.push_back(p);
+    used += bytes;
+
+    const double done = device.hostLink().transfer(issue_time, bytes);
+    report.comm_cycles += device.hostLink().cost(bytes);
+    report.host_transfer_bytes += bytes;
+    return done;
+}
+
+metrics::RunReport
+DiGraphEngine::run(const algorithms::Algorithm &algo,
+                   const WarmStart *warm)
+{
+    WallTimer wall;
+    metrics::RunReport report;
+    report.system = modeName(options_.mode);
+    report.algorithm = algo.name();
+    report.num_gpus = platform_.numDevices();
+    report.num_partitions = pre_.numPartitions();
+    report.preprocess_seconds = preprocessSeconds();
+
+    platform_.reset();
+
+    // Initialize storage from the algorithm (or from the warm start).
+    std::vector<Value> vinit(g_.numVertices());
+    if (warm && warm->vertex_state) {
+        if (warm->vertex_state->size() != g_.numVertices())
+            panic("DiGraphEngine::run: warm state size mismatch");
+        vinit = *warm->vertex_state;
+    } else {
+        for (VertexId v = 0; v < g_.numVertices(); ++v)
+            vinit[v] = algo.initVertex(g_, v);
+    }
+    std::vector<Value> einit(g_.numEdges());
+    if (warm && warm->edge_state) {
+        if (warm->edge_state->size() != g_.numEdges())
+            panic("DiGraphEngine::run: warm edge-state size mismatch");
+        einit = *warm->edge_state;
+    } else {
+        for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+            einit[e] = warm ? algo.warmEdgeState(
+                                  g_, e, vinit[g_.edgeSource(e)])
+                            : algo.initEdge(g_, e);
+        }
+    }
+    storage_.initialize(vinit, einit);
+
+    const PartitionId nparts = pre_.numPartitions();
+    slot_active_.assign(storage_.eIdx().size(), 0);
+    master_version_.assign(g_.numVertices(), 0);
+    slot_seen_version_.assign(storage_.eIdx().size(), 0);
+    partition_active_.assign(nparts, 0);
+    partition_process_count_.assign(nparts, 0);
+    partition_device_.assign(nparts, kInvalidVertex);
+    partition_done_.assign(nparts, 0.0);
+    partition_msg_ready_.assign(nparts, 0.0);
+    master_writer_.assign(g_.numVertices(), kInvalidVertex);
+    device_resident_.assign(platform_.numDevices(), {});
+    device_resident_bytes_.assign(platform_.numDevices(), 0);
+
+    // Prefetch: all partitions are distributed over the devices up
+    // front, streamed via the copy queues (Hyper-Q) so kernels can start
+    // without waiting on host memory (Section 3.2.2's advance transfer
+    // of successive paths). Placement is balanced by bytes.
+    {
+        // Contiguous blocks keep SCC-affine neighbor partitions on the
+        // same device (the partition order is already dependency-sorted).
+        std::size_t total_bytes = 0;
+        for (PartitionId q = 0; q < nparts; ++q)
+            total_bytes += partition_bytes_[q];
+        const std::size_t per_dev =
+            total_bytes / platform_.numDevices() + 1;
+        std::size_t filled = 0;
+        for (PartitionId q = 0; q < nparts; ++q) {
+            const auto dev = static_cast<DeviceId>(
+                std::min<std::size_t>(platform_.numDevices() - 1,
+                                      filled / per_dev));
+            filled += partition_bytes_[q];
+            auto &device = platform_.device(dev);
+            const double done =
+                device.hostLink().transfer(0.0, partition_bytes_[q]);
+            report.comm_cycles +=
+                device.hostLink().cost(partition_bytes_[q]);
+            report.host_transfer_bytes += partition_bytes_[q];
+            partition_device_[q] = dev;
+            partition_done_[q] = done;
+            device_resident_[dev].push_back(q);
+            device_resident_bytes_[dev] += partition_bytes_[q];
+        }
+    }
+
+    // Initial activation: the algorithm's initActive() set, or — on a
+    // warm start — only the supplied seed vertices.
+    auto activate = [&](VertexId v) {
+        for (std::uint64_t k = occur_offsets_[v];
+             k < occur_offsets_[v + 1]; ++k) {
+            const std::uint64_t slot = occur_slots_[k];
+            if (isSrcSlot(slot)) {
+                slot_active_[slot] = 1;
+                partition_active_[partition_of_path_[path_of_slot_[slot]]] =
+                    1;
+            }
+        }
+    };
+    if (warm && warm->active_vertices && !options_.force_all_active) {
+        for (const VertexId v : *warm->active_vertices)
+            activate(v);
+    } else {
+        for (VertexId v = 0; v < g_.numVertices(); ++v) {
+            if (options_.force_all_active || algo.initActive(g_, v))
+                activate(v);
+        }
+    }
+
+    // Main dependency-aware dispatch loop, organized in waves: within a
+    // wave every active partition is dispatched at most once (the
+    // batched-kernel granularity of a real GPU), in topological order of
+    // the DAG sketch, so upstream results reach downstream partitions
+    // within the same wave. Partitions activated after their dispatch
+    // carry over to the next wave.
+    std::vector<std::uint64_t> wave_stamp(nparts, 0);
+    std::uint64_t wave = 0;
+    for (;;) {
+        ++wave;
+        // Readiness and the dispatch set are frozen at wave start: a
+        // group is dispatchable only when everything transitively
+        // upstream of it has converged, and partitions activated during
+        // the wave wait for the next one (a wave is one bulk batch of
+        // concurrent kernels, not a serial chain).
+        const auto blocked = blockedGroups();
+        std::vector<PartitionId> batch;
+        for (;;) {
+            const PartitionId p =
+                choosePartition(wave_stamp, wave, &blocked);
+            if (p == kInvalidPartition)
+                break;
+            wave_stamp[p] = wave;
+            batch.push_back(p);
+        }
+        bool dispatched_any = !batch.empty();
+        for (const PartitionId p : batch)
+            processPartition(p, algo, report);
+        if (!dispatched_any) {
+            // Nothing ready: either converged, or an (unlikely) blocked
+            // cycle remains — run one partition "in advance" to make
+            // progress (and keep otherwise idle SMXs busy).
+            const PartitionId p =
+                choosePartition(wave_stamp, wave, nullptr);
+            if (p == kInvalidPartition)
+                break;
+            wave_stamp[p] = wave;
+            processPartition(p, algo, report);
+        }
+    }
+
+    report.used_vertices = report.vertex_updates;
+    report.final_state.assign(storage_.vVals().begin(),
+                              storage_.vVals().end());
+    report.sim_cycles = platform_.makespan();
+    report.utilization = platform_.utilization();
+    report.ring_transfer_bytes = platform_.ring().totalBytes();
+    report.global_load_bytes = platform_.globalLoadBytes();
+    report.wall_seconds = wall.seconds();
+    return report;
+}
+
+void
+DiGraphEngine::processPartition(PartitionId p,
+                                const algorithms::Algorithm &algo,
+                                metrics::RunReport &report)
+{
+    partition_active_[p] = 0;
+    ++partition_process_count_[p];
+    ++report.partition_processings;
+
+    const DeviceId dev = chooseDevice(p);
+    partition_device_[p] = dev;
+    auto &device = platform_.device(dev);
+    // One SMX owns this dispatch's serial round chain; other SMXs are
+    // touched only by work-stealing surplus, so concurrent partitions on
+    // the device keep their own SMXs.
+    const SmxId home_smx = device.leastLoadedSmx();
+    const std::uint32_t path_lo = pre_.partition_offsets[p];
+    const std::uint32_t path_hi = pre_.partition_offsets[p + 1];
+    const std::uint64_t slot_lo = storage_.pathOffset(path_lo);
+    const std::uint64_t slot_hi = storage_.pathOffset(path_hi);
+    const std::uint64_t partition_slots = slot_hi - slot_lo;
+
+    double ready = ensureResident(
+        p, dev,
+        std::max({device.smx(home_smx).clock(), partition_done_[p],
+                  partition_msg_ready_[p]}),
+        report);
+
+    // Master refresh: path results are buffered in the global memory of
+    // the device that produced them (Section 3.2.2); masters written on
+    // another device are pulled over the ring, one batch per source
+    // device. Locally-written masters are free.
+    {
+        std::vector<std::uint64_t> pull_bytes(platform_.numDevices(), 0);
+        std::vector<VertexId> stale_vertices;
+        for (std::uint64_t s = slot_lo; s < slot_hi; ++s) {
+            const VertexId v = storage_.vertexAt(s);
+            if (slot_seen_version_[s] != master_version_[v])
+                stale_vertices.push_back(v);
+        }
+        std::sort(stale_vertices.begin(), stale_vertices.end());
+        stale_vertices.erase(
+            std::unique(stale_vertices.begin(), stale_vertices.end()),
+            stale_vertices.end());
+        for (const VertexId v : stale_vertices) {
+            const DeviceId home = master_writer_[v];
+            if (home != kInvalidVertex && home != dev)
+                pull_bytes[home] += kMessageBytes;
+        }
+        const double issue = ready;
+        for (DeviceId home = 0; home < platform_.numDevices(); ++home) {
+            if (pull_bytes[home] == 0)
+                continue;
+            ready = std::max(ready,
+                             platform_.ring().transfer(
+                                 home, dev, issue, pull_bytes[home]));
+            report.comm_cycles +=
+                options_.platform.transfer_latency_cycles +
+                static_cast<double>(pull_bytes[home]) /
+                    options_.platform.ring_bytes_per_cycle;
+        }
+    }
+
+    // Lazy partition pull: only paths with active work are streamed from
+    // global memory (and their mirrors refreshed), on their first
+    // activation within this dispatch. Cold paths co-located in the
+    // partition are not loaded at all — the loaded-data-utilization
+    // advantage of hot/cold path grouping.
+    std::vector<std::uint8_t> pulled(path_hi - path_lo, 0);
+
+    const unsigned lanes = options_.platform.lanesPerSmx();
+    const bool coalesced = options_.mode != ExecutionMode::VertexAsync;
+    const double per_edge_cycles =
+        options_.platform.cycles_per_edge +
+        kWordsPerEdge * options_.platform.cycles_per_global_access *
+            (coalesced ? options_.platform.coalesced_factor : 1.0);
+
+    std::vector<PathId> active_paths;
+    std::vector<std::uint32_t> active_counts;
+    std::vector<std::uint64_t> pending; // VertexAsync deferred flags
+    std::vector<Value> snapshot;
+    std::vector<VertexId> changed;
+    // Mirror->master sync is batched per dispatch: every changed master
+    // is written back once (deduplicated), and the partitions it
+    // activates learn about it when that batch lands.
+    std::vector<VertexId> pushed_masters;
+    std::vector<PartitionId> activated_parts;
+
+    std::size_t local_rounds = 0;
+    for (;;) {
+        // Collect paths with at least one active source slot, and count
+        // active slots for Pri(p)'s N(p).
+        active_paths.clear();
+        active_counts.clear();
+        for (std::uint32_t q = path_lo; q < path_hi; ++q) {
+            std::uint32_t n_active = 0;
+            for (std::uint64_t s = storage_.pathOffset(q);
+                 s + 1 < storage_.pathOffset(q + 1); ++s) {
+                if (slot_active_[s] ||
+                    slot_seen_version_[s] !=
+                        master_version_[storage_.vertexAt(s)]) {
+                    ++n_active;
+                }
+            }
+            if (n_active) {
+                active_paths.push_back(q);
+                active_counts.push_back(n_active);
+            }
+        }
+        if (active_paths.empty())
+            break;
+        if (local_rounds >= options_.max_local_rounds) {
+            partition_active_[p] = 1; // reschedule the remainder
+            break;
+        }
+        ++local_rounds;
+        ++report.rounds;
+
+        // First-touch pull of newly active paths.
+        for (const PathId q : active_paths) {
+            if (pulled[q - path_lo])
+                continue;
+            pulled[q - path_lo] = 1;
+            storage_.pullPath(q);
+            const std::size_t bytes = storage_.pathBytes(q);
+            report.loaded_vertices +=
+                storage_.pathOffset(q + 1) - storage_.pathOffset(q);
+            device.addGlobalLoad(bytes);
+            report.global_load_bytes += bytes;
+        }
+
+        // Path scheduling (Section 3.2.3): the warp scheduler runs paths
+        // in Pri(p) order; DiGraph-w keeps plain storage order.
+        if (options_.mode == ExecutionMode::PathAsync) {
+            std::vector<std::size_t> idx(active_paths.size());
+            std::iota(idx.begin(), idx.end(), 0);
+            std::stable_sort(
+                idx.begin(), idx.end(),
+                [&](std::size_t a, std::size_t b) {
+                    const PathId pa = active_paths[a];
+                    const PathId pb = active_paths[b];
+                    const double pri_a =
+                        pri_alpha_ * pre_.path_avg_degree[pa] *
+                            active_counts[a] -
+                        static_cast<double>(pre_.path_layer[pa]);
+                    const double pri_b =
+                        pri_alpha_ * pre_.path_avg_degree[pb] *
+                            active_counts[b] -
+                        static_cast<double>(pre_.path_layer[pb]);
+                    return pri_a > pri_b;
+                });
+            std::vector<PathId> ordered(active_paths.size());
+            for (std::size_t i = 0; i < idx.size(); ++i)
+                ordered[i] = active_paths[idx[i]];
+            active_paths.swap(ordered);
+        }
+
+        // Warp-scheduler capacity: one GPU thread processes one path per
+        // round, so at most lanes x (stealable SMXs) paths run; the rest
+        // keep their activation flags and wait. The Pri(p) order decides
+        // who runs first (Section 3.2.3) — DiGraph-w's FIFO order defers
+        // important paths, which is exactly what Fig 7 measures.
+        {
+            // Stealing lends at most one extra SMX's lanes in the
+            // common case (idle SMXs are scarce in steady state).
+            const std::size_t capacity =
+                static_cast<std::size_t>(lanes) *
+                (options_.work_stealing ? 2 : 1);
+            if (active_paths.size() > capacity)
+                active_paths.resize(capacity);
+        }
+
+        // VertexAsync (DiGraph-t): snapshot source reads so that new
+        // states cross one hop per round.
+        const bool vertex_async =
+            options_.mode == ExecutionMode::VertexAsync;
+        if (vertex_async) {
+            snapshot.assign(partition_slots, 0.0);
+            for (std::uint64_t s = slot_lo; s < slot_hi; ++s)
+                snapshot[s - slot_lo] = storage_.sVal(s);
+            pending.clear();
+        }
+
+        // Walk each active path sequentially (one simulated GPU thread
+        // per path). Inactive positions are skip-scanned: the thread
+        // still streams E_idx but performs no compute there.
+        std::vector<std::uint64_t> processed_edges(active_paths.size(), 0);
+        for (std::size_t ap = 0; ap < active_paths.size(); ++ap) {
+            const PathId q = active_paths[ap];
+            auto view = storage_.path(q);
+            const std::uint64_t base = storage_.pathOffset(q);
+            const auto n_edges = view.length();
+            for (std::size_t i = 0; i < n_edges; ++i) {
+                const std::uint64_t src_slot = base + i;
+                const VertexId src_v = view.vertex_ids[i];
+                if (!slot_active_[src_slot] &&
+                    slot_seen_version_[src_slot] ==
+                        master_version_[src_v]) {
+                    continue;
+                }
+                slot_active_[src_slot] = 0;
+                slot_seen_version_[src_slot] = master_version_[src_v];
+                const Value src_val =
+                    vertex_async ? snapshot[src_slot - slot_lo]
+                                 : view.mirror_states[i];
+                const EdgeId eid = view.edge_ids[i];
+                const bool changed_dst = algo.processEdge(
+                    src_val, view.edge_states[i], eid, g_.edgeWeight(eid),
+                    static_cast<std::uint32_t>(g_.outDegree(src_v)),
+                    view.mirror_states[i + 1]);
+                ++report.edge_processings;
+                ++processed_edges[ap];
+                if (changed_dst) {
+                    ++report.vertex_updates;
+                    const std::uint64_t dst_slot = base + i + 1;
+                    if (isSrcSlot(dst_slot)) {
+                        if (vertex_async)
+                            pending.push_back(dst_slot);
+                        else
+                            slot_active_[dst_slot] = 1;
+                    }
+                }
+            }
+        }
+
+        if (vertex_async) {
+            for (const std::uint64_t slot : pending)
+                slot_active_[slot] = 1;
+        }
+
+        // --- mirror -> master sync (batched, Section 3.2.2) ---
+        // Phase 1: every mirror pushes its pending value/delta to the
+        // master. Refreshes are deferred to phase 2 so that a refresh of
+        // one replica can never clobber another replica's un-pushed work.
+        std::uint64_t proxy_pushes = 0;
+        std::uint64_t atomic_pushes = 0;
+        changed.clear();
+        for (std::uint64_t s = slot_lo; s < slot_hi; ++s) {
+            Value &mirror = storage_.sVal(s);
+            Value &loaded = storage_.loadedVal(s);
+            if (!algo.hasPush(mirror, loaded))
+                continue;
+            const VertexId v = storage_.vertexAt(s);
+            const Value push = algo.pushValue(mirror, loaded);
+            const bool master_changed =
+                algo.mergeMaster(storage_.vVal(v), push);
+            loaded = mirror;
+            if (options_.use_proxy &&
+                g_.inDegree(v) >= options_.proxy_indegree_threshold) {
+                ++proxy_pushes;
+            } else {
+                ++atomic_pushes;
+            }
+            if (master_changed)
+                changed.push_back(v);
+        }
+        std::sort(changed.begin(), changed.end());
+        changed.erase(std::unique(changed.begin(), changed.end()),
+                      changed.end());
+
+        // Phase 2: refresh and re-activate this partition's own mirrors
+        // of each changed vertex (the proxy-vertex effect: accumulated
+        // results are reusable on this SMX within the next local round).
+        // The occurrence list is slot-sorted, so the local slice is found
+        // by binary search; remote occurrences are handled once at
+        // dispatch end.
+        for (const VertexId v : changed) {
+            master_writer_[v] = dev;
+            ++master_version_[v];
+            pushed_masters.push_back(v);
+            const Value master = storage_.vVal(v);
+            const auto occ_begin = occur_slots_.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       occur_offsets_[v]);
+            const auto occ_end = occur_slots_.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     occur_offsets_[v + 1]);
+            for (auto it = std::lower_bound(occ_begin, occ_end, slot_lo);
+                 it != occ_end && *it < slot_hi; ++it) {
+                const std::uint64_t slot = *it;
+                Value &mirror = storage_.sVal(slot);
+                mirror = algo.pull(master, mirror);
+                storage_.loadedVal(slot) = mirror;
+                if (isSrcSlot(slot))
+                    slot_active_[slot] = 1;
+            }
+        }
+
+        // --- simulated cost of this round ---
+        // Per-thread load balancing: paths are packed into lane bins by
+        // work units (longest first); work stealing spreads bins over
+        // several SMXs of the device. A path's work is its processed
+        // edges at full cost plus a cheap coalesced skip-scan of its
+        // inactive positions.
+        const double skip_frac =
+            options_.platform.cycles_per_global_access *
+            options_.platform.coalesced_factor / per_edge_cycles;
+        std::vector<std::uint64_t> path_work(active_paths.size());
+        for (std::size_t ap = 0; ap < active_paths.size(); ++ap) {
+            const std::uint64_t len =
+                pre_.paths.pathLength(active_paths[ap]);
+            path_work[ap] =
+                processed_edges[ap] +
+                static_cast<std::uint64_t>(
+                    static_cast<double>(len - processed_edges[ap]) *
+                    skip_frac);
+        }
+        std::stable_sort(path_work.begin(), path_work.end(),
+                         std::greater<>());
+        const unsigned max_groups =
+            options_.work_stealing ? device.numSmxs() : 1;
+        const unsigned n_bins = static_cast<unsigned>(std::min<std::size_t>(
+            path_work.size(),
+            static_cast<std::size_t>(lanes) * max_groups));
+        std::vector<std::uint64_t> bins(std::max(1u, n_bins), 0);
+        for (std::size_t i = 0; i < path_work.size(); ++i)
+            bins[i % bins.size()] += path_work[i];
+        // Pushes are issued by all participating threads in parallel;
+        // per-lane sync cost is the per-thread share.
+        const double sync_cycles =
+            (static_cast<double>(proxy_pushes) *
+                 options_.platform.cycles_per_shared_access +
+             static_cast<double>(atomic_pushes) *
+                 options_.platform.cycles_per_atomic) /
+            std::max(1u, n_bins);
+        // Work-stealing groups start together on different SMXs; the
+        // round ends when the slowest group finishes.
+        const unsigned groups = (n_bins + lanes - 1) / lanes;
+        const double round_start = ready;
+        double round_end = round_start;
+        for (unsigned k = 0; k < std::max(1u, groups); ++k) {
+            std::vector<std::uint64_t> group(
+                bins.begin() + std::min<std::size_t>(bins.size(),
+                                                     k * lanes),
+                bins.begin() +
+                    std::min<std::size_t>(bins.size(), (k + 1) * lanes));
+            if (group.empty())
+                group.push_back(0);
+            const double cycles =
+                gpusim::warpCost(group, per_edge_cycles) + sync_cycles;
+            gpusim::Smx &smx =
+                k == 0 ? device.smx(home_smx)
+                       : device.smx(device.leastLoadedSmx());
+            round_end =
+                std::max(round_end, smx.run(round_start, cycles));
+        }
+        ready = round_end;
+    }
+
+    // Flush: changed masters stay buffered in this device's global
+    // memory (written back to host only on eviction); the partitions
+    // they activate receive a small notification batch over the ring,
+    // one per destination device.
+    std::sort(pushed_masters.begin(), pushed_masters.end());
+    pushed_masters.erase(
+        std::unique(pushed_masters.begin(), pushed_masters.end()),
+        pushed_masters.end());
+    // Remote activation: the consumer partitions of every changed master
+    // re-enter the worklist; their stale slots are found by the version
+    // check when they are dispatched.
+    for (const VertexId v : pushed_masters) {
+        for (std::uint64_t k = consumer_offsets_[v];
+             k < consumer_offsets_[v + 1]; ++k) {
+            const PartitionId part = consumer_parts_[k];
+            if (part == p)
+                continue;
+            if (!partition_active_[part]) {
+                // Gate only on the activation that wakes the partition
+                // up; later batches are picked up whenever it runs.
+                partition_active_[part] = 1;
+                activated_parts.push_back(part);
+            }
+        }
+    }
+    std::sort(activated_parts.begin(), activated_parts.end());
+    activated_parts.erase(
+        std::unique(activated_parts.begin(), activated_parts.end()),
+        activated_parts.end());
+    std::vector<std::uint64_t> notify_bytes(platform_.numDevices(), 0);
+    for (const PartitionId dest : activated_parts) {
+        const DeviceId dd = partition_device_[dest];
+        if (dd != kInvalidVertex && dd != dev)
+            notify_bytes[dd] += kMessageBytes;
+    }
+    std::vector<double> notify_arrive(platform_.numDevices(), ready);
+    for (DeviceId dd = 0; dd < platform_.numDevices(); ++dd) {
+        if (notify_bytes[dd] == 0)
+            continue;
+        notify_arrive[dd] =
+            platform_.ring().transfer(dev, dd, ready, notify_bytes[dd]);
+        report.comm_cycles +=
+            options_.platform.transfer_latency_cycles +
+            static_cast<double>(notify_bytes[dd]) /
+                options_.platform.ring_bytes_per_cycle;
+    }
+    for (const PartitionId dest : activated_parts) {
+        const DeviceId dd = partition_device_[dest];
+        const double arrive =
+            (dd == kInvalidVertex || dd == dev) ? ready
+                                                : notify_arrive[dd];
+        partition_msg_ready_[dest] =
+            std::max(partition_msg_ready_[dest], arrive);
+    }
+    partition_done_[p] = ready;
+}
+
+} // namespace digraph::engine

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The DiGraph engine (Section 3): path-based asynchronous iterative
+ * directed-graph processing over the simulated multi-GPU platform.
+ *
+ * Pipeline: the constructor runs the CPU preprocessing (path
+ * decomposition, merge, dependency graph, DAG sketch, partitions) and
+ * materializes the four-array storage; run() executes one algorithm to
+ * convergence with dependency-aware dispatching, per-SMX path scheduling,
+ * master/mirror batched synchronization, proxy vertices, and work
+ * stealing, producing a full metrics::RunReport.
+ *
+ * Activation is tracked per *mirror slot*: a set flag means "this replica
+ * holds a state its on-path out-edge has not propagated yet". Within a
+ * round a processed edge clears its source flag and immediately sets its
+ * destination flag, which realizes the paper's within-round propagation
+ * along the whole path; in VertexAsync mode (DiGraph-t) sources are read
+ * from a round-start snapshot and new flags are applied at round end, so
+ * state crosses one hop per round, as in traditional async engines.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "engine/options.hpp"
+#include "gpusim/platform.hpp"
+#include "graph/digraph.hpp"
+#include "metrics/run_report.hpp"
+#include "partition/preprocess.hpp"
+#include "storage/path_storage.hpp"
+
+namespace digraph::engine {
+
+/** Warm-start input for run(): converged states from a previous run
+ *  plus the vertices whose neighborhood changed. */
+struct WarmStart
+{
+    /** Vertex states to resume from (size = numVertices). */
+    const std::vector<Value> *vertex_state = nullptr;
+    /** Explicit per-edge caches (size = numEdges); when null they are
+     *  derived via Algorithm::warmEdgeState(). */
+    const std::vector<Value> *edge_state = nullptr;
+    /** Activation seed (e.g. sources of inserted edges). */
+    const std::vector<VertexId> *active_vertices = nullptr;
+};
+
+/**
+ * Path-based iterative directed-graph processing engine.
+ *
+ * One engine instance is bound to a graph; run() may be called repeatedly
+ * with different algorithms (all run state is reset).
+ */
+class DiGraphEngine
+{
+  public:
+    /** Preprocess @p g per @p options (the graph must outlive the
+     *  engine). */
+    explicit DiGraphEngine(const graph::DirectedGraph &g,
+                           EngineOptions options = {});
+
+    /** Execute @p algo to convergence; returns the full report.
+     *  @param warm Optional warm start (evolving-graph reruns): vertex
+     *  states resume from the given vector, edge caches are initialized
+     *  consistently via Algorithm::warmEdgeState(), and only the given
+     *  seed vertices start active. */
+    metrics::RunReport run(const algorithms::Algorithm &algo,
+                           const WarmStart *warm = nullptr);
+
+    /** The preprocessing result (paths, DAG sketch, partitions). */
+    const partition::Preprocessed &preprocessed() const { return pre_; }
+
+    /** Preprocessing wall-clock seconds. */
+    double preprocessSeconds() const { return pre_.timings.total(); }
+
+    /** Engine options in effect. */
+    const EngineOptions &options() const { return options_; }
+
+    /** The simulated platform state of the most recent run. */
+    const gpusim::Platform &platform() const { return platform_; }
+
+    /** Per-partition dispatch counts of the most recent run. */
+    const std::vector<std::uint32_t> &partitionProcessCounts() const
+    {
+        return partition_process_count_;
+    }
+
+    /** Dependency group of partition @p q (introspection / tests). */
+    SccId partitionGroup(PartitionId q) const
+    {
+        return partition_group_[q];
+    }
+
+    /** Direct precursor partitions of @p q (introspection / tests). */
+    const std::vector<PartitionId> &
+    partitionPrecursors(PartitionId q) const
+    {
+        return precursor_parts_[q];
+    }
+
+  private:
+    void buildIndexes();
+    std::vector<std::uint8_t> blockedGroups() const;
+    PartitionId choosePartition(const std::vector<std::uint64_t> &stamp,
+                                std::uint64_t wave,
+                                const std::vector<std::uint8_t> *blocked);
+    DeviceId chooseDevice(PartitionId p) const;
+    double ensureResident(PartitionId p, DeviceId dev, double issue_time,
+                          metrics::RunReport &report);
+    void processPartition(PartitionId p, const algorithms::Algorithm &algo,
+                          metrics::RunReport &report);
+
+    /** True when the slot is a source position (not a path tail). */
+    bool isSrcSlot(std::uint64_t slot) const { return is_src_slot_[slot]; }
+
+    const graph::DirectedGraph &g_;
+    EngineOptions options_;
+    partition::Preprocessed pre_;
+    storage::PathStorage storage_;
+    gpusim::Platform platform_;
+
+    // --- static indexes (built once) ---
+    /** Path owning each E_idx slot. */
+    std::vector<PathId> path_of_slot_;
+    /** Whether each slot is a source position (not a path tail). */
+    std::vector<std::uint8_t> is_src_slot_;
+    /** Partition of each path. */
+    std::vector<PartitionId> partition_of_path_;
+    /** CSR: vertex -> its occurrence slots across all paths. */
+    std::vector<std::uint64_t> occur_offsets_;
+    std::vector<std::uint64_t> occur_slots_;
+    /** CSR: vertex -> partitions holding one of its source occurrences
+     *  (deduplicated; used for activation fan-out). */
+    std::vector<std::uint64_t> consumer_offsets_;
+    std::vector<PartitionId> consumer_parts_;
+    /** Per-partition precursor partitions (deduped, from the DAG). */
+    std::vector<std::vector<PartitionId>> precursor_parts_;
+    /** SCC group of each partition in the partition dependency graph:
+     *  partitions of one group form a dependency cycle and iterate
+     *  together; a group is *ready* when no group transitively upstream
+     *  of it holds an active partition (checked at wave start). */
+    std::vector<SccId> partition_group_;
+    /** Condensed DAG over partition groups. */
+    graph::DirectedGraph group_dag_;
+    /** Topological order of the group DAG. */
+    std::vector<VertexId> group_topo_;
+    /** Per-partition byte footprint. */
+    std::vector<std::size_t> partition_bytes_;
+    /** Pri(p) scaling factor alpha = 1 / (maxAvgDeg * maxN). */
+    double pri_alpha_ = 1.0;
+
+    // --- per-run state ---
+    /** Chain activation within the current dispatch (set by processed
+     *  edges and local refreshes). */
+    std::vector<std::uint8_t> slot_active_;
+    /** Master change counter per vertex; a source slot whose seen
+     *  version lags must re-propagate (cross-partition activation
+     *  without per-slot broadcasts). */
+    std::vector<std::uint32_t> master_version_;
+    /** Last master version each source slot has propagated. */
+    std::vector<std::uint32_t> slot_seen_version_;
+    std::vector<std::uint8_t> partition_active_;
+    std::vector<std::uint32_t> partition_process_count_;
+    std::vector<DeviceId> partition_device_; // last residence
+    std::vector<double> partition_done_;      // last dispatch completion
+    std::vector<double> partition_msg_ready_; // last activation arrival
+    /** Device that last wrote each vertex's master (buffered results stay
+     *  in that device's global memory; other devices fetch via host). */
+    std::vector<DeviceId> master_writer_;
+    std::vector<std::vector<PartitionId>> device_resident_; // LRU order
+    std::vector<std::size_t> device_resident_bytes_;
+};
+
+} // namespace digraph::engine

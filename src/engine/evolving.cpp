@@ -1,0 +1,109 @@
+#include "engine/evolving.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+
+namespace digraph::engine {
+
+EvolvingEngine::EvolvingEngine(graph::DirectedGraph initial,
+                               EngineOptions options)
+    : graph_(std::move(initial)), options_(std::move(options))
+{
+    rebuild();
+}
+
+void
+EvolvingEngine::rebuild()
+{
+    engine_ = std::make_unique<DiGraphEngine>(graph_, options_);
+}
+
+EvolvingStepReport
+EvolvingEngine::run(const algorithms::Algorithm &algo)
+{
+    EvolvingStepReport step;
+    step.run = engine_->run(algo);
+    step.preprocess_seconds = engine_->preprocessSeconds();
+    last_state_[algo.name()] = step.run.final_state;
+    return step;
+}
+
+EvolvingStepReport
+EvolvingEngine::insertAndRun(const algorithms::Algorithm &algo,
+                             const std::vector<graph::Edge> &new_edges)
+{
+    // Grow the snapshot (existing (src, dst) pairs are kept as-is).
+    std::vector<graph::Edge> fresh;
+    fresh.reserve(new_edges.size());
+    for (const graph::Edge &e : new_edges) {
+        if (e.src != e.dst && !graph_.hasEdge(e.src, e.dst))
+            fresh.push_back(e);
+    }
+    const VertexId old_n = graph_.numVertices();
+    graph::DirectedGraph old_graph = std::move(graph_);
+    {
+        graph::GraphBuilder builder(old_n);
+        builder.addEdges(old_graph.edgeList());
+        builder.addEdges(fresh);
+        graph_ = builder.build();
+    }
+    ++batches_;
+
+    WallTimer timer;
+    rebuild(); // re-run the (parallel, cheap) path pipeline
+
+    EvolvingStepReport step;
+    step.preprocess_seconds = timer.seconds();
+
+    auto it = last_state_.find(algo.name());
+    const bool can_warm = algo.supportsIncremental() &&
+                          it != last_state_.end() &&
+                          it->second.size() <= graph_.numVertices();
+    if (can_warm) {
+        // Extend the previous fixed point to any newly appearing
+        // vertices and activate the insertion sources.
+        std::vector<Value> state = it->second;
+        for (VertexId v = static_cast<VertexId>(state.size());
+             v < graph_.numVertices(); ++v) {
+            state.push_back(algo.initVertex(graph_, v));
+        }
+        std::vector<VertexId> seeds;
+        seeds.reserve(fresh.size() * 2);
+        for (const graph::Edge &e : fresh) {
+            seeds.push_back(e.src);
+            if (e.dst < old_n)
+                seeds.push_back(e.dst);
+        }
+        std::sort(seeds.begin(), seeds.end());
+        seeds.erase(std::unique(seeds.begin(), seeds.end()),
+                    seeds.end());
+
+        // Existing edges resume with warm-consistent caches; the
+        // inserted edges start fresh so their contribution is pushed.
+        std::vector<Value> edge_state(graph_.numEdges());
+        for (EdgeId e = 0; e < graph_.numEdges(); ++e) {
+            const VertexId src = graph_.edgeSource(e);
+            const bool existed =
+                src < old_n &&
+                old_graph.hasEdge(src, graph_.edgeTarget(e));
+            edge_state[e] =
+                existed ? algo.warmEdgeState(graph_, e, state[src])
+                        : algo.initEdge(graph_, e);
+        }
+
+        WarmStart warm;
+        warm.vertex_state = &state;
+        warm.edge_state = &edge_state;
+        warm.active_vertices = &seeds;
+        step.run = engine_->run(algo, &warm);
+        step.warm = true;
+    } else {
+        step.run = engine_->run(algo);
+        step.warm = false;
+    }
+    last_state_[algo.name()] = step.run.final_state;
+    return step;
+}
+
+} // namespace digraph::engine

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DiGraph engine configuration, including the execution-mode switches that
+ * realize the paper's ablation systems (DiGraph-t, DiGraph-w).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/config.hpp"
+#include "partition/preprocess.hpp"
+
+namespace digraph::engine {
+
+/** Execution model selector. */
+enum class ExecutionMode {
+    /** The full system: path-based async execution + SMX path
+     *  scheduling (the paper's DiGraph). */
+    PathAsync,
+    /** Path-based async execution without the priority path scheduling —
+     *  paths run in storage order (the paper's DiGraph-w). */
+    PathNoSched,
+    /** Traditional vertex-centric asynchronous execution on the same
+     *  infrastructure: source states are read from a round-start snapshot,
+     *  so a new state only reaches already-processed vertices in the next
+     *  round (the paper's DiGraph-t). */
+    VertexAsync,
+};
+
+/** Display name for a mode ("digraph", "digraph-w", "digraph-t"). */
+std::string modeName(ExecutionMode mode);
+
+/** All engine knobs. */
+struct EngineOptions
+{
+    ExecutionMode mode = ExecutionMode::PathAsync;
+    /** Simulated platform. */
+    gpusim::PlatformConfig platform;
+    /** CPU preprocessing options (partition budget is derived from the
+     *  platform when auto_partition_budget is set). */
+    partition::PreprocessOptions preprocess;
+    /** Derive edges_per_partition from the platform geometry. */
+    bool auto_partition_budget = true;
+    /** Steal suspended paths to free SMXs (Section 3.2.2). */
+    bool work_stealing = true;
+    /** Shared-memory proxy vertices for high in-degree masters. */
+    bool use_proxy = true;
+    /** In-degree at which a vertex gets a proxy. */
+    std::size_t proxy_indegree_threshold = 8;
+    /** Dependency-aware (DAG topological) dispatching; when off,
+     *  partitions are dispatched in plain worklist order (the paper notes
+     *  this is the only infeasible piece on fully bidirectional graphs). */
+    bool dag_dispatch = true;
+    /** Cap on partition-local iteration rounds per dispatch. */
+    std::size_t max_local_rounds = 64;
+    /** Activate every vertex initially (Fig 2 methodology) regardless of
+     *  the algorithm's initActive(). */
+    bool force_all_active = false;
+};
+
+} // namespace digraph::engine

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Configuration of the simulated multi-GPU platform.
+ *
+ * The paper's testbed is four NVIDIA K80s (26 SMXs, 24 GB each) behind
+ * PCIe 3.0 x16 with NCCL ring collectives. This simulator reproduces that
+ * *structure* with a deterministic cycle-level cost model: SIMT warps in
+ * lock-step (divergence costs the max over lanes), coalesced global-memory
+ * accesses at a discount, PCIe-style serialized host links, and a ring
+ * interconnect routed through host memory. Absolute cycle counts are
+ * arbitrary units; all paper comparisons are ratios between systems run on
+ * identical configurations.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace digraph::gpusim {
+
+/** Tunable parameters of the simulated platform. */
+struct PlatformConfig
+{
+    /** Number of GPU devices. */
+    unsigned num_devices = 4;
+    /** Streaming multiprocessors per device. The K80 has 26; the default
+     *  is scaled down with the stand-in graphs so a single device is
+     *  compute-saturated (otherwise multi-GPU scaling would be pure
+     *  communication overhead at laptop scale). */
+    unsigned smx_per_device = 8;
+    /** Hardware threads (lanes) per SMX made available to one kernel:
+     *  warps_per_smx * kWarpSize. */
+    unsigned warps_per_smx = 2;
+    /** Global memory per device, bytes (scaled down from the K80's 24 GB
+     *  to match the scaled-down stand-in graphs). */
+    std::size_t global_mem_bytes = 256ull << 20;
+    /** Shared memory per SMX, bytes (K80: 48 KiB). */
+    std::size_t shared_mem_per_smx = 48u << 10;
+
+    // --- compute cost model (cycles) ---
+    /** Cycles to process one edge (gather+apply+scatter arithmetic). */
+    double cycles_per_edge = 6.0;
+    /** Cycles per un-coalesced global-memory word access. */
+    double cycles_per_global_access = 8.0;
+    /** Multiplier applied when a warp's accesses are coalesced. */
+    double coalesced_factor = 0.125;
+    /** Cycles per shared-memory (proxy vertex) access. */
+    double cycles_per_shared_access = 1.0;
+    /** Cycles per atomic global update (write contention). */
+    double cycles_per_atomic = 8.0;
+
+    // --- transfer cost model ---
+    /** Host<->device link bandwidth, bytes per cycle (PCIe-ish). */
+    double host_link_bytes_per_cycle = 32.0;
+    /** Device<->device ring bandwidth, bytes per cycle per hop. */
+    double ring_bytes_per_cycle = 64.0;
+    /** Fixed latency per transfer, cycles (kernel-launch / DMA setup). */
+    double transfer_latency_cycles = 50.0;
+    /** Concurrent copy streams per device (Hyper-Q modeling). */
+    unsigned num_streams = 8;
+
+    /** Lanes usable by a single kernel on one SMX. */
+    unsigned
+    lanesPerSmx() const
+    {
+        return warps_per_smx * kWarpSize;
+    }
+};
+
+} // namespace digraph::gpusim

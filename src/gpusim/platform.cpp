@@ -1,0 +1,93 @@
+#include "gpusim/platform.hpp"
+
+namespace digraph::gpusim {
+
+Platform::Platform(const PlatformConfig &cfg)
+    : cfg_(cfg), ring_(cfg.num_devices, cfg)
+{
+    devices_.reserve(cfg.num_devices);
+    for (DeviceId d = 0; d < cfg.num_devices; ++d)
+        devices_.emplace_back(d, cfg);
+}
+
+DeviceId
+Platform::leastLoadedDevice() const
+{
+    DeviceId best = 0;
+    for (DeviceId d = 1; d < devices_.size(); ++d) {
+        if (devices_[d].clock() < devices_[best].clock())
+            best = d;
+    }
+    return best;
+}
+
+double
+Platform::makespan() const
+{
+    double t = 0.0;
+    for (const Device &d : devices_)
+        t = std::max(t, d.clock());
+    return t;
+}
+
+double
+Platform::utilization() const
+{
+    const double span = makespan();
+    if (span <= 0.0 || devices_.empty())
+        return 0.0;
+    double busy = 0.0;
+    std::size_t smxs = 0;
+    for (const Device &d : devices_) {
+        busy += d.totalBusy();
+        smxs += d.numSmxs();
+    }
+    return busy / (span * static_cast<double>(smxs));
+}
+
+std::uint64_t
+Platform::transferBytes() const
+{
+    std::uint64_t total = ring_.totalBytes();
+    for (const Device &d : devices_)
+        total += d.hostLink().totalBytes();
+    return total;
+}
+
+std::uint64_t
+Platform::globalLoadBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Device &d : devices_)
+        total += d.globalLoadBytes();
+    return total;
+}
+
+void
+Platform::reset()
+{
+    for (Device &d : devices_)
+        d.reset();
+    ring_.reset();
+    stats_.resetAll();
+}
+
+double
+warpCost(const std::vector<std::uint64_t> &lane_work,
+         double cycles_per_unit)
+{
+    std::uint64_t worst = 0;
+    for (std::size_t i = 0; i < lane_work.size(); i += kWarpSize) {
+        std::uint64_t warp_max = 0;
+        for (std::size_t j = i;
+             j < std::min(lane_work.size(),
+                          i + static_cast<std::size_t>(kWarpSize));
+             ++j) {
+            warp_max = std::max(warp_max, lane_work[j]);
+        }
+        worst += warp_max;
+    }
+    return static_cast<double>(worst) * cycles_per_unit;
+}
+
+} // namespace digraph::gpusim

@@ -1,0 +1,60 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace digraph::graph {
+
+void
+GraphBuilder::addEdges(const std::vector<Edge> &edges)
+{
+    edges_.insert(edges_.end(), edges.begin(), edges.end());
+}
+
+DirectedGraph
+GraphBuilder::build()
+{
+    VertexId n = num_vertices_;
+    for (const Edge &e : edges_) {
+        n = std::max(n, static_cast<VertexId>(
+                            std::max(e.src, e.dst) + 1));
+    }
+
+    if (remove_self_loops_) {
+        std::erase_if(edges_, [](const Edge &e) { return e.src == e.dst; });
+    }
+
+    std::stable_sort(edges_.begin(), edges_.end(),
+                     [](const Edge &a, const Edge &b) {
+                         return a.src != b.src ? a.src < b.src
+                                               : a.dst < b.dst;
+                     });
+
+    if (deduplicate_) {
+        edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                                 [](const Edge &a, const Edge &b) {
+                                     return a.src == b.src &&
+                                            a.dst == b.dst;
+                                 }),
+                     edges_.end());
+    }
+
+    std::vector<EdgeId> offsets(n + 1, 0);
+    for (const Edge &e : edges_)
+        ++offsets[e.src + 1];
+    for (VertexId v = 0; v < n; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<VertexId> targets(edges_.size());
+    std::vector<Value> weights(edges_.size());
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        targets[i] = edges_[i].dst;
+        weights[i] = edges_[i].weight;
+    }
+
+    edges_.clear();
+    edges_.shrink_to_fit();
+    return DirectedGraph(std::move(offsets), std::move(targets),
+                         std::move(weights));
+}
+
+} // namespace digraph::graph

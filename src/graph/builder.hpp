@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Edge-list to CSR graph construction.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace digraph::graph {
+
+/**
+ * Accumulates edges and finalizes them into an immutable DirectedGraph.
+ *
+ * Edges are sorted by (src, dst); self-loops and duplicate (src, dst) pairs
+ * can optionally be removed (duplicates keep the first weight seen).
+ */
+class GraphBuilder
+{
+  public:
+    /** @param num_vertices Vertex-count hint; grows if edges exceed it. */
+    explicit GraphBuilder(VertexId num_vertices = 0)
+        : num_vertices_(num_vertices)
+    {}
+
+    /** Add a directed edge. */
+    void
+    addEdge(VertexId src, VertexId dst, Value weight = 1.0)
+    {
+        edges_.push_back({src, dst, weight});
+    }
+
+    /** Append a batch of edges. */
+    void addEdges(const std::vector<Edge> &edges);
+
+    /** Number of edges currently buffered. */
+    std::size_t edgeCount() const { return edges_.size(); }
+
+    /** Drop self-loops during build(). Default true. */
+    void setRemoveSelfLoops(bool on) { remove_self_loops_ = on; }
+
+    /** Deduplicate parallel edges during build(). Default true. */
+    void setDeduplicate(bool on) { deduplicate_ = on; }
+
+    /**
+     * Build the CSR graph. The builder is left empty afterwards.
+     * Isolated vertices up to the max id (or the constructor hint) are kept.
+     */
+    DirectedGraph build();
+
+  private:
+    VertexId num_vertices_;
+    std::vector<Edge> edges_;
+    bool remove_self_loops_ = true;
+    bool deduplicate_ = true;
+};
+
+} // namespace digraph::graph

@@ -1,0 +1,85 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace digraph::graph {
+
+DirectedGraph::DirectedGraph(std::vector<EdgeId> out_offsets,
+                             std::vector<VertexId> out_targets,
+                             std::vector<Value> weights)
+    : out_offsets_(std::move(out_offsets)),
+      out_targets_(std::move(out_targets)),
+      weights_(std::move(weights))
+{
+    if (out_offsets_.empty())
+        out_offsets_.push_back(0);
+    if (weights_.empty())
+        weights_.assign(out_targets_.size(), 1.0);
+    if (weights_.size() != out_targets_.size())
+        panic("DirectedGraph: weight array size mismatch");
+    if (out_offsets_.back() != out_targets_.size())
+        panic("DirectedGraph: CSR offsets do not cover the edge array");
+
+    edge_sources_.resize(out_targets_.size());
+    const VertexId n = numVertices();
+    for (VertexId v = 0; v < n; ++v) {
+        for (EdgeId e = out_offsets_[v]; e < out_offsets_[v + 1]; ++e)
+            edge_sources_[e] = v;
+    }
+    buildInCsr();
+}
+
+void
+DirectedGraph::buildInCsr()
+{
+    const VertexId n = numVertices();
+    const EdgeId m = numEdges();
+    in_offsets_.assign(n + 1, 0);
+    for (EdgeId e = 0; e < m; ++e)
+        ++in_offsets_[out_targets_[e] + 1];
+    for (VertexId v = 0; v < n; ++v)
+        in_offsets_[v + 1] += in_offsets_[v];
+
+    in_sources_.resize(m);
+    in_edge_ids_.resize(m);
+    std::vector<EdgeId> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+        const VertexId dst = out_targets_[e];
+        const EdgeId slot = cursor[dst]++;
+        in_sources_[slot] = edge_sources_[e];
+        in_edge_ids_[slot] = e;
+    }
+}
+
+bool
+DirectedGraph::hasEdge(VertexId src, VertexId dst) const
+{
+    const auto nbrs = outNeighbors(src);
+    return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+std::vector<Edge>
+DirectedGraph::edgeList() const
+{
+    std::vector<Edge> edges;
+    edges.reserve(numEdges());
+    for (EdgeId e = 0; e < numEdges(); ++e)
+        edges.push_back({edge_sources_[e], out_targets_[e], weights_[e]});
+    return edges;
+}
+
+std::size_t
+DirectedGraph::storageBytes() const
+{
+    return out_offsets_.size() * sizeof(EdgeId) +
+           out_targets_.size() * sizeof(VertexId) +
+           edge_sources_.size() * sizeof(VertexId) +
+           weights_.size() * sizeof(Value) +
+           in_offsets_.size() * sizeof(EdgeId) +
+           in_sources_.size() * sizeof(VertexId) +
+           in_edge_ids_.size() * sizeof(EdgeId);
+}
+
+} // namespace digraph::graph

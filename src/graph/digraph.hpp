@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Immutable directed graph in CSR form (both out- and in-adjacency).
+ *
+ * This is the substrate every other module consumes: the path decomposer
+ * walks the out-adjacency, the GAS algorithms gather over the in-adjacency,
+ * and the storage layer re-materializes edges into the paper's four-array
+ * path layout.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace digraph::graph {
+
+/** A weighted directed edge used during construction. */
+struct Edge
+{
+    VertexId src = 0;
+    VertexId dst = 0;
+    Value weight = 1.0;
+
+    friend bool
+    operator==(const Edge &a, const Edge &b)
+    {
+        return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+    }
+};
+
+/**
+ * Immutable directed graph.
+ *
+ * Edges are identified by their index in the out-CSR order (sorted by
+ * source, then destination). The in-CSR mirrors each edge and remembers the
+ * out-edge id so weights are shared.
+ */
+class DirectedGraph
+{
+  public:
+    DirectedGraph() = default;
+
+    /**
+     * Build from CSR arrays. Intended for use by GraphBuilder; most callers
+     * should go through GraphBuilder or the generators.
+     */
+    DirectedGraph(std::vector<EdgeId> out_offsets,
+                  std::vector<VertexId> out_targets,
+                  std::vector<Value> weights);
+
+    /** Number of vertices. */
+    VertexId numVertices() const
+    {
+        return out_offsets_.empty()
+                   ? 0
+                   : static_cast<VertexId>(out_offsets_.size() - 1);
+    }
+
+    /** Number of directed edges. */
+    EdgeId numEdges() const { return out_targets_.size(); }
+
+    /** Out-degree of @p v. */
+    std::size_t
+    outDegree(VertexId v) const
+    {
+        return static_cast<std::size_t>(out_offsets_[v + 1] -
+                                        out_offsets_[v]);
+    }
+
+    /** In-degree of @p v. */
+    std::size_t
+    inDegree(VertexId v) const
+    {
+        return static_cast<std::size_t>(in_offsets_[v + 1] -
+                                        in_offsets_[v]);
+    }
+
+    /** Total degree (in + out) of @p v. */
+    std::size_t degree(VertexId v) const
+    {
+        return outDegree(v) + inDegree(v);
+    }
+
+    /** Successors of @p v (CSR slice). */
+    std::span<const VertexId>
+    outNeighbors(VertexId v) const
+    {
+        return {out_targets_.data() + out_offsets_[v],
+                out_targets_.data() + out_offsets_[v + 1]};
+    }
+
+    /** Predecessors of @p v (CSR slice). */
+    std::span<const VertexId>
+    inNeighbors(VertexId v) const
+    {
+        return {in_sources_.data() + in_offsets_[v],
+                in_sources_.data() + in_offsets_[v + 1]};
+    }
+
+    /** Global edge id of the @p k-th out-edge of @p v. */
+    EdgeId outEdgeId(VertexId v, std::size_t k) const
+    {
+        return out_offsets_[v] + k;
+    }
+
+    /** Out-edge id corresponding to the @p k-th in-edge of @p v. */
+    EdgeId
+    inEdgeId(VertexId v, std::size_t k) const
+    {
+        return in_edge_ids_[in_offsets_[v] + k];
+    }
+
+    /** Destination vertex of edge @p e. */
+    VertexId edgeTarget(EdgeId e) const { return out_targets_[e]; }
+
+    /** Source vertex of edge @p e. */
+    VertexId edgeSource(EdgeId e) const { return edge_sources_[e]; }
+
+    /** Weight of edge @p e. */
+    Value edgeWeight(EdgeId e) const { return weights_[e]; }
+
+    /** First out-edge id of @p v (CSR offset). */
+    EdgeId outOffset(VertexId v) const { return out_offsets_[v]; }
+
+    /** True if a directed edge src->dst exists (binary search). */
+    bool hasEdge(VertexId src, VertexId dst) const;
+
+    /** All edges in out-CSR order. */
+    std::vector<Edge> edgeList() const;
+
+    /** Approximate heap footprint in bytes (used by traffic models). */
+    std::size_t storageBytes() const;
+
+  private:
+    void buildInCsr();
+
+    std::vector<EdgeId> out_offsets_;
+    std::vector<VertexId> out_targets_;
+    std::vector<VertexId> edge_sources_;
+    std::vector<Value> weights_;
+
+    std::vector<EdgeId> in_offsets_;
+    std::vector<VertexId> in_sources_;
+    std::vector<EdgeId> in_edge_ids_;
+};
+
+} // namespace digraph::graph

@@ -1,0 +1,209 @@
+#include "graph/formats.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace digraph::graph {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+} // namespace
+
+DirectedGraph
+loadMatrixMarket(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadMatrixMarket: cannot open ", path);
+
+    std::string header;
+    if (!std::getline(in, header) ||
+        header.rfind("%%MatrixMarket", 0) != 0) {
+        fatal("loadMatrixMarket: ", path, " missing %%MatrixMarket "
+              "banner");
+    }
+    const std::string lowered = toLower(header);
+    const bool pattern = lowered.find("pattern") != std::string::npos;
+    const bool symmetric =
+        lowered.find("symmetric") != std::string::npos;
+    if (lowered.find("coordinate") == std::string::npos)
+        fatal("loadMatrixMarket: only coordinate matrices supported");
+
+    std::string line;
+    // Skip comments, then read the size line.
+    std::uint64_t rows = 0, cols = 0, entries = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream iss(line);
+        if (!(iss >> rows >> cols >> entries))
+            fatal("loadMatrixMarket: malformed size line in ", path);
+        break;
+    }
+
+    GraphBuilder builder(
+        static_cast<VertexId>(std::max(rows, cols)));
+    std::uint64_t seen = 0;
+    while (seen < entries && std::getline(in, line)) {
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream iss(line);
+        std::uint64_t r, c;
+        double w = 1.0;
+        if (!(iss >> r >> c))
+            fatal("loadMatrixMarket: malformed entry in ", path);
+        if (!pattern)
+            iss >> w;
+        if (r == 0 || c == 0)
+            fatal("loadMatrixMarket: indices are 1-based; got 0");
+        builder.addEdge(static_cast<VertexId>(r - 1),
+                        static_cast<VertexId>(c - 1), w);
+        if (symmetric && r != c) {
+            builder.addEdge(static_cast<VertexId>(c - 1),
+                            static_cast<VertexId>(r - 1), w);
+        }
+        ++seen;
+    }
+    if (seen != entries) {
+        fatal("loadMatrixMarket: expected ", entries, " entries, got ",
+              seen);
+    }
+    return builder.build();
+}
+
+void
+saveMatrixMarket(const DirectedGraph &g, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("saveMatrixMarket: cannot open ", path);
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << g.numVertices() << ' ' << g.numVertices() << ' '
+        << g.numEdges() << "\n";
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        out << g.edgeSource(e) + 1 << ' ' << g.edgeTarget(e) + 1 << ' '
+            << g.edgeWeight(e) << "\n";
+    }
+}
+
+DirectedGraph
+loadMetis(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadMetis: cannot open ", path);
+
+    std::string line;
+    std::uint64_t n = 0, m = 0;
+    unsigned fmt = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream iss(line);
+        if (!(iss >> n >> m))
+            fatal("loadMetis: malformed header in ", path);
+        iss >> fmt;
+        break;
+    }
+    const bool edge_weights = fmt == 1 || fmt == 11;
+
+    GraphBuilder builder(static_cast<VertexId>(n));
+    builder.setDeduplicate(false);
+    VertexId v = 0;
+    while (v < n && std::getline(in, line)) {
+        if (!line.empty() && line[0] == '%')
+            continue;
+        std::istringstream iss(line);
+        std::uint64_t target;
+        while (iss >> target) {
+            if (target == 0 || target > n)
+                fatal("loadMetis: vertex index ", target,
+                      " out of range");
+            double w = 1.0;
+            if (edge_weights && !(iss >> w))
+                fatal("loadMetis: missing edge weight in ", path);
+            builder.addEdge(v, static_cast<VertexId>(target - 1), w);
+        }
+        ++v;
+    }
+    if (v != n)
+        fatal("loadMetis: expected ", n, " adjacency lines, got ", v);
+    return builder.build();
+}
+
+DirectedGraph
+loadDimacs(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadDimacs: cannot open ", path);
+
+    GraphBuilder builder;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        char kind;
+        iss >> kind;
+        if (kind == 'c')
+            continue;
+        if (kind == 'p') {
+            std::string sp;
+            std::uint64_t n = 0, m = 0;
+            iss >> sp >> n >> m;
+            builder = GraphBuilder(static_cast<VertexId>(n));
+            continue;
+        }
+        if (kind == 'a') {
+            std::uint64_t u, v;
+            double w = 1.0;
+            if (!(iss >> u >> v >> w))
+                fatal("loadDimacs: malformed arc line in ", path);
+            if (u == 0 || v == 0)
+                fatal("loadDimacs: indices are 1-based; got 0");
+            builder.addEdge(static_cast<VertexId>(u - 1),
+                            static_cast<VertexId>(v - 1), w);
+        }
+    }
+    return builder.build();
+}
+
+DirectedGraph
+loadAnyFormat(const std::string &path)
+{
+    const std::string lowered = toLower(path);
+    if (endsWith(lowered, ".mtx"))
+        return loadMatrixMarket(path);
+    if (endsWith(lowered, ".graph"))
+        return loadMetis(path);
+    if (endsWith(lowered, ".gr"))
+        return loadDimacs(path);
+    if (endsWith(lowered, ".bin"))
+        return loadBinary(path);
+    return loadEdgeListText(path);
+}
+
+} // namespace digraph::graph

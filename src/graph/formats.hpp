@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Loaders/savers for common public graph-exchange formats, so the bench
+ * harnesses and the CLI can run on real datasets (e.g. the LAW graphs
+ * the paper uses, once converted):
+ *
+ *  - MatrixMarket coordinate format (.mtx) — pattern or weighted,
+ *    general or symmetric;
+ *  - METIS graph format (.graph) — adjacency-list lines, treated as
+ *    directed arcs;
+ *  - DIMACS shortest-path format (.gr) — `a u v w` arc lines.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace digraph::graph {
+
+/** Load a MatrixMarket coordinate file. fatal() on malformed input. */
+DirectedGraph loadMatrixMarket(const std::string &path);
+
+/** Save as MatrixMarket coordinate (general, real weights). */
+void saveMatrixMarket(const DirectedGraph &g, const std::string &path);
+
+/** Load a METIS .graph file (1-indexed adjacency lists). Supports the
+ *  plain and edge-weighted ("fmt" flag 1) variants. */
+DirectedGraph loadMetis(const std::string &path);
+
+/** Load a DIMACS .gr shortest-path file. */
+DirectedGraph loadDimacs(const std::string &path);
+
+/**
+ * Load any supported format, dispatching on the file extension:
+ * .mtx, .graph (METIS), .gr (DIMACS), .bin (native binary), anything
+ * else = plain text edge list.
+ */
+DirectedGraph loadAnyFormat(const std::string &path);
+
+} // namespace digraph::graph

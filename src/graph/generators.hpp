@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Synthetic directed-graph generators.
+ *
+ * The paper evaluates on six LAW web/social graphs. Those inputs (and the
+ * 4x K80 testbed) are not available here, so bench harnesses run on
+ * synthetic stand-ins produced by a configurable generator whose three
+ * structural knobs map onto the properties the paper's results depend on:
+ *
+ *  - degree_skew      -> power-law hubs (hot vertices / hot paths)
+ *  - locality(+window)-> average distance between vertices (A_Dis, Table 1)
+ *  - forward_bias     -> DAG-ness, i.e. the giant-SCC share (Fig 2d)
+ *
+ * Small deterministic shapes (chain, cycle, star, trees, DAGs) used by the
+ * test suites also live here.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace digraph::graph {
+
+/** Tuning knobs for the random directed-graph generator. */
+struct GeneratorConfig
+{
+    /** Number of vertices. */
+    VertexId num_vertices = 1000;
+    /** Number of random edges to draw (final count can be slightly lower
+     *  after dedup/self-loop removal). */
+    EdgeId num_edges = 5000;
+    /** Power-law skew; larger concentrates endpoints on hub vertices.
+     *  1.0 is uniform. */
+    double degree_skew = 1.8;
+    /** Probability that an edge lands within locality_window of its
+     *  source (lattice-like structure -> longer average distance). */
+    double locality = 0.5;
+    /** Half-width of the locality window, in vertex-id space. */
+    VertexId locality_window = 64;
+    /** Fraction of vertices (a centered id range, the *core*) inside
+     *  which edges may point backward — the core collapses into a giant
+     *  SCC while everything outside stays acyclic, mirroring the
+     *  bow-tie/giant-SCC structure of real directed graphs (Fig 2d). */
+    double scc_core_fraction = 0.5;
+    /** Probability that a core-internal edge is oriented from the lower
+     *  id to the higher id. 0.5 = random orientation (dense cycles);
+     *  edges outside the core are always forward. */
+    double forward_bias = 0.5;
+    /** Add a forward chain v -> v+1 with this probability per vertex, so
+     *  SSSP sources reach most of the graph. */
+    double backbone_prob = 0.8;
+    /** Edge weights drawn uniformly from [weight_min, weight_max]. */
+    double weight_min = 1.0;
+    /** @copydoc weight_min */
+    double weight_max = 10.0;
+    /** RNG seed. */
+    std::uint64_t seed = 42;
+};
+
+/** Generate a random directed graph per @p config. Deterministic in the
+ *  seed. */
+DirectedGraph generate(const GeneratorConfig &config);
+
+/** Simple path 0 -> 1 -> ... -> n-1. */
+DirectedGraph makeChain(VertexId n, Value weight = 1.0);
+
+/** Simple cycle 0 -> 1 -> ... -> n-1 -> 0. */
+DirectedGraph makeCycle(VertexId n, Value weight = 1.0);
+
+/** Star: hub 0 with out-edges to 1..n-1 (out = true) or in-edges. */
+DirectedGraph makeStar(VertexId n, bool out = true);
+
+/** Complete binary out-tree with n vertices. */
+DirectedGraph makeBinaryTree(VertexId n);
+
+/** Random DAG: every edge goes from a lower to a higher id. */
+DirectedGraph makeRandomDag(VertexId n, EdgeId m, std::uint64_t seed);
+
+/** 2-D grid with rightward and downward edges (rows x cols vertices). */
+DirectedGraph makeGrid(VertexId rows, VertexId cols);
+
+/** The six paper datasets this repo substitutes with synthetic stand-ins
+ *  (Table 1: dblp-2010, cnr-2000, ljournal-2008, webbase-2001, it-2004,
+ *  twitter-2010). */
+enum class Dataset { dblp, cnr, ljournal, webbase, it04, twitter };
+
+/** All datasets, in the paper's order. */
+const std::vector<Dataset> &allDatasets();
+
+/** Short display name ("dblp", "cnr", ...). */
+std::string datasetName(Dataset d);
+
+/**
+ * Generator configuration for a dataset stand-in.
+ * @param scale Multiplies vertex and edge counts (default laptop-sized).
+ */
+GeneratorConfig datasetConfig(Dataset d, double scale = 1.0);
+
+/** Generate the stand-in graph for @p d at @p scale. */
+DirectedGraph makeDataset(Dataset d, double scale = 1.0);
+
+} // namespace digraph::graph

@@ -1,0 +1,106 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "graph/builder.hpp"
+
+namespace digraph::graph {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x44694772'61424947ULL; // "DiGraBIG"
+
+} // namespace
+
+DirectedGraph
+loadEdgeListText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadEdgeListText: cannot open ", path);
+
+    GraphBuilder builder;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream iss(line);
+        VertexId src, dst;
+        if (!(iss >> src >> dst))
+            continue;
+        Value w = 1.0;
+        iss >> w;
+        builder.addEdge(src, dst, w);
+    }
+    return builder.build();
+}
+
+void
+saveEdgeListText(const DirectedGraph &g, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("saveEdgeListText: cannot open ", path);
+    out << "# vertices " << g.numVertices() << " edges " << g.numEdges()
+        << "\n";
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        out << g.edgeSource(e) << ' ' << g.edgeTarget(e) << ' '
+            << g.edgeWeight(e) << "\n";
+    }
+}
+
+DirectedGraph
+loadBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("loadBinary: cannot open ", path);
+    std::uint64_t magic = 0, n = 0, m = 0;
+    in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char *>(&n), sizeof(n));
+    in.read(reinterpret_cast<char *>(&m), sizeof(m));
+    if (!in || magic != kBinaryMagic)
+        fatal("loadBinary: ", path, " is not a DiGraph binary file");
+
+    GraphBuilder builder(static_cast<VertexId>(n));
+    builder.setDeduplicate(false);
+    builder.setRemoveSelfLoops(false);
+    for (std::uint64_t i = 0; i < m; ++i) {
+        std::uint32_t src, dst;
+        double w;
+        in.read(reinterpret_cast<char *>(&src), sizeof(src));
+        in.read(reinterpret_cast<char *>(&dst), sizeof(dst));
+        in.read(reinterpret_cast<char *>(&w), sizeof(w));
+        if (!in)
+            fatal("loadBinary: truncated file ", path);
+        builder.addEdge(src, dst, w);
+    }
+    return builder.build();
+}
+
+void
+saveBinary(const DirectedGraph &g, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveBinary: cannot open ", path);
+    const std::uint64_t magic = kBinaryMagic;
+    const std::uint64_t n = g.numVertices();
+    const std::uint64_t m = g.numEdges();
+    out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char *>(&m), sizeof(m));
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const std::uint32_t src = g.edgeSource(e);
+        const std::uint32_t dst = g.edgeTarget(e);
+        const double w = g.edgeWeight(e);
+        out.write(reinterpret_cast<const char *>(&src), sizeof(src));
+        out.write(reinterpret_cast<const char *>(&dst), sizeof(dst));
+        out.write(reinterpret_cast<const char *>(&w), sizeof(w));
+    }
+}
+
+} // namespace digraph::graph

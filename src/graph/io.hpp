@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Edge-list graph input/output (text and binary).
+ *
+ * Text format: one `src dst [weight]` triple per line; lines starting with
+ * '#' or '%' are comments. Binary format: a small magic header followed by
+ * the raw edge array — fast path for repeated bench runs.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace digraph::graph {
+
+/** Load a text edge list. Calls fatal() if the file cannot be opened. */
+DirectedGraph loadEdgeListText(const std::string &path);
+
+/** Save as text edge list (weights included). */
+void saveEdgeListText(const DirectedGraph &g, const std::string &path);
+
+/** Load the binary format written by saveBinary(). */
+DirectedGraph loadBinary(const std::string &path);
+
+/** Save in binary format. */
+void saveBinary(const DirectedGraph &g, const std::string &path);
+
+} // namespace digraph::graph

@@ -1,0 +1,79 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+
+namespace digraph::graph {
+
+double
+bidirectionalRatio(const DirectedGraph &g)
+{
+    if (g.numEdges() == 0)
+        return 0.0;
+    EdgeId bidir = 0;
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        if (g.hasEdge(g.edgeTarget(e), g.edgeSource(e)))
+            ++bidir;
+    }
+    return static_cast<double>(bidir) / static_cast<double>(g.numEdges());
+}
+
+GraphProperties
+measureProperties(const DirectedGraph &g, unsigned distance_samples,
+                  std::uint64_t seed)
+{
+    GraphProperties p;
+    p.num_vertices = g.numVertices();
+    p.num_edges = g.numEdges();
+    if (p.num_vertices == 0)
+        return p;
+
+    p.avg_degree = static_cast<double>(p.num_edges) /
+                   static_cast<double>(p.num_vertices);
+    for (VertexId v = 0; v < p.num_vertices; ++v) {
+        p.max_out_degree = std::max(p.max_out_degree, g.outDegree(v));
+        p.max_in_degree = std::max(p.max_in_degree, g.inDegree(v));
+    }
+
+    if (distance_samples > 0) {
+        SplitMix64 rng(seed);
+        double total = 0.0;
+        std::uint64_t pairs = 0;
+        for (unsigned s = 0; s < distance_samples; ++s) {
+            const auto src = static_cast<VertexId>(
+                rng.nextBounded(p.num_vertices));
+            const auto dist = bfsDistances(g, src);
+            for (VertexId v = 0; v < p.num_vertices; ++v) {
+                if (v != src && dist[v] != kUnreachable) {
+                    total += dist[v];
+                    ++pairs;
+                }
+            }
+        }
+        p.avg_distance = pairs ? total / static_cast<double>(pairs) : 0.0;
+    }
+
+    const SccResult scc = computeScc(g);
+    p.num_sccs = scc.num_components;
+    p.giant_scc_fraction = scc.giantFraction();
+    p.bidirectional_ratio = bidirectionalRatio(g);
+    return p;
+}
+
+std::string
+describe(const GraphProperties &p)
+{
+    std::ostringstream oss;
+    oss << "V=" << p.num_vertices << " E=" << p.num_edges
+        << " avgDeg=" << p.avg_degree << " avgDist=" << p.avg_distance
+        << " sccs=" << p.num_sccs << " giantSCC="
+        << p.giant_scc_fraction * 100.0 << "% bidir="
+        << p.bidirectional_ratio * 100.0 << "%";
+    return oss.str();
+}
+
+} // namespace digraph::graph

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Structural property analysis (Table 1 and Fig 2d inputs): degree
+ * statistics, sampled average distance, and SCC structure.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace digraph::graph {
+
+/** Measured structural properties of a directed graph. */
+struct GraphProperties
+{
+    VertexId num_vertices = 0;
+    EdgeId num_edges = 0;
+    /** Average out-degree (paper's A_Deg). */
+    double avg_degree = 0.0;
+    std::size_t max_out_degree = 0;
+    std::size_t max_in_degree = 0;
+    /** Average hop distance over sampled reachable pairs (A_Dis). */
+    double avg_distance = 0.0;
+    /** Number of SCCs. */
+    SccId num_sccs = 0;
+    /** Fraction of vertices in the giant SCC. */
+    double giant_scc_fraction = 0.0;
+    /** Fraction of edges whose reverse edge also exists. */
+    double bidirectional_ratio = 0.0;
+};
+
+/**
+ * Measure @p g.
+ * @param distance_samples BFS sources sampled for the average distance
+ *        (0 disables the distance measurement).
+ * @param seed Sampling seed.
+ */
+GraphProperties measureProperties(const DirectedGraph &g,
+                                  unsigned distance_samples = 32,
+                                  std::uint64_t seed = 7);
+
+/** Fraction of edges whose reverse edge exists. */
+double bidirectionalRatio(const DirectedGraph &g);
+
+/** One-line human-readable summary. */
+std::string describe(const GraphProperties &p);
+
+} // namespace digraph::graph

@@ -1,0 +1,117 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace digraph::graph {
+
+SccId
+SccResult::giantComponent() const
+{
+    if (sizes.empty())
+        return kInvalidScc;
+    return static_cast<SccId>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+double
+SccResult::giantFraction() const
+{
+    if (component.empty())
+        return 0.0;
+    const SccId giant = giantComponent();
+    return static_cast<double>(sizes[giant]) /
+           static_cast<double>(component.size());
+}
+
+SccResult
+computeScc(const DirectedGraph &g)
+{
+    const VertexId n = g.numVertices();
+    SccResult result;
+    result.component.assign(n, kInvalidScc);
+
+    constexpr VertexId kUnvisited = kInvalidVertex;
+    std::vector<VertexId> index(n, kUnvisited);
+    std::vector<VertexId> lowlink(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<VertexId> stack;
+    VertexId next_index = 0;
+
+    // Explicit DFS stack: (vertex, next out-neighbor position).
+    struct Frame
+    {
+        VertexId v;
+        std::size_t child;
+    };
+    std::vector<Frame> dfs;
+
+    for (VertexId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        dfs.push_back({root, 0});
+        while (!dfs.empty()) {
+            Frame &frame = dfs.back();
+            const VertexId v = frame.v;
+            if (frame.child == 0) {
+                index[v] = lowlink[v] = next_index++;
+                stack.push_back(v);
+                on_stack[v] = true;
+            }
+            const auto nbrs = g.outNeighbors(v);
+            bool descended = false;
+            while (frame.child < nbrs.size()) {
+                const VertexId w = nbrs[frame.child++];
+                if (index[w] == kUnvisited) {
+                    dfs.push_back({w, 0});
+                    descended = true;
+                    break;
+                } else if (on_stack[w]) {
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+                }
+            }
+            if (descended)
+                continue;
+
+            // All children explored: close the frame.
+            if (lowlink[v] == index[v]) {
+                VertexId size = 0;
+                for (;;) {
+                    const VertexId w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    result.component[w] = result.num_components;
+                    ++size;
+                    if (w == v)
+                        break;
+                }
+                result.sizes.push_back(size);
+                ++result.num_components;
+            }
+            dfs.pop_back();
+            if (!dfs.empty()) {
+                const VertexId parent = dfs.back().v;
+                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+            }
+        }
+    }
+    return result;
+}
+
+DirectedGraph
+condense(const DirectedGraph &g, const SccResult &scc)
+{
+    GraphBuilder builder(scc.num_components);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const SccId cv = scc.component[v];
+        for (const VertexId w : g.outNeighbors(v)) {
+            const SccId cw = scc.component[w];
+            if (cv != cw)
+                builder.addEdge(cv, cw);
+        }
+    }
+    return builder.build();
+}
+
+} // namespace digraph::graph

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Strongly connected components (iterative Tarjan) and condensation.
+ *
+ * The paper uses Tarjan [40] twice: once per CPU thread on subgraphs of the
+ * path dependency graph, and once more to merge the local DAG sketches into
+ * the global one (Section 3.2.1). This module provides the single-graph
+ * primitive both steps build on.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace digraph::graph {
+
+/** Result of an SCC decomposition. */
+struct SccResult
+{
+    /** Component id per vertex; ids are in reverse topological order of the
+     *  condensation (Tarjan's natural output order). */
+    std::vector<SccId> component;
+
+    /** Number of components. */
+    SccId num_components = 0;
+
+    /** Component sizes, indexed by component id. */
+    std::vector<VertexId> sizes;
+
+    /** Id of the largest component. */
+    SccId giantComponent() const;
+
+    /** Fraction of all vertices inside the largest component. */
+    double giantFraction() const;
+};
+
+/** Compute SCCs of @p g with an iterative Tarjan (no recursion, safe for
+ *  deep graphs). */
+SccResult computeScc(const DirectedGraph &g);
+
+/**
+ * Build the condensation (DAG of SCCs): one vertex per component, one edge
+ * per pair of components connected by at least one original edge
+ * (deduplicated, no self-loops).
+ */
+DirectedGraph condense(const DirectedGraph &g, const SccResult &scc);
+
+} // namespace digraph::graph

@@ -1,0 +1,105 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace digraph::graph {
+
+DirectedGraph
+reverse(const DirectedGraph &g)
+{
+    GraphBuilder builder(g.numVertices());
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        builder.addEdge(g.edgeTarget(e), g.edgeSource(e), g.edgeWeight(e));
+    return builder.build();
+}
+
+DirectedGraph
+withBidirectionalRatio(const DirectedGraph &g, double target_ratio,
+                       std::uint64_t seed)
+{
+    target_ratio = std::clamp(target_ratio, 0.0, 1.0);
+
+    // Collect one-directional edges (candidates for a reverse partner).
+    std::vector<EdgeId> singles;
+    EdgeId bidir = 0;
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        if (g.hasEdge(g.edgeTarget(e), g.edgeSource(e)))
+            ++bidir;
+        else
+            singles.push_back(e);
+    }
+
+    // Adding a reverse to a single edge turns 1 single edge into 2
+    // bidirectional edges while growing the edge count by 1. Solve for the
+    // number k of singles to pair up:
+    //   (bidir + 2k) / (m + k) >= target.
+    const double m = static_cast<double>(g.numEdges());
+    const double b = static_cast<double>(bidir);
+    double k_needed = 0.0;
+    if (target_ratio > 0.0 && 2.0 - target_ratio > 0.0)
+        k_needed = (target_ratio * m - b) / (2.0 - target_ratio);
+    auto k = static_cast<std::size_t>(std::max(0.0, std::ceil(k_needed)));
+    k = std::min(k, singles.size());
+
+    // Fisher-Yates prefix shuffle to pick k singles uniformly.
+    SplitMix64 rng(seed);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j =
+            i + rng.nextBounded(singles.size() - i);
+        std::swap(singles[i], singles[j]);
+    }
+
+    GraphBuilder builder(g.numVertices());
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        builder.addEdge(g.edgeSource(e), g.edgeTarget(e), g.edgeWeight(e));
+    for (std::size_t i = 0; i < k; ++i) {
+        const EdgeId e = singles[i];
+        builder.addEdge(g.edgeTarget(e), g.edgeSource(e), g.edgeWeight(e));
+    }
+    return builder.build();
+}
+
+DirectedGraph
+inducedSubgraph(const DirectedGraph &g,
+                const std::vector<VertexId> &vertices)
+{
+    std::unordered_map<VertexId, VertexId> remap;
+    remap.reserve(vertices.size());
+    for (std::size_t i = 0; i < vertices.size(); ++i)
+        remap.emplace(vertices[i], static_cast<VertexId>(i));
+
+    GraphBuilder builder(static_cast<VertexId>(vertices.size()));
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        const VertexId v = vertices[i];
+        const auto nbrs = g.outNeighbors(v);
+        for (std::size_t kk = 0; kk < nbrs.size(); ++kk) {
+            const auto it = remap.find(nbrs[kk]);
+            if (it != remap.end()) {
+                builder.addEdge(static_cast<VertexId>(i), it->second,
+                                g.edgeWeight(g.outEdgeId(v, kk)));
+            }
+        }
+    }
+    return builder.build();
+}
+
+DirectedGraph
+relabel(const DirectedGraph &g, const std::vector<VertexId> &perm)
+{
+    if (perm.size() != g.numVertices())
+        panic("relabel: permutation size mismatch");
+    GraphBuilder builder(g.numVertices());
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        builder.addEdge(perm[g.edgeSource(e)], perm[g.edgeTarget(e)],
+                        g.edgeWeight(e));
+    }
+    return builder.build();
+}
+
+} // namespace digraph::graph

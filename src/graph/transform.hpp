@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Graph transformations: reversal, bidirectional-edge augmentation
+ * (Fig 14's sweep), induced subgraphs, and relabeling.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace digraph::graph {
+
+/** Reverse every edge. */
+DirectedGraph reverse(const DirectedGraph &g);
+
+/**
+ * Add reverse edges to a random subset of one-directional edges until the
+ * bidirectional ratio (fraction of edges whose reverse exists) reaches
+ * @p target_ratio. Used by the Fig 14 sweep ("adding directed edges on
+ * webbase"). A target of 1.0 makes the graph symmetric.
+ */
+DirectedGraph withBidirectionalRatio(const DirectedGraph &g,
+                                     double target_ratio,
+                                     std::uint64_t seed = 99);
+
+/**
+ * Induced subgraph on @p vertices. Vertex i of the result corresponds to
+ * vertices[i] of the input.
+ */
+DirectedGraph inducedSubgraph(const DirectedGraph &g,
+                              const std::vector<VertexId> &vertices);
+
+/**
+ * Relabel vertices: new id of v is perm[v].
+ * @pre perm is a permutation of [0, numVertices).
+ */
+DirectedGraph relabel(const DirectedGraph &g,
+                      const std::vector<VertexId> &perm);
+
+} // namespace digraph::graph

@@ -1,0 +1,91 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace digraph::graph {
+
+std::vector<std::uint32_t>
+bfsDistances(const DirectedGraph &g, VertexId src)
+{
+    std::vector<std::uint32_t> dist(g.numVertices(), kUnreachable);
+    std::deque<VertexId> queue;
+    dist[src] = 0;
+    queue.push_back(src);
+    while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        for (const VertexId w : g.outNeighbors(v)) {
+            if (dist[w] == kUnreachable) {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<VertexId>
+topologicalOrder(const DirectedGraph &g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<EdgeId> in_deg(n, 0);
+    for (VertexId v = 0; v < n; ++v)
+        in_deg[v] = g.inDegree(v);
+
+    std::vector<VertexId> order;
+    order.reserve(n);
+    std::deque<VertexId> ready;
+    for (VertexId v = 0; v < n; ++v) {
+        if (in_deg[v] == 0)
+            ready.push_back(v);
+    }
+    while (!ready.empty()) {
+        const VertexId v = ready.front();
+        ready.pop_front();
+        order.push_back(v);
+        for (const VertexId w : g.outNeighbors(v)) {
+            if (--in_deg[w] == 0)
+                ready.push_back(w);
+        }
+    }
+    if (order.size() != n)
+        return {};
+    return order;
+}
+
+bool
+isAcyclic(const DirectedGraph &g)
+{
+    return g.numVertices() == 0 || !topologicalOrder(g).empty();
+}
+
+std::vector<std::uint32_t>
+dagLayers(const DirectedGraph &g)
+{
+    const auto order = topologicalOrder(g);
+    if (g.numVertices() > 0 && order.empty())
+        panic("dagLayers: graph has a cycle");
+    std::vector<std::uint32_t> layer(g.numVertices(), 0);
+    for (const VertexId v : order) {
+        for (const VertexId w : g.outNeighbors(v))
+            layer[w] = std::max(layer[w], layer[v] + 1);
+    }
+    return layer;
+}
+
+std::vector<VertexId>
+reachableFrom(const DirectedGraph &g, VertexId src)
+{
+    const auto dist = bfsDistances(g, src);
+    std::vector<VertexId> out;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (dist[v] != kUnreachable)
+            out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace digraph::graph

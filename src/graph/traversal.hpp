@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Graph traversal utilities: BFS hop distances, topological ordering, and
+ * reachability — used by the property analyzers, the DAG sketch layering,
+ * and the test oracles.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace digraph::graph {
+
+/** Sentinel distance for unreachable vertices. */
+inline constexpr std::uint32_t kUnreachable = UINT32_MAX;
+
+/** Hop distances from @p src along out-edges (kUnreachable if none). */
+std::vector<std::uint32_t> bfsDistances(const DirectedGraph &g,
+                                        VertexId src);
+
+/**
+ * Kahn topological order.
+ * @return the order, or an empty vector when the graph has a cycle
+ *         (a non-empty graph always yields a non-empty order when acyclic).
+ */
+std::vector<VertexId> topologicalOrder(const DirectedGraph &g);
+
+/** True when the graph contains no directed cycle. */
+bool isAcyclic(const DirectedGraph &g);
+
+/**
+ * Layer numbers for a DAG: layer(v) = longest path length from any source
+ * to v; every edge goes from a lower to a strictly higher layer.
+ * @pre g is acyclic (panics otherwise).
+ */
+std::vector<std::uint32_t> dagLayers(const DirectedGraph &g);
+
+/** Vertices reachable from @p src (including itself). */
+std::vector<VertexId> reachableFrom(const DirectedGraph &g, VertexId src);
+
+} // namespace digraph::graph

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The uniform run report every engine produces — the raw material for all
+ * of the paper's figures (updates, traffic, utilization, scalability).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace digraph::metrics {
+
+/** Metrics of one (system, algorithm, dataset, #GPUs) run. */
+struct RunReport
+{
+    /** System name ("digraph", "digraph-t", "digraph-w", "bsp",
+     *  "async"). */
+    std::string system;
+    /** Algorithm name. */
+    std::string algorithm;
+    /** Dataset name. */
+    std::string dataset;
+    /** Number of simulated GPUs. */
+    unsigned num_gpus = 0;
+
+    /** Final vertex states (master values). */
+    std::vector<Value> final_state;
+
+    // --- work counts ---
+    /** processEdge invocations. */
+    std::uint64_t edge_processings = 0;
+    /** Vertex state updates (destination changed). */
+    std::uint64_t vertex_updates = 0;
+    /** Global rounds / dispatch waves until convergence. */
+    std::uint64_t rounds = 0;
+    /** Partition dispatches (a partition processed r times counts r). */
+    std::uint64_t partition_processings = 0;
+    /** Number of partitions. */
+    std::uint64_t num_partitions = 0;
+
+    // --- traffic ---
+    /** Host <-> device transfer bytes. */
+    std::uint64_t host_transfer_bytes = 0;
+    /** Device <-> device (ring) transfer bytes. */
+    std::uint64_t ring_transfer_bytes = 0;
+    /** Bytes loaded from device global memory into cores. */
+    std::uint64_t global_load_bytes = 0;
+    /** Vertex slots loaded into cores. */
+    std::uint64_t loaded_vertices = 0;
+    /** Loaded vertex slots that performed useful work. */
+    std::uint64_t used_vertices = 0;
+
+    // --- time ---
+    /** Simulated makespan, cycles (primary "time" metric). */
+    double sim_cycles = 0.0;
+    /** Host wall-clock of the processing phase, seconds. */
+    double wall_seconds = 0.0;
+    /** Preprocessing wall-clock, seconds. */
+    double preprocess_seconds = 0.0;
+    /** Mean SMX utilization in [0,1]. */
+    double utilization = 0.0;
+    /** Simulated cycles spent computing. */
+    double compute_cycles = 0.0;
+    /** Simulated cycles spent on transfers (serialized view). */
+    double comm_cycles = 0.0;
+
+    /** Total transfer traffic + global loads (the paper's Fig 12
+     *  "traffic volume"). */
+    std::uint64_t
+    trafficVolume() const
+    {
+        return host_transfer_bytes + ring_transfer_bytes +
+               global_load_bytes;
+    }
+
+    /** Used/loaded vertex ratio (Fig 13); 0 when nothing was loaded. */
+    double
+    loadedDataUtilization() const
+    {
+        return loaded_vertices
+                   ? static_cast<double>(used_vertices) /
+                         static_cast<double>(loaded_vertices)
+                   : 0.0;
+    }
+};
+
+} // namespace digraph::metrics

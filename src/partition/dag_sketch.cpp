@@ -1,0 +1,133 @@
+#include "partition/dag_sketch.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "graph/builder.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+
+namespace digraph::partition {
+
+double
+DagSketch::giantSccPathFraction() const
+{
+    if (scc_of_path.empty() || giant_scc == kInvalidScc)
+        return 0.0;
+    return static_cast<double>(paths_in_scc[giant_scc].size()) /
+           static_cast<double>(scc_of_path.size());
+}
+
+std::uint32_t
+DagSketch::numLayers() const
+{
+    if (layer.empty())
+        return 0;
+    return *std::max_element(layer.begin(), layer.end()) + 1;
+}
+
+namespace {
+
+/** Map each dependency-graph vertex to a local SCC id, using one Tarjan
+ *  pass per contiguous vertex range (edges within the range only). */
+std::pair<std::vector<SccId>, SccId>
+localContraction(const graph::DirectedGraph &dep, unsigned num_threads,
+                 ThreadPool *pool)
+{
+    const VertexId n = dep.numVertices();
+    const unsigned threads = std::max(1u, num_threads);
+    const VertexId chunk = (n + threads - 1) / threads;
+
+    std::vector<std::vector<SccId>> local_comp(threads);
+    std::vector<SccId> local_count(threads, 0);
+
+    auto work = [&](std::size_t t) {
+        const VertexId lo = static_cast<VertexId>(t) * chunk;
+        const VertexId hi = std::min<VertexId>(n, lo + chunk);
+        if (lo >= hi)
+            return;
+        graph::GraphBuilder builder(hi - lo);
+        for (VertexId v = lo; v < hi; ++v) {
+            for (const VertexId w : dep.outNeighbors(v)) {
+                if (w >= lo && w < hi)
+                    builder.addEdge(v - lo, w - lo);
+            }
+        }
+        const auto scc = graph::computeScc(builder.build());
+        local_comp[t] = scc.component;
+        local_count[t] = scc.num_components;
+    };
+
+    if (threads == 1) {
+        work(0);
+    } else if (pool) {
+        pool->parallelFor(threads, work);
+    } else {
+        ThreadPool tmp(threads);
+        tmp.parallelFor(threads, work);
+    }
+
+    // Offset local ids into a single namespace.
+    std::vector<SccId> base(threads + 1, 0);
+    for (unsigned t = 0; t < threads; ++t)
+        base[t + 1] = base[t] + local_count[t];
+
+    std::vector<SccId> comp(n, kInvalidScc);
+    for (unsigned t = 0; t < threads; ++t) {
+        const VertexId lo = static_cast<VertexId>(t) * chunk;
+        for (std::size_t i = 0; i < local_comp[t].size(); ++i)
+            comp[lo + i] = base[t] + local_comp[t][i];
+    }
+    return {std::move(comp), base[threads]};
+}
+
+} // namespace
+
+DagSketch
+buildDagSketch(const graph::DirectedGraph &dependency_graph,
+               PathId num_paths, unsigned num_threads, ThreadPool *pool)
+{
+    DagSketch out;
+    const VertexId np = num_paths ? num_paths
+                                  : dependency_graph.numVertices();
+    if (dependency_graph.numVertices() == 0)
+        return out;
+
+    // Phase 1: per-thread local contraction.
+    auto [local, num_local] =
+        localContraction(dependency_graph, num_threads, pool);
+
+    // Phase 2: contract the graph of local SCCs globally.
+    graph::GraphBuilder builder(num_local);
+    for (EdgeId e = 0; e < dependency_graph.numEdges(); ++e) {
+        const SccId a = local[dependency_graph.edgeSource(e)];
+        const SccId b = local[dependency_graph.edgeTarget(e)];
+        if (a != b)
+            builder.addEdge(a, b);
+    }
+    const graph::DirectedGraph contracted = builder.build();
+    const auto global = graph::computeScc(contracted);
+
+    out.num_sccs = global.num_components;
+    out.scc_of_path.resize(np);
+    for (VertexId p = 0; p < np; ++p)
+        out.scc_of_path[p] = global.component[local[p]];
+
+    out.sketch = graph::condense(contracted, global);
+    out.layer = graph::dagLayers(out.sketch);
+
+    out.paths_in_scc.assign(out.num_sccs, {});
+    for (VertexId p = 0; p < np; ++p)
+        out.paths_in_scc[out.scc_of_path[p]].push_back(p);
+
+    std::size_t best = 0;
+    for (SccId s = 0; s < out.num_sccs; ++s) {
+        if (out.paths_in_scc[s].size() > best) {
+            best = out.paths_in_scc[s].size();
+            out.giant_scc = s;
+        }
+    }
+    return out;
+}
+
+} // namespace digraph::partition

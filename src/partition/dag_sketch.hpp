@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DAG sketch of the path dependency graph (Section 3.1 / 3.2.1).
+ *
+ * Strongly connected components of the dependency graph are contracted to
+ * *SCC-vertices*; the resulting DAG is layered so that SCC-vertices at
+ * layer L only depend on SCC-vertices at lower layers. The engine
+ * dispatches paths to GPUs layer by layer, so most paths are processed
+ * exactly once.
+ *
+ * The parallel construction mirrors the paper: each CPU thread runs Tarjan
+ * on its local subgraph of the dependency graph and contracts local SCCs;
+ * a second Tarjan pass over the contracted graph merges the local sketches
+ * into the global one. The result is identical to a single global Tarjan
+ * pass (verified by tests).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "partition/path_set.hpp"
+
+namespace digraph {
+class ThreadPool;
+}
+
+namespace digraph::partition {
+
+/** Contracted, layered view of the path dependency graph. */
+struct DagSketch
+{
+    /** SCC-vertex id per path. */
+    std::vector<SccId> scc_of_path;
+    /** Number of SCC-vertices. */
+    SccId num_sccs = 0;
+    /** Condensed DAG over SCC-vertices. */
+    graph::DirectedGraph sketch;
+    /** Layer number per SCC-vertex (longest distance from a source). */
+    std::vector<std::uint32_t> layer;
+    /** Paths per SCC-vertex. */
+    std::vector<std::vector<PathId>> paths_in_scc;
+    /** Id of the SCC-vertex containing the most paths. */
+    SccId giant_scc = kInvalidScc;
+
+    /** Fraction of all paths inside the giant SCC-vertex. */
+    double giantSccPathFraction() const;
+
+    /** Number of layers (0 for an empty sketch). */
+    std::uint32_t numLayers() const;
+};
+
+/**
+ * Build the DAG sketch from the path dependency graph.
+ * @param dependency_graph Vertices [0, num_paths) are paths; ids beyond
+ *        are auxiliary star hubs (ignored in path mappings).
+ * @param num_paths Number of real paths; 0 means every dependency-graph
+ *        vertex is a path.
+ * @param num_threads Parallel local-Tarjan subgraph count (1 = the plain
+ *        single-pass construction).
+ */
+DagSketch buildDagSketch(const graph::DirectedGraph &dependency_graph,
+                         PathId num_paths = 0, unsigned num_threads = 1,
+                         ThreadPool *pool = nullptr);
+
+} // namespace digraph::partition

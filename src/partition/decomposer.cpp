@@ -1,0 +1,243 @@
+#include "partition/decomposer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "graph/scc.hpp"
+
+namespace digraph::partition {
+
+namespace {
+
+/** Per-vertex adjacency entry with a pre-resolved edge id. */
+struct Adj
+{
+    VertexId target;
+    EdgeId edge;
+};
+
+/**
+ * Decompose the subgraph whose *sources* lie in [lo, hi).
+ *
+ * Follows Algorithm 1: iterative DFS (explicit stack), depth-bounded by
+ * d_max, successors visited hottest-first. The `open` flag realizes the
+ * NewPath() calls: a terminal event closes the current path and the next
+ * inserted edge starts a fresh one.
+ */
+class RangeDecomposer
+{
+  public:
+    RangeDecomposer(const graph::DirectedGraph &g,
+                    const std::vector<std::vector<Adj>> &sorted_adj,
+                    std::vector<std::uint8_t> &edge_visited,
+                    const SccRegions *regions,
+                    const DecomposeOptions &options, VertexId lo,
+                    VertexId hi)
+        : g_(g), sorted_adj_(sorted_adj), edge_visited_(edge_visited),
+          regions_(regions), options_(options), lo_(lo), hi_(hi),
+          vertex_visited_(g.numVertices(), 0)
+    {}
+
+    PathSet
+    run()
+    {
+        // Roots in descending degree order so hub chains form first.
+        std::vector<VertexId> roots(hi_ - lo_);
+        std::iota(roots.begin(), roots.end(), lo_);
+        if (options_.degree_sorted) {
+            std::stable_sort(roots.begin(), roots.end(),
+                             [this](VertexId a, VertexId b) {
+                                 return g_.degree(a) > g_.degree(b);
+                             });
+        }
+        for (const VertexId root : roots) {
+            // "Repeatedly takes the vertex with unvisited local edges as
+            // the root": a single dfs() call may leave edges of root
+            // unvisited only if they were consumed deeper; re-check.
+            while (hasUnvisitedLocalEdge(root))
+                dfs(root);
+        }
+        return std::move(paths_);
+    }
+
+  private:
+    bool
+    isLocal(VertexId v) const
+    {
+        return v >= lo_ && v < hi_;
+    }
+
+    bool
+    hasUnvisitedLocalEdge(VertexId v) const
+    {
+        for (const Adj &a : sorted_adj_[v]) {
+            if (!edge_visited_[a.edge])
+                return true;
+        }
+        return false;
+    }
+
+    void
+    insertEdge(VertexId src, VertexId dst, EdgeId id)
+    {
+        if (!open_) {
+            paths_.beginPath(src);
+            open_ = true;
+        }
+        paths_.extend(dst, id);
+    }
+
+    void closePath() { open_ = false; }
+
+    void
+    dfs(VertexId root)
+    {
+        struct Frame
+        {
+            VertexId v;
+            std::size_t child;
+            unsigned depth;
+        };
+        std::vector<Frame> stack;
+        stack.push_back({root, 0, 0});
+        vertex_visited_[root] = 1;
+
+        while (!stack.empty()) {
+            Frame &frame = stack.back();
+            const VertexId v = frame.v;
+
+            if (frame.depth >= options_.d_max) {
+                // Depth bound reached: Algorithm 1 line 3/19.
+                closePath();
+                stack.pop_back();
+                continue;
+            }
+
+            const auto &adj = sorted_adj_[v];
+            bool descended = false;
+            while (frame.child < adj.size()) {
+                const Adj a = adj[frame.child++];
+                if (edge_visited_[a.edge])
+                    continue;
+                edge_visited_[a.edge] = 1;
+                insertEdge(v, a.target, a.edge);
+                // Chain on only within one cyclic SCC or through purely
+                // acyclic territory; crossing a cyclic-SCC boundary ends
+                // the path so the path dependency graph's condensation
+                // mirrors the vertex condensation.
+                const bool region_ok =
+                    !regions_ || regions_->sameRegion(v, a.target);
+                if (region_ok && isLocal(a.target) &&
+                    !vertex_visited_[a.target]) {
+                    vertex_visited_[a.target] = 1;
+                    stack.push_back({a.target, 0, frame.depth + 1});
+                    descended = true;
+                    break;
+                }
+                // Target already visited or non-local: the path ends at
+                // the replica (Algorithm 1 lines 12-14).
+                closePath();
+            }
+            if (descended)
+                continue;
+
+            if (frame.child >= adj.size()) {
+                // No unvisited local edges left (Algorithm 1 line 18-19).
+                closePath();
+                stack.pop_back();
+            }
+        }
+    }
+
+    const graph::DirectedGraph &g_;
+    const std::vector<std::vector<Adj>> &sorted_adj_;
+    std::vector<std::uint8_t> &edge_visited_;
+    const SccRegions *regions_;
+    const DecomposeOptions &options_;
+    const VertexId lo_;
+    const VertexId hi_;
+
+    std::vector<std::uint8_t> vertex_visited_;
+    PathSet paths_;
+    bool open_ = false;
+};
+
+} // namespace
+
+PathSet
+decompose(const graph::DirectedGraph &g, const DecomposeOptions &options,
+          ThreadPool *pool, const SccRegions *regions)
+{
+    const VertexId n = g.numVertices();
+    if (n == 0 || g.numEdges() == 0)
+        return PathSet{};
+
+    // Pre-sort each adjacency list by target degree (descending) once, so
+    // every DFS frame picks the hottest successor first in O(1).
+    std::vector<std::vector<Adj>> sorted_adj(n);
+    for (VertexId v = 0; v < n; ++v) {
+        const auto nbrs = g.outNeighbors(v);
+        auto &list = sorted_adj[v];
+        list.reserve(nbrs.size());
+        for (std::size_t k = 0; k < nbrs.size(); ++k)
+            list.push_back({nbrs[k], g.outEdgeId(v, k)});
+        if (options.degree_sorted) {
+            std::stable_sort(list.begin(), list.end(),
+                             [&g](const Adj &a, const Adj &b) {
+                                 return g.degree(a.target) >
+                                        g.degree(b.target);
+                             });
+        }
+    }
+
+    std::vector<std::uint8_t> edge_visited(g.numEdges(), 0);
+
+    // SCC regions: paths end where they enter or leave a cyclic SCC.
+    SccRegions local_regions;
+    if (options.scc_confined && !regions) {
+        local_regions = SccRegions(g);
+        regions = &local_regions;
+    }
+    if (!options.scc_confined)
+        regions = nullptr;
+
+    const unsigned threads = std::max(1u, options.num_threads);
+    const VertexId chunk = (n + threads - 1) / threads;
+
+    std::vector<PathSet> locals(threads);
+    auto work = [&](std::size_t t) {
+        const VertexId lo = static_cast<VertexId>(t) * chunk;
+        const VertexId hi = std::min<VertexId>(n, lo + chunk);
+        if (lo >= hi)
+            return;
+        RangeDecomposer dec(g, sorted_adj, edge_visited, regions,
+                            options, lo, hi);
+        locals[t] = dec.run();
+    };
+
+    if (threads == 1) {
+        work(0);
+    } else if (pool) {
+        pool->parallelFor(threads, work);
+    } else {
+        ThreadPool tmp(threads);
+        tmp.parallelFor(threads, work);
+    }
+
+    // Concatenate thread-local path sets in thread order (deterministic).
+    PathSet out;
+    for (const PathSet &local : locals) {
+        for (PathId p = 0; p < local.numPaths(); ++p) {
+            const auto verts = local.pathVertices(p);
+            const auto edges = local.pathEdges(p);
+            out.beginPath(verts[0]);
+            for (std::size_t i = 0; i < edges.size(); ++i)
+                out.extend(verts[i + 1], edges[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace digraph::partition

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Path-based graph partitioning — Algorithm 1 of the paper.
+ *
+ * The directed graph is split into contiguous vertex-id subgraphs, one per
+ * CPU thread. Each thread repeatedly takes a vertex with unvisited local
+ * edges as a DFS root and walks edges depth-first (highest-degree successor
+ * first, so high-degree vertices chain into *hot paths*), bounded by
+ * D_MAX, appending the visited edges to the current path. The result is a
+ * set of edge-disjoint directed paths covering every edge exactly once.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "partition/path_set.hpp"
+#include "partition/scc_regions.hpp"
+
+namespace digraph {
+class ThreadPool;
+}
+
+namespace digraph::partition {
+
+/** Options for the path decomposition. */
+struct DecomposeOptions
+{
+    /** Maximum DFS depth, i.e. maximum path length in edges
+     *  (paper default D_MAX = 16). */
+    unsigned d_max = 16;
+    /** Number of CPU threads / subgraphs (0 = one). */
+    unsigned num_threads = 1;
+    /** Visit successors in descending degree order (hot-path building,
+     *  Algorithm 1 line 5). Disable for ablation studies. */
+    bool degree_sorted = true;
+    /** Confine each path's interior to one strongly connected component
+     *  of the input graph: the DFS closes the current path right after an
+     *  edge crosses an SCC boundary. This keeps the path dependency
+     *  graph's condensation aligned with the vertex condensation, which
+     *  is what makes the DAG-sketch dispatching effective (Observation 2
+     *  of the paper). Disable for ablation studies. */
+    bool scc_confined = true;
+};
+
+/**
+ * Decompose @p g into edge-disjoint directed paths.
+ *
+ * Deterministic for a given (graph, options) pair regardless of thread
+ * scheduling: each thread's subgraph yields a fixed path list and lists are
+ * concatenated in thread order.
+ *
+ * @param pool Optional pool for parallel decomposition; when null and
+ *             num_threads > 1 a temporary pool is created.
+ * @param regions Optional precomputed SCC regions (recomputed internally
+ *                when null and scc_confined is set).
+ */
+PathSet decompose(const graph::DirectedGraph &g,
+                  const DecomposeOptions &options = {},
+                  ThreadPool *pool = nullptr,
+                  const SccRegions *regions = nullptr);
+
+} // namespace digraph::partition

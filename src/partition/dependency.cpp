@@ -1,0 +1,71 @@
+#include "partition/dependency.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace digraph::partition {
+
+graph::DirectedGraph
+buildDependencyGraph(const PathSet &paths, const graph::DirectedGraph &g,
+                     const DependencyOptions &options)
+{
+    const VertexId n = g.numVertices();
+    const PathId np = paths.numPaths();
+
+    // producers[v]: paths where v has an in-edge (v not at the head).
+    // consumers[v]: paths where v has an out-edge (v not at the tail).
+    std::vector<std::vector<PathId>> producers(n), consumers(n);
+    for (PathId p = 0; p < np; ++p) {
+        const auto verts = paths.pathVertices(p);
+        for (std::size_t i = 0; i < verts.size(); ++i) {
+            const VertexId v = verts[i];
+            if (i > 0)
+                producers[v].push_back(p);
+            if (i + 1 < verts.size())
+                consumers[v].push_back(p);
+        }
+    }
+
+    // High-fanout vertices get a *star* construction: an auxiliary "via"
+    // vertex with producer->via and via->consumer edges. This preserves
+    // the reachability (and therefore the SCC/cycle structure) of the
+    // full producer x consumer product exactly, at linear edge cost.
+    // Auxiliary vertex ids start at np; callers treat only [0, np) as
+    // paths.
+    graph::GraphBuilder builder(np);
+    const std::size_t star_cut =
+        std::max<std::size_t>(4, options.fanout_cap);
+    VertexId next_aux = np;
+    for (VertexId v = 0; v < n; ++v) {
+        auto &prod = producers[v];
+        auto &cons = consumers[v];
+        if (prod.empty() || cons.empty())
+            continue;
+        // Dedup replicas of v inside a single path.
+        std::sort(prod.begin(), prod.end());
+        prod.erase(std::unique(prod.begin(), prod.end()), prod.end());
+        std::sort(cons.begin(), cons.end());
+        cons.erase(std::unique(cons.begin(), cons.end()), cons.end());
+        if (prod.size() * cons.size() <=
+            std::max<std::size_t>(star_cut,
+                                  2 * (prod.size() + cons.size()))) {
+            for (const PathId a : prod) {
+                for (const PathId b : cons) {
+                    if (a != b)
+                        builder.addEdge(a, b);
+                }
+            }
+        } else {
+            const VertexId via = next_aux++;
+            for (const PathId a : prod)
+                builder.addEdge(a, via);
+            for (const PathId b : cons)
+                builder.addEdge(via, b);
+        }
+    }
+    return builder.build();
+}
+
+} // namespace digraph::partition

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Path dependency graph construction (Section 3.1).
+ *
+ * Path p_i depends-into p_j (edge p_i -> p_j) when some vertex v occurs on
+ * both with an in-edge of v on p_i and an out-edge of v on p_j: a state
+ * produced on p_i flows into p_j through v's replicas.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "partition/path_set.hpp"
+
+namespace digraph::partition {
+
+/** Options for dependency-graph construction. */
+struct DependencyOptions
+{
+    /**
+     * Fan-out threshold above which a vertex's producer x consumer
+     * dependency edges are replaced by a *star* through an auxiliary
+     * "via" vertex (identical reachability and cycle structure at linear
+     * edge cost). Hub vertices replicated on thousands of paths would
+     * otherwise create a quadratic number of dependency edges.
+     */
+    std::size_t fanout_cap = 64;
+};
+
+/**
+ * Build the dependency graph over paths.
+ *
+ * Vertices [0, paths.numPaths()) of the result are the paths; any
+ * vertices beyond that are auxiliary star hubs (see DependencyOptions)
+ * and must be ignored when mapping SCCs back to paths.
+ */
+graph::DirectedGraph buildDependencyGraph(
+    const PathSet &paths, const graph::DirectedGraph &g,
+    const DependencyOptions &options = {});
+
+} // namespace digraph::partition

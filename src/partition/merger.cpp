@@ -1,0 +1,131 @@
+#include "partition/merger.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace digraph::partition {
+
+namespace {
+
+/** Union-find over path ids, used to reject merges that would close a
+ *  chain into a cycle. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::size_t
+    find(std::size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+  private:
+    std::vector<std::size_t> parent_;
+};
+
+} // namespace
+
+MergeResult
+mergePaths(const PathSet &paths, const graph::DirectedGraph &g,
+           const MergeOptions &options, const SccRegions *regions)
+{
+    MergeResult result;
+    result.avg_length_before = paths.avgLength();
+
+    const PathId np = paths.numPaths();
+    const auto inner = paths.innerVertexFlags(g.numVertices());
+
+    // head vertex -> paths starting there (merge candidates).
+    std::unordered_map<VertexId, std::vector<PathId>> by_head;
+    by_head.reserve(np);
+    for (PathId p = 0; p < np; ++p)
+        by_head[paths.head(p)].push_back(p);
+
+    std::vector<PathId> next(np, kInvalidPath);
+    std::vector<std::uint8_t> consumed(np, 0); // is a merge target already
+    std::vector<std::size_t> chain_len(np);
+    for (PathId p = 0; p < np; ++p)
+        chain_len[p] = paths.pathLength(p);
+    UnionFind uf(np);
+
+    // Short paths first so they get priority at contended junctions.
+    std::vector<PathId> order(np);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&paths](PathId a, PathId b) {
+                         return paths.pathLength(a) < paths.pathLength(b);
+                     });
+
+    for (const PathId p : order) {
+        if (paths.pathLength(p) >= options.short_threshold)
+            continue;
+        if (next[p] != kInvalidPath)
+            continue;
+        const VertexId junction = paths.tail(p);
+        const auto it = by_head.find(junction);
+        if (it == by_head.end())
+            continue;
+        for (const PathId q : it->second) {
+            if (q == p || consumed[q])
+                continue;
+            if (uf.find(p) == uf.find(q))
+                continue; // would close a chain into a cycle
+            // Region purity: never fuse paths from different cyclic-SCC
+            // regions (or a cyclic with an acyclic one).
+            if (regions && regions->valid() &&
+                !regions->sameHeadRegion(paths.head(p), paths.head(q))) {
+                continue;
+            }
+            // Paper's constraint: a busy junction (in-deg > 1 and
+            // out-deg > 1) may only fuse if it is not an inner vertex of
+            // another path.
+            if (g.inDegree(junction) > 1 && g.outDegree(junction) > 1 &&
+                inner[junction]) {
+                continue;
+            }
+            const std::size_t merged =
+                chain_len[uf.find(p)] + chain_len[uf.find(q)];
+            if (options.max_merged_length &&
+                merged > options.max_merged_length) {
+                continue;
+            }
+            next[p] = q;
+            consumed[q] = 1;
+            uf.unite(p, q);
+            chain_len[uf.find(p)] = merged;
+            ++result.merges_performed;
+            break;
+        }
+    }
+
+    // Emit chains: every non-consumed path starts one.
+    PathSet out;
+    for (PathId p = 0; p < np; ++p) {
+        if (consumed[p])
+            continue;
+        out.beginPath(paths.head(p));
+        for (PathId cur = p; cur != kInvalidPath; cur = next[cur]) {
+            const auto verts = paths.pathVertices(cur);
+            const auto edges = paths.pathEdges(cur);
+            for (std::size_t i = 0; i < edges.size(); ++i)
+                out.extend(verts[i + 1], edges[i]);
+        }
+    }
+    result.avg_length_after = out.avgLength();
+    result.paths = std::move(out);
+    return result;
+}
+
+} // namespace digraph::partition

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Head-to-tail merging of short paths (Section 3.2.1).
+ *
+ * The parallel decomposition can emit short paths (the depth bound and
+ * subgraph borders cut chains). Merging path A with path B when
+ * tail(A) == head(B) raises the average path length, which shortens
+ * convergence (state crosses more hops per round). The paper's constraint
+ * is preserved: when the shared vertex has both in-degree and out-degree
+ * greater than one, the merge only happens if the vertex is not an *inner*
+ * vertex of some other path.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "partition/path_set.hpp"
+#include "partition/scc_regions.hpp"
+
+namespace digraph::partition {
+
+/** Options for path merging. */
+struct MergeOptions
+{
+    /** Only paths shorter than this many edges initiate a merge
+     *  (the "short ones" of the paper). */
+    std::size_t short_threshold = 16;
+    /** Upper bound on a merged chain's length in edges (0 = unbounded).
+     *  Bounded by default: over-long chains serialize a whole region
+     *  onto one GPU thread and dominate every warp they appear in. */
+    std::size_t max_merged_length = 64;
+};
+
+/** Result of mergePaths, with simple effectiveness statistics. */
+struct MergeResult
+{
+    PathSet paths;
+    std::size_t merges_performed = 0;
+    double avg_length_before = 0.0;
+    double avg_length_after = 0.0;
+};
+
+/**
+ * Merge short paths of @p paths head-to-tail.
+ * @param regions Optional SCC regions; when given, two paths only merge
+ *        when their head regions match, so merged paths keep the
+ *        region-purity invariant the decomposer established.
+ */
+MergeResult mergePaths(const PathSet &paths, const graph::DirectedGraph &g,
+                       const MergeOptions &options = {},
+                       const SccRegions *regions = nullptr);
+
+} // namespace digraph::partition

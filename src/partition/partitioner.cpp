@@ -1,0 +1,91 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace digraph::partition {
+
+PartitionPlan
+makePartitions(const PathSet &paths, const DagSketch &dag,
+               const graph::DirectedGraph &g,
+               const PartitionOptions &options)
+{
+    PartitionPlan plan;
+    const PathId np = paths.numPaths();
+    if (np == 0) {
+        plan.partition_offsets.push_back(0);
+        return plan;
+    }
+
+    // Per-SCC number of successor paths (the paper orders same-layer
+    // SCC-vertices descending by it, so that finishing one unlocks the
+    // most follow-up work).
+    std::vector<std::size_t> successor_paths(dag.num_sccs, 0);
+    for (SccId s = 0; s < dag.num_sccs; ++s) {
+        for (const VertexId t : dag.sketch.outNeighbors(s))
+            successor_paths[s] += dag.paths_in_scc[t].size();
+    }
+
+    std::vector<SccId> scc_order(dag.num_sccs);
+    std::iota(scc_order.begin(), scc_order.end(), 0);
+    std::stable_sort(scc_order.begin(), scc_order.end(),
+                     [&](SccId a, SccId b) {
+                         if (dag.layer[a] != dag.layer[b])
+                             return dag.layer[a] < dag.layer[b];
+                         return successor_paths[a] > successor_paths[b];
+                     });
+
+    // Hot classification against the whole graph's average degree.
+    const double avg_deg =
+        g.numVertices()
+            ? static_cast<double>(g.numEdges()) / g.numVertices()
+            : 0.0;
+    const double hot_cut = options.hot_degree_factor * 2.0 * avg_deg;
+    // (x2: path avgDegree counts in+out degree, avg_deg counts out only.)
+
+    std::vector<double> path_deg(np);
+    for (PathId p = 0; p < np; ++p)
+        path_deg[p] = paths.avgDegree(p, g);
+
+    // Emit paths SCC by SCC, hot paths first within each SCC.
+    plan.path_order.reserve(np);
+    for (const SccId s : scc_order) {
+        std::vector<PathId> members = dag.paths_in_scc[s];
+        std::stable_sort(members.begin(), members.end(),
+                         [&](PathId a, PathId b) {
+                             return path_deg[a] > path_deg[b];
+                         });
+        plan.path_order.insert(plan.path_order.end(), members.begin(),
+                               members.end());
+    }
+    if (plan.path_order.size() != np)
+        panic("makePartitions: path order is not a permutation");
+
+    // Cut partitions at the edge budget.
+    const std::size_t budget = std::max<std::size_t>(
+        1, options.edges_per_partition);
+    plan.partition_offsets.push_back(0);
+    plan.path_hot.resize(np);
+    std::size_t filled = 0;
+    std::uint32_t cur_layer = UINT32_MAX;
+    for (PathId pos = 0; pos < np; ++pos) {
+        const PathId old = plan.path_order[pos];
+        plan.path_hot[pos] = path_deg[old] >= hot_cut ? 1 : 0;
+        const std::size_t len = paths.pathLength(old);
+        if (filled > 0 && filled + len > budget) {
+            plan.partition_offsets.push_back(pos);
+            plan.partition_layer.push_back(cur_layer);
+            filled = 0;
+            cur_layer = UINT32_MAX;
+        }
+        filled += len;
+        cur_layer = std::min(cur_layer, dag.layer[dag.scc_of_path[old]]);
+    }
+    plan.partition_offsets.push_back(np);
+    plan.partition_layer.push_back(cur_layer);
+    return plan;
+}
+
+} // namespace digraph::partition

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Assignment of paths to partitions (Section 3.2.1, last part).
+ *
+ * Highly-connected paths — in particular paths of the same SCC-vertex —
+ * are placed in the same partition for high utilization of loaded data;
+ * partitions are filled in DAG-layer order so a partition's paths share a
+ * dispatch window; hot paths are grouped to keep easily-convergent cold
+ * vertices out of frequently reloaded partitions.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "partition/dag_sketch.hpp"
+#include "partition/path_set.hpp"
+
+namespace digraph::partition {
+
+/** Options for partition assignment. */
+struct PartitionOptions
+{
+    /** Edge budget per partition (a partition closes when full). */
+    std::size_t edges_per_partition = 4096;
+    /** A path is *hot* when its average vertex degree exceeds this factor
+     *  times the graph's average degree. */
+    double hot_degree_factor = 2.0;
+};
+
+/** The resulting path order and partition boundaries. */
+struct PartitionPlan
+{
+    /** New position -> old path id (a permutation). */
+    std::vector<PathId> path_order;
+    /** Partition p owns new-order paths
+     *  [partition_offsets[p], partition_offsets[p+1]). */
+    std::vector<std::uint32_t> partition_offsets;
+    /** Dispatch layer of each partition (min layer of its paths). */
+    std::vector<std::uint32_t> partition_layer;
+    /** Hot flag per path, indexed by NEW path position. */
+    std::vector<std::uint8_t> path_hot;
+
+    /** Number of partitions. */
+    PartitionId
+    numPartitions() const
+    {
+        return partition_offsets.empty()
+                   ? 0
+                   : static_cast<PartitionId>(partition_offsets.size() - 1);
+    }
+};
+
+/** Compute the partition plan. */
+PartitionPlan makePartitions(const PathSet &paths, const DagSketch &dag,
+                             const graph::DirectedGraph &g,
+                             const PartitionOptions &options = {});
+
+} // namespace digraph::partition

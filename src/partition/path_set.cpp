@@ -1,0 +1,97 @@
+#include "partition/path_set.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace digraph::partition {
+
+double
+PathSet::avgLength() const
+{
+    if (numPaths() == 0)
+        return 0.0;
+    return static_cast<double>(numEdges()) /
+           static_cast<double>(numPaths());
+}
+
+std::vector<bool>
+PathSet::innerVertexFlags(VertexId num_vertices) const
+{
+    std::vector<bool> inner(num_vertices, false);
+    for (PathId p = 0; p < numPaths(); ++p) {
+        const auto verts = pathVertices(p);
+        for (std::size_t i = 1; i + 1 < verts.size(); ++i)
+            inner[verts[i]] = true;
+    }
+    return inner;
+}
+
+std::vector<std::uint32_t>
+PathSet::replicaCounts(VertexId num_vertices) const
+{
+    std::vector<std::uint32_t> counts(num_vertices, 0);
+    for (PathId p = 0; p < numPaths(); ++p) {
+        for (const VertexId v : pathVertices(p))
+            ++counts[v];
+    }
+    return counts;
+}
+
+double
+PathSet::avgDegree(PathId p, const graph::DirectedGraph &g) const
+{
+    const auto verts = pathVertices(p);
+    if (verts.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const VertexId v : verts)
+        total += static_cast<double>(g.degree(v));
+    return total / static_cast<double>(verts.size());
+}
+
+PathSet
+PathSet::reordered(const std::vector<PathId> &order) const
+{
+    if (order.size() != numPaths())
+        panic("PathSet::reordered: order size mismatch");
+    PathSet out;
+    out.offsets_.reserve(offsets_.size());
+    out.vertices_.reserve(vertices_.size());
+    out.edge_ids_.reserve(edge_ids_.size());
+    for (const PathId old : order) {
+        const auto verts = pathVertices(old);
+        const auto edges = pathEdges(old);
+        out.beginPath(verts[0]);
+        for (std::size_t i = 0; i < edges.size(); ++i)
+            out.extend(verts[i + 1], edges[i]);
+    }
+    return out;
+}
+
+bool
+PathSet::validate(const graph::DirectedGraph &g) const
+{
+    if (numEdges() != g.numEdges())
+        return false;
+    std::vector<bool> seen(g.numEdges(), false);
+    for (PathId p = 0; p < numPaths(); ++p) {
+        const auto verts = pathVertices(p);
+        const auto edges = pathEdges(p);
+        if (verts.size() != edges.size() + 1 || edges.empty())
+            return false;
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            const EdgeId e = edges[i];
+            if (e >= g.numEdges() || seen[e])
+                return false;
+            seen[e] = true;
+            if (g.edgeSource(e) != verts[i] ||
+                g.edgeTarget(e) != verts[i + 1]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace digraph::partition

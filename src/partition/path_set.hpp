@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A set of edge-disjoint directed paths — the output of the path-based
+ * graph partitioning (Section 3.2.1) and the basic parallel processing
+ * unit of the whole system.
+ *
+ * Each path is an ordered vertex sequence v0 -> v1 -> ... -> vk; its k
+ * edges are original graph edges, and every graph edge belongs to exactly
+ * one path. A vertex may occur on several paths (replicas).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace digraph::partition {
+
+/**
+ * Compact storage for a set of directed paths.
+ *
+ * Vertices of all paths are concatenated; path p owns the slice
+ * [vertex_offsets[p], vertex_offsets[p+1]) and its edges are the adjacent
+ * vertex pairs of that slice. Edge ids refer back to the source graph.
+ */
+class PathSet
+{
+  public:
+    /** Begin a new path whose first vertex is @p head. */
+    void
+    beginPath(VertexId head)
+    {
+        offsets_.push_back(static_cast<std::uint64_t>(vertices_.size()));
+        vertices_.push_back(head);
+    }
+
+    /** Extend the current path by edge @p id to vertex @p next. */
+    void
+    extend(VertexId next, EdgeId id)
+    {
+        vertices_.push_back(next);
+        edge_ids_.push_back(id);
+    }
+
+    /** Number of paths. */
+    PathId
+    numPaths() const
+    {
+        return static_cast<PathId>(offsets_.size());
+    }
+
+    /** Total number of edges across all paths. */
+    EdgeId numEdges() const { return edge_ids_.size(); }
+
+    /** Vertices of path @p p, head first. */
+    std::span<const VertexId>
+    pathVertices(PathId p) const
+    {
+        return {vertices_.data() + offsets_[p],
+                vertices_.data() + endOffset(p)};
+    }
+
+    /** Edge ids of path @p p; edge j connects vertex j to j+1. */
+    std::span<const EdgeId>
+    pathEdges(PathId p) const
+    {
+        return {edge_ids_.data() + (offsets_[p] - p),
+                edge_ids_.data() + (endOffset(p) - p - 1)};
+    }
+
+    /** Number of edges in path @p p. */
+    std::size_t
+    pathLength(PathId p) const
+    {
+        return static_cast<std::size_t>(endOffset(p) - offsets_[p] - 1);
+    }
+
+    /** Head (first) vertex of path @p p. */
+    VertexId head(PathId p) const { return vertices_[offsets_[p]]; }
+
+    /** Tail (last) vertex of path @p p. */
+    VertexId tail(PathId p) const { return vertices_[endOffset(p) - 1]; }
+
+    /** Mean number of edges per path. */
+    double avgLength() const;
+
+    /**
+     * For every vertex, whether it occurs as an *inner* vertex (neither
+     * head nor tail) of at least one path — the merge constraint of
+     * Section 3.2.1.
+     */
+    std::vector<bool> innerVertexFlags(VertexId num_vertices) const;
+
+    /** Number of path occurrences (replicas) per vertex. */
+    std::vector<std::uint32_t> replicaCounts(VertexId num_vertices) const;
+
+    /**
+     * Average vertex degree along path @p p in @p g — the paper's
+     * \f$\bar{D}(p)\f$ used by hot-path classification and Pri(p).
+     */
+    double avgDegree(PathId p, const graph::DirectedGraph &g) const;
+
+    /**
+     * Reorder the paths: new path i is old path order[i].
+     * @pre order is a permutation of [0, numPaths).
+     */
+    PathSet reordered(const std::vector<PathId> &order) const;
+
+    /**
+     * Validate the structural invariants against the source graph: every
+     * graph edge appears exactly once, consecutive path vertices are
+     * connected by their recorded edge. @return true when consistent.
+     */
+    bool validate(const graph::DirectedGraph &g) const;
+
+  private:
+    std::uint64_t
+    endOffset(PathId p) const
+    {
+        return p + 1 < offsets_.size()
+                   ? offsets_[p + 1]
+                   : static_cast<std::uint64_t>(vertices_.size());
+    }
+
+    std::vector<std::uint64_t> offsets_;
+    std::vector<VertexId> vertices_;
+    std::vector<EdgeId> edge_ids_;
+};
+
+} // namespace digraph::partition

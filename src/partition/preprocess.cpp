@@ -1,0 +1,97 @@
+#include "partition/preprocess.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace digraph::partition {
+
+PartitionId
+Preprocessed::partitionOfPath(PathId p) const
+{
+    const auto it = std::upper_bound(partition_offsets.begin(),
+                                     partition_offsets.end(), p);
+    return static_cast<PartitionId>(it - partition_offsets.begin() - 1);
+}
+
+Preprocessed
+preprocess(const graph::DirectedGraph &g, const PreprocessOptions &options)
+{
+    Preprocessed out;
+    WallTimer timer;
+
+    ThreadPool pool(std::max(1u, options.decompose.num_threads));
+
+    // 1. Path decomposition (Algorithm 1), region-guided.
+    timer.reset();
+    SccRegions regions;
+    if (options.decompose.scc_confined)
+        regions = SccRegions(g);
+    PathSet raw = decompose(g, options.decompose, &pool,
+                            regions.valid() ? &regions : nullptr);
+    out.timings.decompose_s = timer.seconds();
+
+    // 2. Head-to-tail merge of short paths.
+    timer.reset();
+    PathSet merged;
+    if (options.enable_merge) {
+        MergeResult mr = mergePaths(raw, g, options.merge,
+                                    regions.valid() ? &regions : nullptr);
+        merged = std::move(mr.paths);
+        out.merges = mr.merges_performed;
+    } else {
+        merged = std::move(raw);
+    }
+    out.timings.merge_s = timer.seconds();
+
+    // 3. Dependency graph over paths.
+    timer.reset();
+    const graph::DirectedGraph dep =
+        buildDependencyGraph(merged, g, options.dependency);
+    out.timings.dependency_s = timer.seconds();
+
+    // 4. DAG sketch (parallel SCC contraction + layering).
+    timer.reset();
+    DagSketch dag = buildDagSketch(dep, merged.numPaths(),
+                                   options.decompose.num_threads, &pool);
+    out.timings.sketch_s = timer.seconds();
+
+    // 5. Partition assignment.
+    timer.reset();
+    PartitionPlan plan = makePartitions(merged, dag, g, options.partition);
+
+    // Re-index everything to the final path order.
+    out.paths = merged.reordered(plan.path_order);
+    const PathId np = out.paths.numPaths();
+
+    std::vector<PathId> new_of_old(np);
+    for (PathId pos = 0; pos < np; ++pos)
+        new_of_old[plan.path_order[pos]] = pos;
+
+    out.scc_of_path.resize(np);
+    out.path_layer.resize(np);
+    out.path_avg_degree.resize(np);
+    for (PathId pos = 0; pos < np; ++pos) {
+        const PathId old = plan.path_order[pos];
+        out.scc_of_path[pos] = dag.scc_of_path[old];
+        out.path_layer[pos] = dag.layer[dag.scc_of_path[old]];
+        out.path_avg_degree[pos] = out.paths.avgDegree(pos, g);
+    }
+    out.path_hot = std::move(plan.path_hot);
+
+    out.dag = std::move(dag);
+    out.dag.scc_of_path = out.scc_of_path;
+    for (auto &members : out.dag.paths_in_scc) {
+        for (PathId &p : members)
+            p = new_of_old[p];
+        std::sort(members.begin(), members.end());
+    }
+
+    out.partition_offsets = std::move(plan.partition_offsets);
+    out.partition_layer = std::move(plan.partition_layer);
+    out.timings.partition_s = timer.seconds();
+    return out;
+}
+
+} // namespace digraph::partition

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SCC *regions* of a directed graph, shared by the decomposer and the
+ * merger.
+ *
+ * A region is either one cyclic (multi-vertex) SCC or the union of all
+ * acyclic (singleton) SCCs. A directed path whose vertices stay inside a
+ * single region never mixes "iterating" (cyclic) state with "one-shot"
+ * (DAG) state, which keeps the path dependency graph's condensation
+ * aligned with the vertex condensation — the property Observation 2 of
+ * the paper exploits.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+
+namespace digraph::partition {
+
+/** Region classification per vertex. */
+class SccRegions
+{
+  public:
+    SccRegions() = default;
+
+    /** Compute SCCs of @p g and classify regions. */
+    explicit SccRegions(const graph::DirectedGraph &g)
+        : SccRegions(g, graph::computeScc(g))
+    {}
+
+    /** Classify from a precomputed SCC result. */
+    SccRegions(const graph::DirectedGraph &g, const graph::SccResult &scc)
+        : component_(scc.component), cyclic_(g.numVertices(), false)
+    {
+        for (VertexId v = 0; v < g.numVertices(); ++v)
+            cyclic_[v] = scc.sizes[scc.component[v]] > 1;
+    }
+
+    /** True when @p v belongs to a cyclic (multi-vertex) SCC. */
+    bool cyclic(VertexId v) const { return cyclic_[v]; }
+
+    /** SCC id of @p v. */
+    SccId component(VertexId v) const { return component_[v]; }
+
+    /**
+     * True when an edge u->v may be chained into the current path: both
+     * endpoints in the same cyclic SCC, or both in acyclic territory.
+     */
+    bool
+    sameRegion(VertexId u, VertexId v) const
+    {
+        if (!cyclic_[u] && !cyclic_[v])
+            return true;
+        return cyclic_[u] && cyclic_[v] &&
+               component_[u] == component_[v];
+    }
+
+    /** True when two *head* vertices define the same region (merge
+     *  compatibility of the paths starting there). */
+    bool
+    sameHeadRegion(VertexId a, VertexId b) const
+    {
+        if (!cyclic_[a] && !cyclic_[b])
+            return true;
+        return cyclic_[a] && cyclic_[b] &&
+               component_[a] == component_[b];
+    }
+
+    /** True when the classification has been computed. */
+    bool valid() const { return !component_.empty(); }
+
+  private:
+    std::vector<SccId> component_;
+    std::vector<bool> cyclic_;
+};
+
+} // namespace digraph::partition

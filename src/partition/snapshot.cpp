@@ -1,0 +1,203 @@
+#include "partition/snapshot.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+
+#include "common/logging.hpp"
+#include "graph/builder.hpp"
+
+namespace digraph::partition {
+
+namespace {
+
+constexpr std::uint64_t kSnapshotMagic = 0x44695072'65505245ULL;
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+template <typename T>
+void
+writePod(std::ofstream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::ifstream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return static_cast<bool>(in);
+}
+
+template <typename T>
+void
+writeVector(std::ofstream &out, const std::vector<T> &values)
+{
+    writePod(out, static_cast<std::uint64_t>(values.size()));
+    out.write(reinterpret_cast<const char *>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+bool
+readVector(std::ifstream &in, std::vector<T> &values)
+{
+    std::uint64_t count = 0;
+    if (!readPod(in, count))
+        return false;
+    values.resize(count);
+    in.read(reinterpret_cast<char *>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+    return static_cast<bool>(in);
+}
+
+/** Flattened path arrays (PathSet's storage is private; rebuild through
+ *  the builder interface). */
+struct FlatPaths
+{
+    std::vector<std::uint64_t> offsets; // first-vertex index per path
+    std::vector<VertexId> vertices;
+    std::vector<EdgeId> edges;
+};
+
+FlatPaths
+flatten(const PathSet &paths)
+{
+    FlatPaths flat;
+    std::uint64_t offset = 0;
+    for (PathId p = 0; p < paths.numPaths(); ++p) {
+        flat.offsets.push_back(offset);
+        const auto verts = paths.pathVertices(p);
+        const auto edges = paths.pathEdges(p);
+        flat.vertices.insert(flat.vertices.end(), verts.begin(),
+                             verts.end());
+        flat.edges.insert(flat.edges.end(), edges.begin(), edges.end());
+        offset += verts.size();
+    }
+    flat.offsets.push_back(offset);
+    return flat;
+}
+
+PathSet
+unflatten(const FlatPaths &flat)
+{
+    PathSet paths;
+    std::uint64_t edge_cursor = 0;
+    for (std::size_t p = 0; p + 1 < flat.offsets.size(); ++p) {
+        const std::uint64_t lo = flat.offsets[p];
+        const std::uint64_t hi = flat.offsets[p + 1];
+        paths.beginPath(flat.vertices[lo]);
+        for (std::uint64_t i = lo + 1; i < hi; ++i)
+            paths.extend(flat.vertices[i], flat.edges[edge_cursor++]);
+    }
+    return paths;
+}
+
+} // namespace
+
+void
+saveSnapshot(const Preprocessed &pre, const graph::DirectedGraph &g,
+             const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("saveSnapshot: cannot open ", path);
+
+    writePod(out, kSnapshotMagic);
+    writePod(out, kSnapshotVersion);
+    writePod(out, static_cast<std::uint64_t>(g.numVertices()));
+    writePod(out, static_cast<std::uint64_t>(g.numEdges()));
+
+    const FlatPaths flat = flatten(pre.paths);
+    writeVector(out, flat.offsets);
+    writeVector(out, flat.vertices);
+    writeVector(out, flat.edges);
+
+    writeVector(out, pre.scc_of_path);
+    writeVector(out, pre.path_layer);
+    writeVector(out, pre.path_hot);
+    writeVector(out, pre.path_avg_degree);
+    writeVector(out, pre.partition_offsets);
+    writeVector(out, pre.partition_layer);
+
+    // DAG sketch: per-path SCC ids + condensed edge list + layers.
+    writePod(out, static_cast<std::uint64_t>(pre.dag.num_sccs));
+    writeVector(out, pre.dag.layer);
+    const auto sketch_edges = pre.dag.sketch.edgeList();
+    std::vector<VertexId> sketch_src, sketch_dst;
+    sketch_src.reserve(sketch_edges.size());
+    sketch_dst.reserve(sketch_edges.size());
+    for (const auto &e : sketch_edges) {
+        sketch_src.push_back(e.src);
+        sketch_dst.push_back(e.dst);
+    }
+    writeVector(out, sketch_src);
+    writeVector(out, sketch_dst);
+    if (!out)
+        fatal("saveSnapshot: write failed for ", path);
+}
+
+std::optional<Preprocessed>
+loadSnapshot(const graph::DirectedGraph &g, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+
+    std::uint64_t magic = 0, n = 0, m = 0;
+    std::uint32_t version = 0;
+    if (!readPod(in, magic) || magic != kSnapshotMagic)
+        return std::nullopt;
+    if (!readPod(in, version) || version != kSnapshotVersion)
+        return std::nullopt;
+    if (!readPod(in, n) || !readPod(in, m) || n != g.numVertices() ||
+        m != g.numEdges()) {
+        return std::nullopt; // built for a different graph
+    }
+
+    FlatPaths flat;
+    Preprocessed pre;
+    if (!readVector(in, flat.offsets) ||
+        !readVector(in, flat.vertices) || !readVector(in, flat.edges) ||
+        !readVector(in, pre.scc_of_path) ||
+        !readVector(in, pre.path_layer) ||
+        !readVector(in, pre.path_hot) ||
+        !readVector(in, pre.path_avg_degree) ||
+        !readVector(in, pre.partition_offsets) ||
+        !readVector(in, pre.partition_layer)) {
+        return std::nullopt;
+    }
+    pre.paths = unflatten(flat);
+    if (!pre.paths.validate(g))
+        return std::nullopt;
+
+    std::uint64_t num_sccs = 0;
+    std::vector<VertexId> sketch_src, sketch_dst;
+    if (!readPod(in, num_sccs) || !readVector(in, pre.dag.layer) ||
+        !readVector(in, sketch_src) || !readVector(in, sketch_dst)) {
+        return std::nullopt;
+    }
+    pre.dag.num_sccs = static_cast<SccId>(num_sccs);
+    graph::GraphBuilder builder(static_cast<VertexId>(num_sccs));
+    for (std::size_t i = 0; i < sketch_src.size(); ++i)
+        builder.addEdge(sketch_src[i], sketch_dst[i]);
+    pre.dag.sketch = builder.build();
+    pre.dag.scc_of_path = pre.scc_of_path;
+    pre.dag.paths_in_scc.assign(pre.dag.num_sccs, {});
+    for (PathId p = 0; p < pre.paths.numPaths(); ++p) {
+        if (pre.scc_of_path[p] >= pre.dag.num_sccs)
+            return std::nullopt;
+        pre.dag.paths_in_scc[pre.scc_of_path[p]].push_back(p);
+    }
+    std::size_t best = 0;
+    pre.dag.giant_scc = kInvalidScc;
+    for (SccId s = 0; s < pre.dag.num_sccs; ++s) {
+        if (pre.dag.paths_in_scc[s].size() > best) {
+            best = pre.dag.paths_in_scc[s].size();
+            pre.dag.giant_scc = s;
+        }
+    }
+    return pre;
+}
+
+} // namespace digraph::partition

@@ -1,0 +1,93 @@
+#include "storage/path_storage.hpp"
+
+#include "common/logging.hpp"
+
+namespace digraph::storage {
+
+PathStorage::PathStorage(const partition::PathSet &paths,
+                         const graph::DirectedGraph &g)
+{
+    const PathId np = paths.numPaths();
+    ptable_.reserve(np + 1);
+    std::uint64_t offset = 0;
+    for (PathId p = 0; p < np; ++p) {
+        ptable_.push_back(offset);
+        const auto verts = paths.pathVertices(p);
+        const auto edges = paths.pathEdges(p);
+        for (const VertexId v : verts)
+            e_idx_.push_back(v);
+        for (const EdgeId e : edges)
+            edge_ids_.push_back(e);
+        offset += verts.size();
+    }
+    ptable_.push_back(offset);
+
+    s_val_.assign(e_idx_.size(), 0.0);
+    loaded_val_.assign(e_idx_.size(), 0.0);
+    e_val_.assign(edge_ids_.size(), 0.0);
+    v_val_.assign(g.numVertices(), 0.0);
+}
+
+PathView
+PathStorage::path(PathId p)
+{
+    const std::uint64_t lo = ptable_[p];
+    const std::uint64_t hi = ptable_[p + 1];
+    const std::uint64_t elo = lo - p; // p paths before -> p fewer edges
+    const std::uint64_t ehi = hi - p - 1;
+    PathView view;
+    view.vertex_ids = {e_idx_.data() + lo, e_idx_.data() + hi};
+    view.mirror_states = {s_val_.data() + lo, s_val_.data() + hi};
+    view.loaded_states = {loaded_val_.data() + lo, loaded_val_.data() + hi};
+    view.edge_states = {e_val_.data() + elo, e_val_.data() + ehi};
+    view.edge_ids = {edge_ids_.data() + elo, edge_ids_.data() + ehi};
+    return view;
+}
+
+void
+PathStorage::pullPath(PathId p)
+{
+    const std::uint64_t lo = ptable_[p];
+    const std::uint64_t hi = ptable_[p + 1];
+    for (std::uint64_t slot = lo; slot < hi; ++slot) {
+        s_val_[slot] = v_val_[e_idx_[slot]];
+        loaded_val_[slot] = s_val_[slot];
+    }
+}
+
+std::size_t
+PathStorage::pathBytes(PathId p) const
+{
+    const std::uint64_t verts = ptable_[p + 1] - ptable_[p];
+    const std::uint64_t edges = verts - 1;
+    return static_cast<std::size_t>(
+        verts * (sizeof(VertexId) + sizeof(Value)) + // E_idx + S_val
+        edges * sizeof(Value) +                      // E_val
+        sizeof(std::uint64_t));                      // PTable entry
+}
+
+std::size_t
+PathStorage::rangeBytes(PathId first, PathId last) const
+{
+    std::size_t total = 0;
+    for (PathId p = first; p < last; ++p)
+        total += pathBytes(p);
+    return total;
+}
+
+void
+PathStorage::initialize(const std::vector<Value> &vertex_init,
+                        const std::vector<Value> &edge_init)
+{
+    if (vertex_init.size() != v_val_.size())
+        panic("PathStorage::initialize: vertex array size mismatch");
+    v_val_ = vertex_init;
+    for (std::size_t slot = 0; slot < e_idx_.size(); ++slot) {
+        s_val_[slot] = v_val_[e_idx_[slot]];
+        loaded_val_[slot] = s_val_[slot];
+    }
+    for (std::size_t i = 0; i < edge_ids_.size(); ++i)
+        e_val_[i] = edge_init[edge_ids_[i]];
+}
+
+} // namespace digraph::storage

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The paper's four-array directed-path storage (Section 3.2.1, Fig 4).
+ *
+ *  - E_idx: per-path vertex-id sequences, concatenated (two successive
+ *    items describe one directed edge);
+ *  - S_val: mirror state per E_idx slot (the replica a GPU thread reads
+ *    and writes while walking the path);
+ *  - E_val: per-edge algorithm value (e.g. the last-propagated source
+ *    contribution), aligned with the edges of each path;
+ *  - V_val: master state per vertex (one slot per vertex id);
+ *  - PTable: offset of each path's first vertex in E_idx; two successive
+ *    entries delimit a path.
+ *
+ * Because a partition's paths occupy consecutive PTable/E_idx ranges, a
+ * warp assigned to a partition reads consecutive global memory — the
+ * coalesced-access property the cost model rewards.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+#include "partition/path_set.hpp"
+
+namespace digraph::storage {
+
+/** Mutable view of one path's storage slices. */
+struct PathView
+{
+    /** Vertex ids along the path (length = edges + 1). */
+    std::span<const VertexId> vertex_ids;
+    /** Mirror states, parallel to vertex_ids. */
+    std::span<Value> mirror_states;
+    /** Mirror snapshot at partition-load time, parallel to vertex_ids. */
+    std::span<Value> loaded_states;
+    /** Per-edge algorithm values, parallel to the path's edges. */
+    std::span<Value> edge_states;
+    /** Original graph edge ids, parallel to the path's edges. */
+    std::span<const EdgeId> edge_ids;
+
+    /** Number of edges. */
+    std::size_t length() const { return edge_ids.size(); }
+};
+
+/**
+ * The four arrays plus PTable, materialized from a partitioned PathSet.
+ */
+class PathStorage
+{
+  public:
+    PathStorage() = default;
+
+    /** Build from @p paths (already in final partition order) over @p g. */
+    PathStorage(const partition::PathSet &paths,
+                const graph::DirectedGraph &g);
+
+    /** Number of paths. */
+    PathId numPaths() const
+    {
+        return ptable_.empty() ? 0
+                               : static_cast<PathId>(ptable_.size() - 1);
+    }
+
+    /** Number of vertices (V_val size). */
+    VertexId numVertices() const
+    {
+        return static_cast<VertexId>(v_val_.size());
+    }
+
+    /** Mutable view of path @p p. */
+    PathView path(PathId p);
+
+    /** PTable entry: E_idx offset of path @p p's first vertex. */
+    std::uint64_t pathOffset(PathId p) const { return ptable_[p]; }
+
+    /** Master state of vertex @p v. */
+    Value &vVal(VertexId v) { return v_val_[v]; }
+    Value vVal(VertexId v) const { return v_val_[v]; }
+
+    /** Whole master-state array. */
+    std::span<Value> vVals() { return v_val_; }
+    std::span<const Value> vVals() const { return v_val_; }
+
+    /** Raw E_idx array (tests / coalescing analysis). */
+    std::span<const VertexId> eIdx() const { return e_idx_; }
+
+    /** Vertex id stored at E_idx slot @p slot. */
+    VertexId vertexAt(std::uint64_t slot) const { return e_idx_[slot]; }
+
+    /** Mirror state at slot @p slot (hot-loop accessor). */
+    Value &sVal(std::uint64_t slot) { return s_val_[slot]; }
+
+    /** Partition-load snapshot at slot @p slot (hot-loop accessor). */
+    Value &loadedVal(std::uint64_t slot) { return loaded_val_[slot]; }
+
+    /** Raw E_val array. */
+    std::span<const Value> eVal() const { return e_val_; }
+
+    /** Fill every S_val and loaded-state slot of path @p p from V_val
+     *  (the partition-load pull). */
+    void pullPath(PathId p);
+
+    /** Bytes a GPU must move to load path @p p (E_idx + S_val + E_val
+     *  slices plus its PTable entry). */
+    std::size_t pathBytes(PathId p) const;
+
+    /** Bytes for a contiguous path range [first, last). */
+    std::size_t rangeBytes(PathId first, PathId last) const;
+
+    /** Initialize V_val, S_val snapshots and E_val.
+     *  @param vertex_init V_val per vertex; @param edge_init E_val per
+     *  original edge id. */
+    void initialize(const std::vector<Value> &vertex_init,
+                    const std::vector<Value> &edge_init);
+
+  private:
+    std::vector<std::uint64_t> ptable_;
+    std::vector<VertexId> e_idx_;
+    std::vector<Value> s_val_;
+    std::vector<Value> loaded_val_;
+    std::vector<Value> e_val_;
+    std::vector<EdgeId> edge_ids_;
+    std::vector<Value> v_val_;
+};
+
+} // namespace digraph::storage

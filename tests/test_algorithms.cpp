@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Semantics tests for the bundled vertex programs against hand-computed
+ * fixed points, plus checks of the mirror-push/master-merge contracts.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/adsorption.hpp"
+#include "algorithms/factory.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+#include "baselines/sequential.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+
+namespace digraph::algorithms {
+namespace {
+
+TEST(PageRank, TwoCycleClosedForm)
+{
+    // x = 0.15 + 0.85 * x  =>  x = 1 on a 2-cycle.
+    const auto g = graph::makeCycle(2);
+    const PageRank pr;
+    const auto result = baselines::runSequential(g, pr);
+    EXPECT_NEAR(result.state[0], 1.0, 1e-4);
+    EXPECT_NEAR(result.state[1], 1.0, 1e-4);
+}
+
+TEST(PageRank, ChainClosedForm)
+{
+    // 0 -> 1 -> 2: x0 = 0.15, x1 = 0.15 + 0.85*x0, x2 = 0.15 + 0.85*x1.
+    const auto g = graph::makeChain(3);
+    const PageRank pr;
+    const auto result = baselines::runSequential(g, pr);
+    EXPECT_NEAR(result.state[0], 0.15, 1e-9);
+    EXPECT_NEAR(result.state[1], 0.15 + 0.85 * 0.15, 1e-6);
+    EXPECT_NEAR(result.state[2], 0.15 + 0.85 * result.state[1], 1e-6);
+}
+
+TEST(PageRank, EdgeCacheMakesReprocessingIdempotent)
+{
+    const PageRank pr;
+    Value edge_state = 0.0, dst = 0.15;
+    // First processing pushes the full source value.
+    EXPECT_TRUE(pr.processEdge(1.0, edge_state, 0, 1.0, 2, dst));
+    const Value after_first = dst;
+    // Reprocessing with an unchanged source is a no-op.
+    EXPECT_FALSE(pr.processEdge(1.0, edge_state, 0, 1.0, 2, dst));
+    EXPECT_EQ(dst, after_first);
+    // A source increment pushes only the delta.
+    EXPECT_TRUE(pr.processEdge(1.5, edge_state, 0, 1.0, 2, dst));
+    EXPECT_NEAR(dst, after_first + 0.85 * 0.5 / 2.0, 1e-12);
+}
+
+TEST(PageRank, PushAndMergeContract)
+{
+    const PageRank pr;
+    EXPECT_TRUE(pr.hasPush(2.0, 1.0));
+    EXPECT_FALSE(pr.hasPush(1.0, 1.0));
+    EXPECT_DOUBLE_EQ(pr.pushValue(2.0, 0.5), 1.5);
+    Value master = 1.0;
+    EXPECT_TRUE(pr.mergeMaster(master, 1.5));
+    EXPECT_DOUBLE_EQ(master, 2.5);
+    EXPECT_FALSE(pr.mergeMaster(master, 1e-9));
+}
+
+TEST(Sssp, HandComputedDistances)
+{
+    graph::GraphBuilder b;
+    b.addEdge(0, 1, 4.0);
+    b.addEdge(0, 2, 1.0);
+    b.addEdge(2, 1, 2.0);
+    b.addEdge(1, 3, 1.0);
+    const auto g = b.build();
+    const Sssp sssp(0);
+    const auto result = baselines::runSequential(g, sssp);
+    EXPECT_EQ(result.state[0], 0.0);
+    EXPECT_EQ(result.state[1], 3.0);
+    EXPECT_EQ(result.state[2], 1.0);
+    EXPECT_EQ(result.state[3], 4.0);
+}
+
+TEST(Sssp, UnreachableStaysInfinite)
+{
+    const auto g = graph::makeChain(4);
+    const Sssp sssp(2);
+    const auto result = baselines::runSequential(g, sssp);
+    EXPECT_TRUE(std::isinf(result.state[0]));
+    EXPECT_TRUE(std::isinf(result.state[1]));
+    EXPECT_EQ(result.state[3], 1.0);
+}
+
+TEST(Sssp, MergeAndPullAreMin)
+{
+    const Sssp sssp(0);
+    Value master = 5.0;
+    EXPECT_TRUE(sssp.mergeMaster(master, 3.0));
+    EXPECT_EQ(master, 3.0);
+    EXPECT_FALSE(sssp.mergeMaster(master, 4.0));
+    EXPECT_EQ(sssp.pull(2.0, 7.0), 2.0);
+    EXPECT_EQ(sssp.pull(9.0, 7.0), 7.0);
+    EXPECT_TRUE(sssp.hasPush(1.0, 2.0));
+    EXPECT_FALSE(sssp.hasPush(2.0, 2.0));
+}
+
+TEST(Bfs, HopCounts)
+{
+    const auto g = graph::makeBinaryTree(7);
+    const Bfs bfs(0);
+    const auto result = baselines::runSequential(g, bfs);
+    EXPECT_EQ(result.state[0], 0.0);
+    EXPECT_EQ(result.state[2], 1.0);
+    EXPECT_EQ(result.state[6], 2.0);
+}
+
+TEST(KCore, PeelingCascade)
+{
+    // 0 -> 1 -> 2 -> 3 plus 3 -> 1: in-degrees 0,2,1,1. With k = 1,
+    // vertex 0 (in-degree 0) is dead; its edge kills nothing else since
+    // 1 still has in-degree 1 after losing 0's edge.
+    graph::GraphBuilder b;
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(2, 3);
+    b.addEdge(3, 1);
+    const auto g = b.build();
+    const KCore k1(1);
+    const auto result = baselines::runSequential(g, k1);
+    EXPECT_FALSE(k1.alive(result.state[0]));
+    EXPECT_TRUE(k1.alive(result.state[1]));
+    EXPECT_TRUE(k1.alive(result.state[2]));
+    EXPECT_TRUE(k1.alive(result.state[3]));
+
+    // With k = 2 everything unravels: only vertex 1 starts with
+    // in-degree 2, and it loses 0's edge immediately.
+    const KCore k2(2);
+    const auto result2 = baselines::runSequential(g, k2);
+    for (VertexId v = 0; v < 4; ++v)
+        EXPECT_FALSE(k2.alive(result2.state[v])) << "vertex " << v;
+}
+
+TEST(KCore, ChainFullyPeels)
+{
+    const auto g = graph::makeChain(6);
+    const KCore k1(1);
+    const auto result = baselines::runSequential(g, k1);
+    for (VertexId v = 0; v < 6; ++v)
+        EXPECT_FALSE(k1.alive(result.state[v]))
+            << "a chain has no 1-core (directed): vertex " << v;
+}
+
+TEST(KCore, CycleSurvivesK1)
+{
+    const auto g = graph::makeCycle(5);
+    const KCore k1(1);
+    const auto result = baselines::runSequential(g, k1);
+    for (VertexId v = 0; v < 5; ++v)
+        EXPECT_TRUE(k1.alive(result.state[v]));
+}
+
+TEST(Adsorption, SeedsRetainInjectedMass)
+{
+    const auto g = graph::makeCycle(4);
+    const Adsorption ads(g, /*seed_every=*/2, 0.25, 0.75);
+    const auto result = baselines::runSequential(g, ads);
+    // Seeds are 0 and 2; scores must be positive everywhere on a cycle.
+    for (VertexId v = 0; v < 4; ++v)
+        EXPECT_GT(result.state[v], 0.0);
+    EXPECT_GT(result.state[0], result.state[1])
+        << "seed holds more mass than non-seed";
+}
+
+TEST(Adsorption, ContractionBoundsScores)
+{
+    const auto g = graph::makeDataset(graph::Dataset::dblp, 0.03);
+    const Adsorption ads(g);
+    const auto result = baselines::runSequential(g, ads);
+    for (const Value s : result.state) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0 + 1e-6)
+            << "normalized in-weights keep the fixed point bounded";
+    }
+}
+
+TEST(Wcc, LabelsComponentsOnSymmetricGraph)
+{
+    graph::GraphBuilder b(7);
+    b.addEdge(0, 1);
+    b.addEdge(2, 3);
+    b.addEdge(3, 4);
+    const auto g =
+        graph::withBidirectionalRatio(b.build(), 1.0); // symmetrize
+    const Wcc wcc;
+    const auto result = baselines::runSequential(g, wcc);
+    EXPECT_EQ(result.state[0], result.state[1]);
+    EXPECT_EQ(result.state[2], result.state[3]);
+    EXPECT_EQ(result.state[3], result.state[4]);
+    EXPECT_NE(result.state[0], result.state[2]);
+    EXPECT_EQ(result.state[5], 5.0); // isolated keeps own label
+}
+
+TEST(Factory, CreatesEveryAlgorithm)
+{
+    const auto g = graph::makeChain(4);
+    for (const auto &name :
+         {"pagerank", "adsorption", "sssp", "kcore", "bfs", "wcc"}) {
+        const auto algo = makeAlgorithm(name, g);
+        ASSERT_NE(algo, nullptr);
+        EXPECT_EQ(algo->name(), name);
+    }
+    EXPECT_EQ(benchmarkNames().size(), 4u);
+}
+
+} // namespace
+} // namespace digraph::algorithms

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Behavioural tests for the comparison engines: BSP round counts track
+ * propagation depth (the one-hop-per-round property the paper
+ * criticizes), the async engine records partition reprocessing, and both
+ * produce sane metric reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algorithms/factory.hpp"
+#include "algorithms/sssp.hpp"
+#include "baselines/async_engine.hpp"
+#include "baselines/bsp_engine.hpp"
+#include "graph/generators.hpp"
+
+namespace digraph::baselines {
+namespace {
+
+gpusim::PlatformConfig
+smallPlatform(unsigned gpus = 2)
+{
+    gpusim::PlatformConfig pc;
+    pc.num_devices = gpus;
+    pc.smx_per_device = 4;
+    return pc;
+}
+
+TEST(BspEngine, RoundsTrackPropagationDepth)
+{
+    // BFS on a chain of 40: one hop per round (the Fig 1 critique).
+    const auto g = graph::makeChain(40);
+    const auto algo = algorithms::makeAlgorithm("bfs", g);
+    BaselineOptions opts;
+    opts.platform = smallPlatform();
+    const auto report = runBsp(g, *algo, opts);
+    EXPECT_GE(report.rounds, 39u);
+    EXPECT_LE(report.rounds, 41u);
+}
+
+TEST(BspEngine, ReportFieldsAreSane)
+{
+    const auto g = graph::makeDataset(graph::Dataset::dblp, 0.05);
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    BaselineOptions opts;
+    opts.platform = smallPlatform();
+    const auto report = runBsp(g, *algo, opts);
+    EXPECT_EQ(report.system, "bsp");
+    EXPECT_GT(report.vertex_updates, 0u);
+    EXPECT_GT(report.edge_processings, report.vertex_updates / 2);
+    EXPECT_GT(report.sim_cycles, 0.0);
+    EXPECT_GT(report.host_transfer_bytes, 0u);
+    EXPECT_GT(report.loaded_vertices, 0u);
+    EXPECT_GE(report.utilization, 0.0);
+    EXPECT_LE(report.utilization, 1.0);
+    EXPECT_EQ(report.final_state.size(), g.numVertices());
+}
+
+TEST(BspEngine, MaxRoundsCapStopsRunaway)
+{
+    const auto g = graph::makeCycle(10);
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    BaselineOptions opts;
+    opts.platform = smallPlatform();
+    opts.max_rounds = 3;
+    const auto report = runBsp(g, *algo, opts);
+    EXPECT_EQ(report.rounds, 3u);
+}
+
+TEST(AsyncEngine, RecordsPartitionReprocessing)
+{
+    const auto g = graph::makeDataset(graph::Dataset::cnr, 0.08);
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    BaselineOptions opts;
+    opts.platform = smallPlatform(4);
+    const auto result = runAsync(g, *algo, opts);
+    ASSERT_FALSE(result.partition_process_count.empty());
+    std::uint64_t total = 0, reprocessed = 0;
+    for (const auto c : result.partition_process_count) {
+        total += c;
+        reprocessed += c > 1;
+    }
+    EXPECT_EQ(total, result.report.partition_processings);
+    EXPECT_GT(reprocessed, 0u)
+        << "pagerank must reprocess partitions (Fig 2a)";
+    EXPECT_FALSE(result.dispatch_active_ratio.empty());
+    for (const double r : result.dispatch_active_ratio) {
+        EXPECT_GT(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+}
+
+TEST(AsyncEngine, ForceAllActiveTouchesEveryPartition)
+{
+    const auto g = graph::makeDataset(graph::Dataset::dblp, 0.05);
+    const auto algo = algorithms::makeAlgorithm("sssp", g);
+    BaselineOptions opts;
+    opts.platform = smallPlatform();
+    opts.force_all_active = true;
+    const auto result = runAsync(g, *algo, opts);
+    for (const auto c : result.partition_process_count)
+        EXPECT_GE(c, 1u);
+}
+
+TEST(AsyncEngine, PartitionBoundsCoverAllVertices)
+{
+    const auto g = graph::makeDataset(graph::Dataset::webbase, 0.05);
+    const auto bounds = vertexRangePartitions(g, 500);
+    ASSERT_GE(bounds.size(), 2u);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), g.numVertices());
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(AsyncEngine, DefaultBudgetScalesWithPlatform)
+{
+    const auto g = graph::makeDataset(graph::Dataset::dblp, 0.1);
+    const auto small = defaultEdgeBudget(g, smallPlatform(1));
+    const auto large = defaultEdgeBudget(g, smallPlatform(4));
+    EXPECT_GE(small, large);
+    EXPECT_GE(large, 256u);
+}
+
+TEST(Engines, FewerGpusMeansFewerDevicesTouched)
+{
+    const auto g = graph::makeDataset(graph::Dataset::dblp, 0.05);
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    for (const unsigned gpus : {1u, 2u, 3u}) {
+        BaselineOptions opts;
+        opts.platform = smallPlatform(gpus);
+        const auto bsp = runBsp(g, *algo, opts);
+        EXPECT_EQ(bsp.num_gpus, gpus);
+        const auto async = runAsync(g, *algo, opts);
+        EXPECT_EQ(async.report.num_gpus, gpus);
+    }
+}
+
+} // namespace
+} // namespace digraph::baselines

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the path dependency graph and the DAG sketch: dependency-edge
+ * semantics on hand-built cases, equivalence of the star construction
+ * with the quadratic product, acyclicity and layer monotonicity of the
+ * sketch, and serial/parallel construction equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/builder.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+#include "partition/dag_sketch.hpp"
+#include "partition/decomposer.hpp"
+#include "partition/dependency.hpp"
+#include "partition/merger.hpp"
+
+namespace digraph::partition {
+namespace {
+
+PathSet
+pathsFor(const graph::DirectedGraph &g)
+{
+    const SccRegions regions(g);
+    auto raw = decompose(g, {}, nullptr, &regions);
+    return mergePaths(raw, g, {}, &regions).paths;
+}
+
+TEST(DependencyGraph, ProducerConsumerEdge)
+{
+    // Two explicit paths: p0 = 0->1->2, p1 = 2->3. p0 produces vertex 2
+    // (in-edge on p0), p1 consumes it (out-edge on p1): dep p0 -> p1.
+    graph::GraphBuilder b;
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(2, 3);
+    const auto g = b.build();
+    const auto paths = pathsFor(g);
+    const auto dep = buildDependencyGraph(paths, g);
+    // With merging, the whole thing may be one path (no dependencies).
+    if (paths.numPaths() == 2) {
+        EXPECT_EQ(dep.numEdges(), 1u);
+        EXPECT_TRUE(dep.hasEdge(0, 1) || dep.hasEdge(1, 0));
+    } else {
+        EXPECT_EQ(paths.numPaths(), 1u);
+        EXPECT_EQ(dep.numEdges(), 0u);
+    }
+}
+
+TEST(DependencyGraph, StarConstructionPreservesSccStructure)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 500;
+    c.num_edges = 4000;
+    c.degree_skew = 2.5; // strong hubs -> large producer/consumer sets
+    c.scc_core_fraction = 0.5;
+    c.seed = 13;
+    const auto g = graph::generate(c);
+    const auto paths = pathsFor(g);
+
+    DependencyOptions quadratic;
+    quadratic.fanout_cap = 1u << 30; // force the direct product
+    DependencyOptions starred;
+    starred.fanout_cap = 4; // force stars nearly everywhere
+
+    const auto dep_q = buildDependencyGraph(paths, g, quadratic);
+    const auto dep_s = buildDependencyGraph(paths, g, starred);
+
+    const auto sketch_q = buildDagSketch(dep_q, paths.numPaths());
+    const auto sketch_s = buildDagSketch(dep_s, paths.numPaths());
+
+    // The SCC *partition of paths* must be identical: same pairs of
+    // paths grouped together.
+    ASSERT_EQ(sketch_q.scc_of_path.size(), sketch_s.scc_of_path.size());
+    std::map<std::pair<SccId, SccId>, int> pairing;
+    for (PathId p = 0; p < paths.numPaths(); ++p) {
+        for (PathId q = p + 1; q < std::min<PathId>(paths.numPaths(),
+                                                    p + 50);
+             ++q) {
+            EXPECT_EQ(sketch_q.scc_of_path[p] == sketch_q.scc_of_path[q],
+                      sketch_s.scc_of_path[p] == sketch_s.scc_of_path[q])
+                << "paths " << p << "," << q;
+        }
+    }
+}
+
+TEST(DagSketch, SketchIsAcyclicWithMonotoneLayers)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 600;
+    c.num_edges = 3600;
+    c.scc_core_fraction = 0.4;
+    for (const std::uint64_t seed : {3u, 7u, 9u}) {
+        c.seed = seed;
+        const auto g = graph::generate(c);
+        const auto paths = pathsFor(g);
+        const auto dep = buildDependencyGraph(paths, g);
+        const auto sketch = buildDagSketch(dep, paths.numPaths());
+        EXPECT_TRUE(graph::isAcyclic(sketch.sketch)) << "seed " << seed;
+        for (EdgeId e = 0; e < sketch.sketch.numEdges(); ++e) {
+            EXPECT_LT(sketch.layer[sketch.sketch.edgeSource(e)],
+                      sketch.layer[sketch.sketch.edgeTarget(e)]);
+        }
+    }
+}
+
+TEST(DagSketch, PathsInSccPartitionAllPaths)
+{
+    const auto g = graph::makeDataset(graph::Dataset::dblp, 0.05);
+    const auto paths = pathsFor(g);
+    const auto dep = buildDependencyGraph(paths, g);
+    const auto sketch = buildDagSketch(dep, paths.numPaths());
+    std::size_t total = 0;
+    for (const auto &members : sketch.paths_in_scc)
+        total += members.size();
+    EXPECT_EQ(total, paths.numPaths());
+    EXPECT_GT(sketch.giantSccPathFraction(), 0.0);
+    EXPECT_LE(sketch.giantSccPathFraction(), 1.0);
+    EXPECT_GE(sketch.numLayers(), 1u);
+}
+
+TEST(DagSketch, ParallelConstructionMatchesSerial)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 400;
+    c.num_edges = 2400;
+    c.scc_core_fraction = 0.5;
+    c.seed = 21;
+    const auto g = graph::generate(c);
+    const auto paths = pathsFor(g);
+    const auto dep = buildDependencyGraph(paths, g);
+
+    const auto serial = buildDagSketch(dep, paths.numPaths(), 1);
+    for (const unsigned threads : {2u, 4u, 7u}) {
+        const auto parallel =
+            buildDagSketch(dep, paths.numPaths(), threads);
+        ASSERT_EQ(parallel.num_sccs, serial.num_sccs)
+            << threads << " threads";
+        // Components may be numbered differently; compare the induced
+        // partition of paths.
+        std::map<SccId, SccId> mapping;
+        for (PathId p = 0; p < paths.numPaths(); ++p) {
+            const SccId a = serial.scc_of_path[p];
+            const SccId b = parallel.scc_of_path[p];
+            const auto it = mapping.find(a);
+            if (it == mapping.end())
+                mapping[a] = b;
+            else
+                EXPECT_EQ(it->second, b) << "path " << p;
+        }
+    }
+}
+
+TEST(DagSketch, CycleGraphHasOnePathScc)
+{
+    const auto g = graph::makeCycle(30);
+    const auto paths = pathsFor(g);
+    const auto dep = buildDependencyGraph(paths, g);
+    const auto sketch = buildDagSketch(dep, paths.numPaths());
+    if (paths.numPaths() > 1) {
+        EXPECT_DOUBLE_EQ(sketch.giantSccPathFraction(), 1.0)
+            << "all paths of a cycle depend on each other";
+    }
+}
+
+TEST(DagSketch, DagPathsGetDistinctLayers)
+{
+    const auto g = graph::makeChain(64);
+    DecomposeOptions o;
+    o.d_max = 8;
+    const auto raw = decompose(g, o);
+    // No merge: keep the segments so layers are visible.
+    const auto dep = buildDependencyGraph(raw, g);
+    const auto sketch = buildDagSketch(dep, raw.numPaths());
+    EXPECT_GE(sketch.numLayers(), 7u);
+    EXPECT_TRUE(graph::isAcyclic(sketch.sketch));
+}
+
+} // namespace
+} // namespace digraph::partition

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Cross-engine convergence: every engine (DiGraph in all three execution
+ * modes, the BSP baseline, the async baseline) must reach the sequential
+ * reference fixed point for every algorithm on every test graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algorithms/factory.hpp"
+#include "baselines/async_engine.hpp"
+#include "baselines/bsp_engine.hpp"
+#include "baselines/sequential.hpp"
+#include "engine/digraph_engine.hpp"
+#include "test_util.hpp"
+
+namespace digraph {
+namespace {
+
+using test::expectStatesNear;
+using test::NamedGraph;
+
+struct Case
+{
+    std::string graph_name;
+    std::string algo_name;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &g : test::testGraphs()) {
+        for (const auto &a :
+             {"pagerank", "adsorption", "sssp", "kcore", "bfs", "wcc"}) {
+            cases.push_back({g.name, a});
+        }
+    }
+    return cases;
+}
+
+class EngineConvergence : public ::testing::TestWithParam<Case>
+{
+  protected:
+    graph::DirectedGraph
+    makeGraph() const
+    {
+        for (auto &ng : test::testGraphs()) {
+            if (ng.name == GetParam().graph_name)
+                return std::move(ng.graph);
+        }
+        ADD_FAILURE() << "unknown graph " << GetParam().graph_name;
+        return {};
+    }
+};
+
+gpusim::PlatformConfig
+smallPlatform()
+{
+    gpusim::PlatformConfig pc;
+    pc.num_devices = 2;
+    pc.smx_per_device = 4;
+    return pc;
+}
+
+TEST_P(EngineConvergence, DiGraphMatchesSequential)
+{
+    const auto g = makeGraph();
+    const auto algo = algorithms::makeAlgorithm(GetParam().algo_name, g);
+    const auto ref = baselines::runSequential(g, *algo);
+
+    for (const auto mode :
+         {engine::ExecutionMode::PathAsync,
+          engine::ExecutionMode::PathNoSched,
+          engine::ExecutionMode::VertexAsync}) {
+        engine::EngineOptions opts;
+        opts.mode = mode;
+        opts.platform = smallPlatform();
+        engine::DiGraphEngine eng(g, opts);
+        const auto report = eng.run(*algo);
+        expectStatesNear(report.final_state, ref.state,
+                         algo->resultTolerance(),
+                         GetParam().graph_name + "/" +
+                             GetParam().algo_name + "/" +
+                             engine::modeName(mode));
+    }
+}
+
+TEST_P(EngineConvergence, BspMatchesSequential)
+{
+    const auto g = makeGraph();
+    const auto algo = algorithms::makeAlgorithm(GetParam().algo_name, g);
+    const auto ref = baselines::runSequential(g, *algo);
+
+    baselines::BaselineOptions opts;
+    opts.platform = smallPlatform();
+    const auto report = baselines::runBsp(g, *algo, opts);
+    expectStatesNear(report.final_state, ref.state,
+                     algo->resultTolerance(),
+                     GetParam().graph_name + "/" + GetParam().algo_name +
+                         "/bsp");
+}
+
+TEST_P(EngineConvergence, AsyncMatchesSequential)
+{
+    const auto g = makeGraph();
+    const auto algo = algorithms::makeAlgorithm(GetParam().algo_name, g);
+    const auto ref = baselines::runSequential(g, *algo);
+
+    baselines::BaselineOptions opts;
+    opts.platform = smallPlatform();
+    const auto result = baselines::runAsync(g, *algo, opts);
+    expectStatesNear(result.report.final_state, ref.state,
+                     algo->resultTolerance(),
+                     GetParam().graph_name + "/" + GetParam().algo_name +
+                         "/async");
+}
+
+TEST_P(EngineConvergence, TopologicalMatchesSequential)
+{
+    const auto g = makeGraph();
+    const auto algo = algorithms::makeAlgorithm(GetParam().algo_name, g);
+    const auto ref = baselines::runSequential(g, *algo);
+    const auto topo = baselines::runTopological(g, *algo);
+    expectStatesNear(topo.state, ref.state, algo->resultTolerance(),
+                     GetParam().graph_name + "/" + GetParam().algo_name +
+                         "/topological");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphsAllAlgorithms, EngineConvergence,
+    ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        return info.param.graph_name + "_" + info.param.algo_name;
+    });
+
+} // namespace
+} // namespace digraph

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Feature-flag tests for the DiGraph engine: every ablation configuration
+ * must still converge to the reference fixed point; engines are reusable
+ * across runs; deterministic; and the recorded metrics behave sensibly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algorithms/factory.hpp"
+#include "baselines/sequential.hpp"
+#include "engine/digraph_engine.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace digraph::engine {
+namespace {
+
+graph::DirectedGraph
+testGraph()
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 700;
+    c.num_edges = 4200;
+    c.scc_core_fraction = 0.45;
+    c.seed = 99;
+    return graph::generate(c);
+}
+
+gpusim::PlatformConfig
+smallPlatform(unsigned gpus = 2)
+{
+    gpusim::PlatformConfig pc;
+    pc.num_devices = gpus;
+    pc.smx_per_device = 4;
+    return pc;
+}
+
+struct FeatureCase
+{
+    std::string name;
+    void (*apply)(EngineOptions &);
+};
+
+void noop(EngineOptions &) {}
+void noDag(EngineOptions &o) { o.dag_dispatch = false; }
+void noSteal(EngineOptions &o) { o.work_stealing = false; }
+void noProxy(EngineOptions &o) { o.use_proxy = false; }
+void noMerge(EngineOptions &o) { o.preprocess.enable_merge = false; }
+void noHotFirst(EngineOptions &o)
+{
+    o.preprocess.decompose.degree_sorted = false;
+}
+void noSccConfine(EngineOptions &o)
+{
+    o.preprocess.decompose.scc_confined = false;
+}
+void smallDmax(EngineOptions &o) { o.preprocess.decompose.d_max = 3; }
+void tinyLocalRounds(EngineOptions &o) { o.max_local_rounds = 1; }
+void forceAll(EngineOptions &o) { o.force_all_active = true; }
+
+class EngineFeatures : public ::testing::TestWithParam<FeatureCase>
+{};
+
+TEST_P(EngineFeatures, ConvergesToReference)
+{
+    const auto g = testGraph();
+    for (const auto &name : {"pagerank", "sssp", "kcore"}) {
+        const auto algo = algorithms::makeAlgorithm(name, g);
+        const auto ref = baselines::runSequential(g, *algo);
+        EngineOptions opts;
+        opts.platform = smallPlatform();
+        GetParam().apply(opts);
+        DiGraphEngine engine(g, opts);
+        const auto report = engine.run(*algo);
+        test::expectStatesNear(report.final_state, ref.state,
+                               algo->resultTolerance(),
+                               GetParam().name + "/" + name);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flags, EngineFeatures,
+    ::testing::Values(FeatureCase{"baseline", noop},
+                      FeatureCase{"no_dag_dispatch", noDag},
+                      FeatureCase{"no_work_stealing", noSteal},
+                      FeatureCase{"no_proxy", noProxy},
+                      FeatureCase{"no_merge", noMerge},
+                      FeatureCase{"no_hot_first", noHotFirst},
+                      FeatureCase{"no_scc_confined", noSccConfine},
+                      FeatureCase{"dmax_3", smallDmax},
+                      FeatureCase{"local_rounds_1", tinyLocalRounds},
+                      FeatureCase{"force_all_active", forceAll}),
+    [](const ::testing::TestParamInfo<FeatureCase> &info) {
+        return info.param.name;
+    });
+
+TEST(EngineReuse, MultipleRunsProduceIdenticalResults)
+{
+    const auto g = testGraph();
+    EngineOptions opts;
+    opts.platform = smallPlatform();
+    DiGraphEngine engine(g, opts);
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    const auto a = engine.run(*algo);
+    const auto b = engine.run(*algo);
+    ASSERT_EQ(a.final_state.size(), b.final_state.size());
+    for (std::size_t v = 0; v < a.final_state.size(); ++v)
+        EXPECT_EQ(a.final_state[v], b.final_state[v]);
+    EXPECT_EQ(a.vertex_updates, b.vertex_updates);
+    EXPECT_EQ(a.sim_cycles, b.sim_cycles);
+}
+
+TEST(EngineReuse, DifferentAlgorithmsShareOnePreprocessing)
+{
+    const auto g = testGraph();
+    EngineOptions opts;
+    opts.platform = smallPlatform();
+    DiGraphEngine engine(g, opts);
+    for (const auto &name : algorithms::benchmarkNames()) {
+        const auto algo = algorithms::makeAlgorithm(name, g);
+        const auto report = engine.run(*algo);
+        EXPECT_EQ(report.algorithm, name);
+        EXPECT_EQ(report.final_state.size(), g.numVertices());
+    }
+}
+
+TEST(EngineScaling, GpuCountsOneToFourAllConverge)
+{
+    const auto g = testGraph();
+    const auto algo = algorithms::makeAlgorithm("sssp", g);
+    const auto ref = baselines::runSequential(g, *algo);
+    for (unsigned gpus = 1; gpus <= 4; ++gpus) {
+        EngineOptions opts;
+        opts.platform = smallPlatform(gpus);
+        DiGraphEngine engine(g, opts);
+        const auto report = engine.run(*algo);
+        EXPECT_EQ(report.num_gpus, gpus);
+        test::expectStatesNear(report.final_state, ref.state, 1e-9,
+                               "gpus" + std::to_string(gpus));
+    }
+}
+
+TEST(EngineMetrics, ReportFieldsAreSane)
+{
+    const auto g = testGraph();
+    EngineOptions opts;
+    opts.platform = smallPlatform();
+    DiGraphEngine engine(g, opts);
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    const auto report = engine.run(*algo);
+    EXPECT_EQ(report.system, "digraph");
+    EXPECT_GT(report.vertex_updates, 0u);
+    EXPECT_GT(report.partition_processings, 0u);
+    EXPECT_GT(report.rounds, 0u);
+    EXPECT_GT(report.sim_cycles, 0.0);
+    EXPECT_GT(report.host_transfer_bytes, 0u);
+    EXPECT_GT(report.global_load_bytes, 0u);
+    EXPECT_GT(report.loaded_vertices, 0u);
+    EXPECT_GE(report.utilization, 0.0);
+    EXPECT_LE(report.utilization, 1.0);
+    EXPECT_GT(report.loadedDataUtilization(), 0.0);
+    EXPECT_GT(report.preprocess_seconds, 0.0);
+    const auto &counts = engine.partitionProcessCounts();
+    std::uint64_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    EXPECT_EQ(total, report.partition_processings);
+}
+
+TEST(EngineMetrics, ModeNamesMatchPaper)
+{
+    EXPECT_EQ(modeName(ExecutionMode::PathAsync), "digraph");
+    EXPECT_EQ(modeName(ExecutionMode::PathNoSched), "digraph-w");
+    EXPECT_EQ(modeName(ExecutionMode::VertexAsync), "digraph-t");
+}
+
+TEST(EngineStructure, PartitionGroupsAndPrecursorsConsistent)
+{
+    const auto g = testGraph();
+    EngineOptions opts;
+    opts.platform = smallPlatform();
+    DiGraphEngine engine(g, opts);
+    const auto nparts = engine.preprocessed().numPartitions();
+    for (PartitionId q = 0; q < nparts; ++q) {
+        for (const PartitionId t : engine.partitionPrecursors(q)) {
+            EXPECT_LT(t, nparts);
+            EXPECT_NE(t, q);
+        }
+        EXPECT_LT(engine.partitionGroup(q), nparts + 1);
+    }
+}
+
+TEST(EngineEdgeCases, TinyGraphs)
+{
+    for (const auto &g :
+         {graph::makeChain(2), graph::makeCycle(3), graph::makeStar(4)}) {
+        EngineOptions opts;
+        opts.platform = smallPlatform(1);
+        DiGraphEngine engine(g, opts);
+        const auto algo = algorithms::makeAlgorithm("pagerank", g);
+        const auto ref = baselines::runSequential(g, *algo);
+        const auto report = engine.run(*algo);
+        test::expectStatesNear(report.final_state, ref.state,
+                               algo->resultTolerance(), "tiny");
+    }
+}
+
+} // namespace
+} // namespace digraph::engine

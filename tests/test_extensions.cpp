@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the extension modules: Katz centrality, multi-source
+ * reachability, HITS, core-number decomposition, the extra graph
+ * formats, and the evolving-graph (incremental) engine.
+ */
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/core_numbers.hpp"
+#include "algorithms/hits.hpp"
+#include "algorithms/katz.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/reachability.hpp"
+#include "algorithms/sssp.hpp"
+#include "baselines/sequential.hpp"
+#include "engine/evolving.hpp"
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+#include "graph/formats.hpp"
+#include "graph/io.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "test_util.hpp"
+
+namespace digraph {
+namespace {
+
+gpusim::PlatformConfig
+smallPlatform()
+{
+    gpusim::PlatformConfig pc;
+    pc.num_devices = 2;
+    pc.smx_per_device = 4;
+    return pc;
+}
+
+// ---------------------------------------------------------------- Katz
+
+TEST(Katz, ChainClosedForm)
+{
+    const auto g = graph::makeChain(3);
+    const algorithms::Katz katz(g, 0.5, 1.0);
+    const auto result = baselines::runSequential(g, katz);
+    EXPECT_NEAR(result.state[0], 1.0, 1e-5);
+    EXPECT_NEAR(result.state[1], 1.5, 1e-5);
+    EXPECT_NEAR(result.state[2], 1.75, 1e-5);
+}
+
+TEST(Katz, EngineMatchesSequential)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 400;
+    c.num_edges = 2400;
+    c.seed = 51;
+    const auto g = graph::generate(c);
+    const algorithms::Katz katz(g);
+    const auto ref = baselines::runSequential(g, katz);
+    engine::EngineOptions opts;
+    opts.platform = smallPlatform();
+    engine::DiGraphEngine eng(g, opts);
+    const auto report = eng.run(katz);
+    test::expectStatesNear(report.final_state, ref.state,
+                           katz.resultTolerance(), "katz");
+}
+
+// -------------------------------------------------------- Reachability
+
+TEST(Reachability, BitmasksMatchBfs)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 300;
+    c.num_edges = 1200;
+    c.seed = 52;
+    const auto g = graph::generate(c);
+    const std::vector<VertexId> sources = {0, 17, 101};
+    const algorithms::Reachability reach(sources);
+    const auto result = baselines::runSequential(g, reach);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        const auto dist = graph::bfsDistances(g, sources[i]);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            EXPECT_EQ(algorithms::Reachability::reaches(result.state[v],
+                                                        i),
+                      dist[v] != graph::kUnreachable)
+                << "source " << sources[i] << " vertex " << v;
+        }
+    }
+}
+
+TEST(Reachability, EngineMatchesSequential)
+{
+    const auto g = graph::makeDataset(graph::Dataset::dblp, 0.03);
+    const algorithms::Reachability reach({0, 5, 11, 40});
+    const auto ref = baselines::runSequential(g, reach);
+    engine::EngineOptions opts;
+    opts.platform = smallPlatform();
+    engine::DiGraphEngine eng(g, opts);
+    const auto report = eng.run(reach);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(static_cast<std::uint64_t>(report.final_state[v]),
+                  static_cast<std::uint64_t>(ref.state[v]))
+            << "vertex " << v;
+    }
+}
+
+// ----------------------------------------------------------------- HITS
+
+TEST(Hits, HubAndAuthoritySeparateOnBipartiteStar)
+{
+    // Hub 0 points at authorities 1..4.
+    graph::GraphBuilder b;
+    for (VertexId v = 1; v <= 4; ++v)
+        b.addEdge(0, v);
+    const auto g = b.build();
+    const auto scores = algorithms::computeHits(g);
+    EXPECT_GT(scores.hub[0], 0.9);
+    EXPECT_LT(scores.authority[0], 1e-6);
+    for (VertexId v = 1; v <= 4; ++v) {
+        EXPECT_GT(scores.authority[v], 0.1);
+        EXPECT_LT(scores.hub[v], 1e-6);
+    }
+}
+
+TEST(Hits, ConvergesOnRandomGraph)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 200;
+    c.num_edges = 1200;
+    c.seed = 53;
+    const auto g = graph::generate(c);
+    const auto scores = algorithms::computeHits(g, 200, 1e-10);
+    EXPECT_LT(scores.iterations, 200u);
+    double norm = 0.0;
+    for (const Value a : scores.authority)
+        norm += a * a;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+// -------------------------------------------------------- Core numbers
+
+TEST(CoreNumbers, AgreeWithKCoreFixedPointForEveryK)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 400;
+    c.num_edges = 3200;
+    c.seed = 54;
+    const auto g = graph::generate(c);
+    const auto core = algorithms::coreNumbers(g);
+    for (const unsigned k : {1u, 2u, 3u, 5u}) {
+        const algorithms::KCore kcore(k);
+        const auto fixed = baselines::runSequential(g, kcore);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            EXPECT_EQ(core[v] >= k, kcore.alive(fixed.state[v]))
+                << "k=" << k << " vertex " << v;
+        }
+    }
+}
+
+TEST(CoreNumbers, CycleAndChain)
+{
+    const auto cycle = algorithms::coreNumbers(graph::makeCycle(6));
+    for (const auto c : cycle)
+        EXPECT_EQ(c, 1u);
+    const auto chain = algorithms::coreNumbers(graph::makeChain(6));
+    EXPECT_EQ(chain[0], 0u);
+}
+
+// -------------------------------------------------------------- Formats
+
+class FormatsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("digraph_fmt_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+    std::filesystem::path dir_;
+};
+
+TEST_F(FormatsTest, MatrixMarketRoundTrip)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 80;
+    c.num_edges = 400;
+    c.seed = 55;
+    const auto g = graph::generate(c);
+    graph::saveMatrixMarket(g, path("g.mtx"));
+    const auto h = graph::loadMatrixMarket(path("g.mtx"));
+    EXPECT_EQ(h.numVertices(), g.numVertices());
+    EXPECT_EQ(h.numEdges(), g.numEdges());
+}
+
+TEST_F(FormatsTest, MatrixMarketSymmetricPattern)
+{
+    std::ofstream out(path("s.mtx"));
+    out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+    out << "% a comment\n";
+    out << "3 3 2\n";
+    out << "2 1\n";
+    out << "3 2\n";
+    out.close();
+    const auto g = graph::loadMatrixMarket(path("s.mtx"));
+    EXPECT_EQ(g.numEdges(), 4u); // each entry mirrored
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST_F(FormatsTest, MetisAdjacency)
+{
+    std::ofstream out(path("m.graph"));
+    out << "3 3\n";   // 3 vertices, 3 edges (METIS counts undirected)
+    out << "2 3\n";   // vertex 1 -> {2,3}
+    out << "1\n";     // vertex 2 -> {1}
+    out << "\n";      // vertex 3 -> {}
+    out.close();
+    const auto g = graph::loadMetis(path("m.graph"));
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+}
+
+TEST_F(FormatsTest, DimacsArcs)
+{
+    std::ofstream out(path("d.gr"));
+    out << "c shortest-path instance\n";
+    out << "p sp 4 3\n";
+    out << "a 1 2 5\n";
+    out << "a 2 3 7\n";
+    out << "a 3 4 2\n";
+    out.close();
+    const auto g = graph::loadDimacs(path("d.gr"));
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.edgeWeight(0), 5.0);
+}
+
+TEST_F(FormatsTest, LoadAnyDispatchesOnExtension)
+{
+    const auto g = graph::makeChain(5);
+    graph::saveMatrixMarket(g, path("x.mtx"));
+    EXPECT_EQ(graph::loadAnyFormat(path("x.mtx")).numEdges(), 4u);
+    graph::saveEdgeListText(g, path("x.txt"));
+    EXPECT_EQ(graph::loadAnyFormat(path("x.txt")).numEdges(), 4u);
+}
+
+// ---------------------------------------------------- Evolving engine
+
+TEST(EvolvingEngine, WarmSsspMatchesColdAfterInsertions)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 500;
+    c.num_edges = 2500;
+    c.seed = 56;
+    auto initial = graph::generate(c);
+
+    engine::EngineOptions opts;
+    opts.platform = smallPlatform();
+    engine::EvolvingEngine evolving(graph::generate(c), opts);
+    const algorithms::Sssp sssp(0);
+    evolving.run(sssp);
+
+    // Shortcut edges that definitely change some distances.
+    std::vector<graph::Edge> batch = {
+        {0, 400, 0.5}, {0, 450, 0.25}, {10, 499, 1.0}};
+    const auto step = evolving.insertAndRun(sssp, batch);
+    EXPECT_TRUE(step.warm);
+    EXPECT_EQ(evolving.batchesApplied(), 1u);
+
+    const auto cold = baselines::runSequential(evolving.graph(), sssp);
+    test::expectStatesNear(step.run.final_state, cold.state, 1e-9,
+                           "evolving sssp");
+}
+
+TEST(EvolvingEngine, WarmKatzMatchesCold)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 400;
+    c.num_edges = 2000;
+    c.seed = 57;
+    engine::EngineOptions opts;
+    opts.platform = smallPlatform();
+    engine::EvolvingEngine evolving(graph::generate(c), opts);
+    const algorithms::Katz katz(evolving.graph(), 1e-3);
+    evolving.run(katz);
+
+    std::vector<graph::Edge> batch;
+    SplitMix64 rng(58);
+    for (int i = 0; i < 20; ++i) {
+        batch.push_back({static_cast<VertexId>(rng.nextBounded(400)),
+                         static_cast<VertexId>(rng.nextBounded(400)),
+                         1.0});
+    }
+    const auto step = evolving.insertAndRun(katz, batch);
+    EXPECT_TRUE(step.warm);
+
+    const auto cold = baselines::runSequential(evolving.graph(), katz);
+    test::expectStatesNear(step.run.final_state, cold.state,
+                           katz.resultTolerance(), "evolving katz");
+}
+
+TEST(EvolvingEngine, WarmRunTouchesLessWorkThanCold)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 2000;
+    c.num_edges = 10000;
+    c.seed = 59;
+    engine::EngineOptions opts;
+    opts.platform = smallPlatform();
+    engine::EvolvingEngine evolving(graph::generate(c), opts);
+    const algorithms::Sssp sssp(0);
+    const auto cold = evolving.run(sssp);
+    const auto step =
+        evolving.insertAndRun(sssp, {{1500, 1600, 3.0}});
+    EXPECT_TRUE(step.warm);
+    EXPECT_LT(step.run.edge_processings,
+              cold.run.edge_processings / 2)
+        << "incremental run must touch far fewer edges";
+}
+
+TEST(EvolvingEngine, NonIncrementalAlgorithmsFallBackCold)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 300;
+    c.num_edges = 1500;
+    c.seed = 60;
+    engine::EngineOptions opts;
+    opts.platform = smallPlatform();
+    engine::EvolvingEngine evolving(graph::generate(c), opts);
+    const algorithms::PageRank pr;
+    evolving.run(pr);
+    const auto step = evolving.insertAndRun(pr, {{5, 250, 1.0}});
+    EXPECT_FALSE(step.warm) << "PageRank must fall back to a cold run";
+    const auto cold = baselines::runSequential(evolving.graph(), pr);
+    test::expectStatesNear(step.run.final_state, cold.state,
+                           pr.resultTolerance(), "evolving pagerank");
+}
+
+TEST(EvolvingEngine, DuplicateInsertionsAreIgnored)
+{
+    engine::EngineOptions opts;
+    opts.platform = smallPlatform();
+    engine::EvolvingEngine evolving(graph::makeChain(10), opts);
+    const algorithms::Sssp sssp(0);
+    evolving.run(sssp);
+    const auto before = evolving.graph().numEdges();
+    evolving.insertAndRun(sssp, {{0, 1, 1.0}, {3, 3, 1.0}});
+    EXPECT_EQ(evolving.graph().numEdges(), before);
+}
+
+} // namespace
+} // namespace digraph

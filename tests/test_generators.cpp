@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the synthetic generators: determinism, deterministic small
+ * shapes, and — crucially for the reproduction — that each dataset
+ * stand-in realizes the structural properties its Table 1 counterpart is
+ * substituted for (average degree, giant-SCC share, relative average
+ * distances).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "graph/scc.hpp"
+
+namespace digraph::graph {
+namespace {
+
+TEST(Generators, DeterministicForSeed)
+{
+    GeneratorConfig c;
+    c.num_vertices = 300;
+    c.num_edges = 1500;
+    c.seed = 99;
+    const auto a = generate(c);
+    const auto b = generate(c);
+    EXPECT_EQ(a.edgeList(), b.edgeList());
+    c.seed = 100;
+    EXPECT_NE(generate(c).edgeList(), a.edgeList());
+}
+
+bool
+isAcyclicDag(const DirectedGraph &g)
+{
+    return computeScc(g).num_components == g.numVertices();
+}
+
+TEST(Generators, Shapes)
+{
+    EXPECT_EQ(makeChain(5).numEdges(), 4u);
+    EXPECT_EQ(makeCycle(5).numEdges(), 5u);
+    EXPECT_EQ(makeStar(9).outDegree(0), 8u);
+    EXPECT_EQ(makeStar(9, false).inDegree(0), 8u);
+    EXPECT_EQ(makeBinaryTree(7).outDegree(0), 2u);
+    EXPECT_EQ(makeGrid(3, 4).numVertices(), 12u);
+    EXPECT_EQ(makeGrid(3, 4).numEdges(), 3u * 3 + 2 * 4);
+    EXPECT_TRUE(isAcyclicDag(makeRandomDag(100, 400, 1)));
+}
+
+TEST(Generators, SccCoreFractionControlsGiantScc)
+{
+    GeneratorConfig c;
+    c.num_vertices = 4000;
+    c.num_edges = 24000;
+    c.seed = 31;
+    for (const double frac : {0.2, 0.5, 0.8}) {
+        c.scc_core_fraction = frac;
+        const auto g = generate(c);
+        const double giant = computeScc(g).giantFraction();
+        EXPECT_NEAR(giant, frac, 0.08) << "core fraction " << frac;
+    }
+}
+
+TEST(Generators, PureDagWhenCoreIsEmpty)
+{
+    GeneratorConfig c;
+    c.num_vertices = 1000;
+    c.num_edges = 6000;
+    c.scc_core_fraction = 0.0;
+    c.seed = 17;
+    const auto g = generate(c);
+    EXPECT_EQ(computeScc(g).num_components, g.numVertices());
+}
+
+TEST(Datasets, AllSixEnumerated)
+{
+    EXPECT_EQ(allDatasets().size(), 6u);
+    EXPECT_EQ(datasetName(Dataset::dblp), "dblp");
+    EXPECT_EQ(datasetName(Dataset::twitter), "twitter");
+}
+
+TEST(Datasets, ScaleShrinksSizes)
+{
+    const auto full = datasetConfig(Dataset::cnr, 1.0);
+    const auto half = datasetConfig(Dataset::cnr, 0.5);
+    EXPECT_NEAR(static_cast<double>(half.num_vertices),
+                full.num_vertices * 0.5, 2.0);
+    EXPECT_NEAR(static_cast<double>(half.num_edges),
+                full.num_edges * 0.5, 2.0);
+}
+
+/** Table 1 / Fig 2d structural targets per stand-in. */
+struct DatasetTarget
+{
+    Dataset dataset;
+    double giant_scc;   // paper's giant-SCC vertex share
+    double avg_degree;  // paper's A_Deg (matched in relative terms)
+};
+
+class DatasetProperties
+    : public ::testing::TestWithParam<DatasetTarget>
+{};
+
+TEST_P(DatasetProperties, GiantSccShareMatchesPaper)
+{
+    const auto g = makeDataset(GetParam().dataset, 0.2);
+    const double giant = computeScc(g).giantFraction();
+    EXPECT_NEAR(giant, GetParam().giant_scc, 0.08)
+        << datasetName(GetParam().dataset);
+}
+
+TEST_P(DatasetProperties, DegreeOrderingMatchesPaper)
+{
+    // Average degrees preserve the paper's dataset ordering; absolute
+    // values are close at any scale because V and E scale together.
+    const auto g = makeDataset(GetParam().dataset, 0.2);
+    const double deg = static_cast<double>(g.numEdges()) /
+                       static_cast<double>(g.numVertices());
+    EXPECT_NEAR(deg, GetParam().avg_degree, GetParam().avg_degree * 0.5)
+        << datasetName(GetParam().dataset);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetProperties,
+    ::testing::Values(DatasetTarget{Dataset::dblp, 0.694, 4.952},
+                      DatasetTarget{Dataset::cnr, 0.344, 9.879},
+                      DatasetTarget{Dataset::ljournal, 0.780, 14.734},
+                      DatasetTarget{Dataset::webbase, 0.456, 8.633},
+                      DatasetTarget{Dataset::it04, 0.723, 27.868},
+                      DatasetTarget{Dataset::twitter, 0.803, 35.253}),
+    [](const ::testing::TestParamInfo<DatasetTarget> &info) {
+        return datasetName(info.param.dataset);
+    });
+
+TEST(Datasets, DistanceOrderingMatchesPaper)
+{
+    // The paper's A_Dis ordering: twitter (4.46) < ljournal (5.99) <
+    // dblp (7.35) and the web graphs longest. Check the coarse ordering
+    // on the stand-ins.
+    const auto dist = [](Dataset d) {
+        return measureProperties(makeDataset(d, 0.15), 8).avg_distance;
+    };
+    const double twitter = dist(Dataset::twitter);
+    const double ljournal = dist(Dataset::ljournal);
+    const double cnr = dist(Dataset::cnr);
+    EXPECT_LT(twitter, ljournal);
+    EXPECT_LT(ljournal, cnr);
+}
+
+} // namespace
+} // namespace digraph::graph

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the GPU simulator substrate: SMX clocks and busy accounting,
+ * link queueing and stream overlap, ring routing, warp (SIMT) cost, and
+ * platform-level aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/platform.hpp"
+
+namespace digraph::gpusim {
+namespace {
+
+TEST(Smx, RunAdvancesClockAndBusy)
+{
+    Smx smx;
+    EXPECT_EQ(smx.clock(), 0.0);
+    EXPECT_EQ(smx.run(0.0, 100.0), 100.0);
+    EXPECT_EQ(smx.run(50.0, 10.0), 110.0); // already past ready time
+    EXPECT_EQ(smx.run(200.0, 10.0), 210.0); // waits for dependency
+    EXPECT_EQ(smx.busyCycles(), 120.0);
+    smx.reset();
+    EXPECT_EQ(smx.clock(), 0.0);
+}
+
+TEST(LinkModel, SerializesWithinAStream)
+{
+    LinkModel link(10.0, 100.0, 1);
+    const double t1 = link.transfer(0.0, 1000); // 100 + 100
+    EXPECT_DOUBLE_EQ(t1, 200.0);
+    const double t2 = link.transfer(0.0, 1000); // queues behind t1
+    EXPECT_DOUBLE_EQ(t2, 400.0);
+    EXPECT_EQ(link.totalBytes(), 2000u);
+    EXPECT_EQ(link.totalTransfers(), 2u);
+}
+
+TEST(LinkModel, StreamsOverlapTransfers)
+{
+    LinkModel link(10.0, 100.0, 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(link.transfer(0.0, 1000), 200.0)
+            << "each stream is free";
+    EXPECT_DOUBLE_EQ(link.transfer(0.0, 1000), 400.0)
+        << "fifth transfer queues";
+}
+
+TEST(LinkModel, IntrinsicCostIgnoresQueueing)
+{
+    LinkModel link(8.0, 50.0, 2);
+    EXPECT_DOUBLE_EQ(link.cost(800), 50.0 + 100.0);
+    link.transfer(0.0, 1u << 20);
+    EXPECT_DOUBLE_EQ(link.cost(800), 150.0) << "cost is stateless";
+}
+
+TEST(RingInterconnect, DistanceIsMinimalHopCount)
+{
+    PlatformConfig cfg;
+    cfg.num_devices = 4;
+    RingInterconnect ring(4, cfg);
+    EXPECT_EQ(ring.distance(0, 0), 0u);
+    EXPECT_EQ(ring.distance(0, 1), 1u);
+    EXPECT_EQ(ring.distance(0, 2), 2u);
+    EXPECT_EQ(ring.distance(0, 3), 1u); // wraps backwards
+    EXPECT_EQ(ring.distance(3, 1), 2u);
+}
+
+TEST(RingInterconnect, MultiHopCostsPerHop)
+{
+    PlatformConfig cfg;
+    cfg.num_devices = 4;
+    cfg.ring_bytes_per_cycle = 10.0;
+    cfg.transfer_latency_cycles = 100.0;
+    RingInterconnect ring(4, cfg);
+    const double one_hop = ring.transfer(0, 1, 0.0, 1000);
+    EXPECT_DOUBLE_EQ(one_hop, 200.0);
+    const double two_hops = ring.transfer(1, 3, 0.0, 1000);
+    EXPECT_DOUBLE_EQ(two_hops, 400.0);
+    // Per-hop byte accounting: 1 + 2 hops of 1000 bytes.
+    EXPECT_EQ(ring.totalBytes(), 3000u);
+    EXPECT_EQ(ring.transfer(2, 2, 123.0, 999), 123.0)
+        << "self transfer is free";
+}
+
+TEST(WarpCost, LockStepTakesMaxPerWarp)
+{
+    // One warp: cost = max lane.
+    std::vector<std::uint64_t> lanes(32, 1);
+    lanes[7] = 50;
+    EXPECT_DOUBLE_EQ(warpCost(lanes, 2.0), 100.0);
+    // Two warps: sum of per-warp maxima.
+    std::vector<std::uint64_t> two(64, 1);
+    two[0] = 10;
+    two[63] = 20;
+    EXPECT_DOUBLE_EQ(warpCost(two, 1.0), 30.0);
+    EXPECT_DOUBLE_EQ(warpCost({}, 5.0), 0.0);
+}
+
+TEST(Platform, AggregatesClocksAndUtilization)
+{
+    PlatformConfig cfg;
+    cfg.num_devices = 2;
+    cfg.smx_per_device = 2;
+    Platform platform(cfg);
+    EXPECT_EQ(platform.numDevices(), 2u);
+    EXPECT_EQ(platform.makespan(), 0.0);
+    EXPECT_EQ(platform.utilization(), 0.0);
+
+    platform.device(0).smx(0).run(0.0, 100.0);
+    platform.device(1).smx(1).run(0.0, 50.0);
+    EXPECT_DOUBLE_EQ(platform.makespan(), 100.0);
+    // busy = 150 over 4 SMX * 100 cycles.
+    EXPECT_DOUBLE_EQ(platform.utilization(), 150.0 / 400.0);
+
+    EXPECT_EQ(platform.leastLoadedDevice(), 1u);
+    platform.device(0).addGlobalLoad(1234);
+    EXPECT_EQ(platform.globalLoadBytes(), 1234u);
+
+    platform.reset();
+    EXPECT_EQ(platform.makespan(), 0.0);
+    EXPECT_EQ(platform.globalLoadBytes(), 0u);
+}
+
+TEST(Platform, TransferBytesCombineHostAndRing)
+{
+    PlatformConfig cfg;
+    cfg.num_devices = 3;
+    Platform platform(cfg);
+    platform.device(0).hostLink().transfer(0.0, 500);
+    platform.ring().transfer(0, 1, 0.0, 300);
+    EXPECT_EQ(platform.transferBytes(), 800u);
+}
+
+TEST(Device, LeastLoadedSmxTracksClocks)
+{
+    PlatformConfig cfg;
+    cfg.smx_per_device = 3;
+    Device device(0, cfg);
+    device.smx(0).run(0.0, 10.0);
+    device.smx(1).run(0.0, 5.0);
+    EXPECT_EQ(device.leastLoadedSmx(), 2u);
+    device.smx(2).run(0.0, 20.0);
+    EXPECT_EQ(device.leastLoadedSmx(), 1u);
+    EXPECT_DOUBLE_EQ(device.totalBusy(), 35.0);
+}
+
+} // namespace
+} // namespace digraph::gpusim

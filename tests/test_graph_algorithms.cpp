@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for SCC decomposition, condensation, and the traversal
+ * utilities (BFS distances, topological ordering, DAG layers).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "graph/traversal.hpp"
+
+namespace digraph::graph {
+namespace {
+
+TEST(Scc, ChainIsAllSingletons)
+{
+    const auto g = makeChain(10);
+    const auto scc = computeScc(g);
+    EXPECT_EQ(scc.num_components, 10u);
+    EXPECT_DOUBLE_EQ(scc.giantFraction(), 0.1);
+}
+
+TEST(Scc, CycleIsOneComponent)
+{
+    const auto g = makeCycle(10);
+    const auto scc = computeScc(g);
+    EXPECT_EQ(scc.num_components, 1u);
+    EXPECT_DOUBLE_EQ(scc.giantFraction(), 1.0);
+    EXPECT_EQ(scc.sizes[scc.giantComponent()], 10u);
+}
+
+TEST(Scc, TwoCyclesBridged)
+{
+    GraphBuilder b;
+    // cycle {0,1,2}, bridge 2->3, cycle {3,4}
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(2, 0);
+    b.addEdge(2, 3);
+    b.addEdge(3, 4);
+    b.addEdge(4, 3);
+    const auto g = b.build();
+    const auto scc = computeScc(g);
+    EXPECT_EQ(scc.num_components, 2u);
+    EXPECT_EQ(scc.component[0], scc.component[1]);
+    EXPECT_EQ(scc.component[0], scc.component[2]);
+    EXPECT_EQ(scc.component[3], scc.component[4]);
+    EXPECT_NE(scc.component[0], scc.component[3]);
+}
+
+TEST(Scc, CondensationIsAcyclic)
+{
+    GeneratorConfig c;
+    c.num_vertices = 500;
+    c.num_edges = 3000;
+    c.scc_core_fraction = 0.5;
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        c.seed = seed;
+        const auto g = generate(c);
+        const auto scc = computeScc(g);
+        const auto dag = condense(g, scc);
+        EXPECT_TRUE(isAcyclic(dag)) << "seed " << seed;
+        EXPECT_EQ(dag.numVertices(), scc.num_components);
+    }
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack)
+{
+    // 200k-vertex chain would blow a recursive Tarjan.
+    const auto g = makeChain(200000);
+    const auto scc = computeScc(g);
+    EXPECT_EQ(scc.num_components, 200000u);
+}
+
+TEST(Traversal, BfsDistancesOnChain)
+{
+    const auto g = makeChain(6);
+    const auto dist = bfsDistances(g, 2);
+    EXPECT_EQ(dist[2], 0u);
+    EXPECT_EQ(dist[5], 3u);
+    EXPECT_EQ(dist[0], kUnreachable);
+}
+
+TEST(Traversal, TopologicalOrderRespectsEdges)
+{
+    const auto g = makeRandomDag(300, 1500, 5);
+    const auto order = topologicalOrder(g);
+    ASSERT_EQ(order.size(), g.numVertices());
+    std::vector<std::uint32_t> pos(g.numVertices());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = static_cast<std::uint32_t>(i);
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        EXPECT_LT(pos[g.edgeSource(e)], pos[g.edgeTarget(e)]);
+}
+
+TEST(Traversal, CyclicGraphHasNoTopologicalOrder)
+{
+    EXPECT_TRUE(topologicalOrder(makeCycle(5)).empty());
+    EXPECT_FALSE(isAcyclic(makeCycle(5)));
+    EXPECT_TRUE(isAcyclic(makeChain(5)));
+}
+
+TEST(Traversal, DagLayersAreMonotone)
+{
+    const auto g = makeRandomDag(200, 900, 11);
+    const auto layer = dagLayers(g);
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        EXPECT_LT(layer[g.edgeSource(e)], layer[g.edgeTarget(e)]);
+}
+
+TEST(Traversal, BinaryTreeLayersAreDepths)
+{
+    const auto g = makeBinaryTree(15);
+    const auto layer = dagLayers(g);
+    EXPECT_EQ(layer[0], 0u);
+    EXPECT_EQ(layer[1], 1u);
+    EXPECT_EQ(layer[14], 3u);
+}
+
+TEST(Traversal, ReachableFromStar)
+{
+    const auto g = makeStar(8, /*out=*/true);
+    EXPECT_EQ(reachableFrom(g, 0).size(), 8u);
+    EXPECT_EQ(reachableFrom(g, 3).size(), 1u);
+}
+
+} // namespace
+} // namespace digraph::graph

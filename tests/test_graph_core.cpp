@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: builder semantics (sorting, dedup,
+ * self-loop removal), CSR accessors, and the transforms (reverse,
+ * relabel, induced subgraph, bidirectional augmentation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "graph/transform.hpp"
+
+namespace digraph::graph {
+namespace {
+
+DirectedGraph
+diamond()
+{
+    GraphBuilder b;
+    b.addEdge(0, 1, 1.0);
+    b.addEdge(0, 2, 2.0);
+    b.addEdge(1, 3, 3.0);
+    b.addEdge(2, 3, 4.0);
+    return b.build();
+}
+
+TEST(GraphBuilder, BuildsSortedCsr)
+{
+    GraphBuilder b;
+    b.addEdge(1, 0);
+    b.addEdge(0, 2);
+    b.addEdge(0, 1);
+    const auto g = b.build();
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    const auto nbrs = g.outNeighbors(0);
+    ASSERT_EQ(nbrs.size(), 2u);
+    EXPECT_EQ(nbrs[0], 1u);
+    EXPECT_EQ(nbrs[1], 2u);
+}
+
+TEST(GraphBuilder, RemovesSelfLoopsByDefault)
+{
+    GraphBuilder b;
+    b.addEdge(0, 0);
+    b.addEdge(0, 1);
+    EXPECT_EQ(b.build().numEdges(), 1u);
+}
+
+TEST(GraphBuilder, KeepsSelfLoopsWhenAsked)
+{
+    GraphBuilder b;
+    b.setRemoveSelfLoops(false);
+    b.addEdge(0, 0);
+    b.addEdge(0, 1);
+    EXPECT_EQ(b.build().numEdges(), 2u);
+}
+
+TEST(GraphBuilder, DeduplicatesKeepingFirstWeight)
+{
+    GraphBuilder b;
+    b.addEdge(0, 1, 5.0);
+    b.addEdge(0, 1, 9.0);
+    const auto g = b.build();
+    ASSERT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.edgeWeight(0), 5.0);
+}
+
+TEST(GraphBuilder, VertexCountHintKeepsIsolatedVertices)
+{
+    GraphBuilder b(10);
+    b.addEdge(0, 1);
+    EXPECT_EQ(b.build().numVertices(), 10u);
+}
+
+TEST(DirectedGraph, DegreesAndEdgeAccessors)
+{
+    const auto g = diamond();
+    EXPECT_EQ(g.outDegree(0), 2u);
+    EXPECT_EQ(g.inDegree(0), 0u);
+    EXPECT_EQ(g.inDegree(3), 2u);
+    EXPECT_EQ(g.degree(1), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_FALSE(g.hasEdge(2, 0));
+    // edge ids follow (src, dst) sorted order
+    EXPECT_EQ(g.edgeSource(0), 0u);
+    EXPECT_EQ(g.edgeTarget(0), 1u);
+    EXPECT_EQ(g.edgeWeight(3), 4.0);
+}
+
+TEST(DirectedGraph, InCsrMirrorsOutEdges)
+{
+    const auto g = diamond();
+    const auto preds = g.inNeighbors(3);
+    ASSERT_EQ(preds.size(), 2u);
+    // In-edge ids map back to out-edge ids with matching weights.
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+        const EdgeId e = g.inEdgeId(3, k);
+        EXPECT_EQ(g.edgeTarget(e), 3u);
+        EXPECT_EQ(g.edgeSource(e), preds[k]);
+    }
+}
+
+TEST(DirectedGraph, EdgeListRoundTrips)
+{
+    const auto g = diamond();
+    GraphBuilder b;
+    b.addEdges(g.edgeList());
+    const auto h = b.build();
+    EXPECT_EQ(h.numEdges(), g.numEdges());
+    EXPECT_EQ(h.edgeList(), g.edgeList());
+}
+
+TEST(DirectedGraph, EmptyGraphIsWellFormed)
+{
+    const DirectedGraph g;
+    EXPECT_EQ(g.numVertices(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_GE(DirectedGraph().storageBytes(), 0u);
+}
+
+TEST(Transform, ReverseFlipsEveryEdge)
+{
+    const auto g = diamond();
+    const auto r = reverse(g);
+    EXPECT_EQ(r.numEdges(), g.numEdges());
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        EXPECT_TRUE(r.hasEdge(g.edgeTarget(e), g.edgeSource(e)));
+    EXPECT_EQ(r.inDegree(0), 2u);
+}
+
+TEST(Transform, RelabelPermutesIds)
+{
+    const auto g = diamond();
+    const std::vector<VertexId> perm = {3, 2, 1, 0};
+    const auto h = relabel(g, perm);
+    EXPECT_TRUE(h.hasEdge(3, 2)); // was 0 -> 1
+    EXPECT_TRUE(h.hasEdge(1, 0)); // was 2 -> 3
+    EXPECT_EQ(h.numEdges(), g.numEdges());
+}
+
+TEST(Transform, InducedSubgraphKeepsInternalEdges)
+{
+    const auto g = diamond();
+    const auto sub = inducedSubgraph(g, {0, 1, 3});
+    EXPECT_EQ(sub.numVertices(), 3u);
+    EXPECT_EQ(sub.numEdges(), 2u); // 0->1 and 1->3
+    EXPECT_TRUE(sub.hasEdge(0, 1));
+    EXPECT_TRUE(sub.hasEdge(1, 2)); // relabeled 3 -> position 2
+}
+
+TEST(Transform, BidirectionalRatioReachesTarget)
+{
+    const auto g = makeDataset(Dataset::dblp, 0.05);
+    const double before = bidirectionalRatio(g);
+    for (const double target : {0.5, 0.8, 1.0}) {
+        const auto h = withBidirectionalRatio(g, target, 3);
+        const double after = bidirectionalRatio(h);
+        EXPECT_GE(after + 0.02, target) << "target " << target;
+        EXPECT_GE(h.numEdges(), g.numEdges());
+    }
+    EXPECT_LT(before, 0.5);
+}
+
+TEST(Transform, FullBidirectionalIsSymmetric)
+{
+    const auto g = makeDataset(Dataset::cnr, 0.03);
+    const auto h = withBidirectionalRatio(g, 1.0, 3);
+    for (EdgeId e = 0; e < h.numEdges(); ++e)
+        EXPECT_TRUE(h.hasEdge(h.edgeTarget(e), h.edgeSource(e)));
+}
+
+} // namespace
+} // namespace digraph::graph

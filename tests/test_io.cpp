@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for text and binary graph IO round trips.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace digraph::graph {
+namespace {
+
+class IoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("digraph_io_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextRoundTrip)
+{
+    GeneratorConfig c;
+    c.num_vertices = 100;
+    c.num_edges = 600;
+    c.seed = 4;
+    const auto g = generate(c);
+    saveEdgeListText(g, path("g.txt"));
+    const auto h = loadEdgeListText(path("g.txt"));
+    EXPECT_EQ(h.numVertices(), g.numVertices());
+    EXPECT_EQ(h.numEdges(), g.numEdges());
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        EXPECT_EQ(h.edgeSource(e), g.edgeSource(e));
+        EXPECT_EQ(h.edgeTarget(e), g.edgeTarget(e));
+        EXPECT_NEAR(h.edgeWeight(e), g.edgeWeight(e), 1e-4);
+    }
+}
+
+TEST_F(IoTest, BinaryRoundTripIsExact)
+{
+    GeneratorConfig c;
+    c.num_vertices = 150;
+    c.num_edges = 900;
+    c.seed = 5;
+    const auto g = generate(c);
+    saveBinary(g, path("g.bin"));
+    const auto h = loadBinary(path("g.bin"));
+    EXPECT_EQ(h.edgeList(), g.edgeList());
+    EXPECT_EQ(h.numVertices(), g.numVertices());
+}
+
+TEST_F(IoTest, TextLoaderSkipsCommentsAndDefaultsWeight)
+{
+    std::ofstream out(path("c.txt"));
+    out << "# comment line\n";
+    out << "% another comment\n";
+    out << "0 1\n";
+    out << "1 2 3.5\n";
+    out.close();
+    const auto g = loadEdgeListText(path("c.txt"));
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.edgeWeight(0), 1.0);
+    EXPECT_EQ(g.edgeWeight(1), 3.5);
+}
+
+TEST_F(IoTest, EmptyGraphRoundTrips)
+{
+    const DirectedGraph g;
+    saveBinary(g, path("empty.bin"));
+    const auto h = loadBinary(path("empty.bin"));
+    EXPECT_EQ(h.numEdges(), 0u);
+}
+
+} // namespace
+} // namespace digraph::graph

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the metrics report and graph property measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "metrics/run_report.hpp"
+
+namespace digraph {
+namespace {
+
+TEST(RunReport, DerivedMetrics)
+{
+    metrics::RunReport r;
+    r.host_transfer_bytes = 100;
+    r.ring_transfer_bytes = 50;
+    r.global_load_bytes = 25;
+    EXPECT_EQ(r.trafficVolume(), 175u);
+    EXPECT_EQ(r.loadedDataUtilization(), 0.0);
+    r.loaded_vertices = 200;
+    r.used_vertices = 40;
+    EXPECT_DOUBLE_EQ(r.loadedDataUtilization(), 0.2);
+}
+
+TEST(Properties, ChainMeasurements)
+{
+    const auto g = graph::makeChain(50);
+    const auto p = graph::measureProperties(g, 8, 1);
+    EXPECT_EQ(p.num_vertices, 50u);
+    EXPECT_EQ(p.num_edges, 49u);
+    EXPECT_NEAR(p.avg_degree, 49.0 / 50.0, 1e-9);
+    EXPECT_EQ(p.max_out_degree, 1u);
+    EXPECT_EQ(p.num_sccs, 50u);
+    EXPECT_GT(p.avg_distance, 1.0);
+    EXPECT_EQ(p.bidirectional_ratio, 0.0);
+}
+
+TEST(Properties, CycleMeasurements)
+{
+    const auto g = graph::makeCycle(20);
+    const auto p = graph::measureProperties(g, 4, 2);
+    EXPECT_EQ(p.num_sccs, 1u);
+    EXPECT_DOUBLE_EQ(p.giant_scc_fraction, 1.0);
+    // Mean distance over a directed 20-cycle is (1+...+19)/19 = 10.
+    EXPECT_NEAR(p.avg_distance, 10.0, 1e-9);
+}
+
+TEST(Properties, BidirectionalRatioCounts)
+{
+    graph::GraphBuilder b;
+    b.addEdge(0, 1);
+    b.addEdge(1, 0);
+    b.addEdge(1, 2);
+    const auto g = b.build();
+    EXPECT_NEAR(graph::bidirectionalRatio(g), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Properties, ZeroSamplesSkipsDistance)
+{
+    const auto g = graph::makeChain(10);
+    const auto p = graph::measureProperties(g, 0);
+    EXPECT_EQ(p.avg_distance, 0.0);
+    EXPECT_EQ(p.num_vertices, 10u);
+}
+
+TEST(Properties, DescribeMentionsKeyNumbers)
+{
+    const auto g = graph::makeCycle(5);
+    const auto text = graph::describe(graph::measureProperties(g, 2));
+    EXPECT_NE(text.find("V=5"), std::string::npos);
+    EXPECT_NE(text.find("E=5"), std::string::npos);
+}
+
+} // namespace
+} // namespace digraph

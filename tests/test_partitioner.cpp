@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for partition assignment and the preprocessing facade: the path
+ * order is a permutation, partition offsets cover every path, the edge
+ * budget is respected, partition layers are non-trivial on DAG-ish
+ * inputs, and the facade's re-indexed arrays are mutually consistent.
+ */
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/preprocess.hpp"
+
+namespace digraph::partition {
+namespace {
+
+graph::DirectedGraph
+testGraph(std::uint64_t seed)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 800;
+    c.num_edges = 4800;
+    c.scc_core_fraction = 0.4;
+    c.seed = seed;
+    return graph::generate(c);
+}
+
+TEST(Partitioner, PathOrderIsPermutationAndOffsetsCover)
+{
+    const auto g = testGraph(1);
+    PreprocessOptions opts;
+    opts.partition.edges_per_partition = 256;
+    const auto pre = preprocess(g, opts);
+
+    const PathId np = pre.paths.numPaths();
+    ASSERT_GT(np, 0u);
+    EXPECT_EQ(pre.partition_offsets.front(), 0u);
+    EXPECT_EQ(pre.partition_offsets.back(), np);
+    for (std::size_t i = 1; i < pre.partition_offsets.size(); ++i)
+        EXPECT_LT(pre.partition_offsets[i - 1],
+                  pre.partition_offsets[i]);
+    EXPECT_TRUE(pre.paths.validate(g));
+}
+
+TEST(Partitioner, EdgeBudgetRespected)
+{
+    const auto g = testGraph(2);
+    PreprocessOptions opts;
+    opts.partition.edges_per_partition = 200;
+    const auto pre = preprocess(g, opts);
+    for (PartitionId q = 0; q < pre.numPartitions(); ++q) {
+        std::size_t edges = 0;
+        for (std::uint32_t p = pre.partition_offsets[q];
+             p < pre.partition_offsets[q + 1]; ++p) {
+            edges += pre.paths.pathLength(p);
+        }
+        // A single over-budget path may overflow a partition; otherwise
+        // the budget holds.
+        if (pre.partition_offsets[q + 1] - pre.partition_offsets[q] > 1) {
+            EXPECT_LE(edges, 200u + 64u) << "partition " << q;
+        }
+    }
+}
+
+TEST(Partitioner, PerPathArraysAreAligned)
+{
+    const auto g = testGraph(3);
+    const auto pre = preprocess(g, {});
+    const PathId np = pre.paths.numPaths();
+    ASSERT_EQ(pre.scc_of_path.size(), np);
+    ASSERT_EQ(pre.path_layer.size(), np);
+    ASSERT_EQ(pre.path_hot.size(), np);
+    ASSERT_EQ(pre.path_avg_degree.size(), np);
+    for (PathId p = 0; p < np; ++p) {
+        EXPECT_LT(pre.scc_of_path[p], pre.dag.num_sccs);
+        EXPECT_EQ(pre.path_layer[p],
+                  pre.dag.layer[pre.scc_of_path[p]]);
+        EXPECT_GT(pre.path_avg_degree[p], 0.0);
+    }
+    // dag.paths_in_scc is re-indexed to the final order and partitions
+    // all paths.
+    std::size_t total = 0;
+    for (SccId s = 0; s < pre.dag.num_sccs; ++s) {
+        for (const PathId p : pre.dag.paths_in_scc[s]) {
+            EXPECT_EQ(pre.scc_of_path[p], s);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, np);
+}
+
+TEST(Partitioner, PartitionOfPathIsConsistent)
+{
+    const auto g = testGraph(4);
+    PreprocessOptions opts;
+    opts.partition.edges_per_partition = 300;
+    const auto pre = preprocess(g, opts);
+    for (PartitionId q = 0; q < pre.numPartitions(); ++q) {
+        for (std::uint32_t p = pre.partition_offsets[q];
+             p < pre.partition_offsets[q + 1]; ++p) {
+            EXPECT_EQ(pre.partitionOfPath(p), q);
+        }
+    }
+}
+
+TEST(Partitioner, HotPathsExistOnSkewedGraphs)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 2000;
+    c.num_edges = 16000;
+    c.degree_skew = 2.5;
+    c.seed = 5;
+    const auto g = graph::generate(c);
+    const auto pre = preprocess(g, {});
+    std::size_t hot = 0;
+    for (const auto flag : pre.path_hot)
+        hot += flag;
+    EXPECT_GT(hot, 0u);
+    EXPECT_LT(hot, pre.path_hot.size());
+}
+
+TEST(Partitioner, LayersOrderedWithinPartitionSequence)
+{
+    // The partitioner emits SCCs in (layer, successors) order, so
+    // partition layers should be non-decreasing on a pure DAG input.
+    const auto g = graph::makeRandomDag(2000, 8000, 9);
+    PreprocessOptions opts;
+    opts.partition.edges_per_partition = 512;
+    const auto pre = preprocess(g, opts);
+    for (PartitionId q = 1; q < pre.numPartitions(); ++q)
+        EXPECT_LE(pre.partition_layer[q - 1], pre.partition_layer[q]);
+}
+
+TEST(Partitioner, DisablingMergeKeepsCoverage)
+{
+    const auto g = testGraph(6);
+    PreprocessOptions opts;
+    opts.enable_merge = false;
+    const auto pre = preprocess(g, opts);
+    EXPECT_TRUE(pre.paths.validate(g));
+    EXPECT_EQ(pre.merges, 0u);
+}
+
+TEST(Partitioner, TimingsArePopulated)
+{
+    const auto g = testGraph(7);
+    const auto pre = preprocess(g, {});
+    EXPECT_GE(pre.timings.total(), 0.0);
+    EXPECT_GE(pre.timings.decompose_s, 0.0);
+}
+
+} // namespace
+} // namespace digraph::partition

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the head-to-tail path merger: coverage is preserved, the
+ * average length never decreases, the paper's inner-vertex junction
+ * constraint and the region-purity rule hold, and the length cap is
+ * respected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/builder.hpp"
+#include "partition/decomposer.hpp"
+#include "partition/merger.hpp"
+
+namespace digraph::partition {
+namespace {
+
+graph::DirectedGraph
+randomGraph(std::uint64_t seed)
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 500;
+    c.num_edges = 3000;
+    c.scc_core_fraction = 0.4;
+    c.seed = seed;
+    return graph::generate(c);
+}
+
+class Merger : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(Merger, PreservesEdgeCoverage)
+{
+    const auto g = randomGraph(GetParam());
+    const SccRegions regions(g);
+    const auto raw = decompose(g, {}, nullptr, &regions);
+    const auto merged = mergePaths(raw, g, {}, &regions);
+    EXPECT_TRUE(merged.paths.validate(g));
+}
+
+TEST_P(Merger, NeverShortensAverageLength)
+{
+    const auto g = randomGraph(GetParam());
+    const SccRegions regions(g);
+    const auto raw = decompose(g, {}, nullptr, &regions);
+    const auto merged = mergePaths(raw, g, {}, &regions);
+    EXPECT_GE(merged.avg_length_after + 1e-12,
+              merged.avg_length_before);
+    EXPECT_EQ(merged.paths.numPaths() + merged.merges_performed,
+              raw.numPaths());
+}
+
+TEST_P(Merger, RespectsLengthCap)
+{
+    const auto g = randomGraph(GetParam());
+    const SccRegions regions(g);
+    DecomposeOptions dopts;
+    dopts.d_max = 4;
+    const auto raw = decompose(g, dopts, nullptr, &regions);
+    MergeOptions mopts;
+    mopts.max_merged_length = 12;
+    const auto merged = mergePaths(raw, g, mopts, &regions);
+    EXPECT_TRUE(merged.paths.validate(g));
+    for (PathId p = 0; p < merged.paths.numPaths(); ++p)
+        EXPECT_LE(merged.paths.pathLength(p), 12u);
+}
+
+TEST_P(Merger, KeepsRegionPurity)
+{
+    const auto g = randomGraph(GetParam());
+    const SccRegions regions(g);
+    const auto raw = decompose(g, {}, nullptr, &regions);
+    const auto merged = mergePaths(raw, g, {}, &regions);
+    for (PathId p = 0; p < merged.paths.numPaths(); ++p) {
+        const auto verts = merged.paths.pathVertices(p);
+        for (std::size_t i = 0; i + 2 < verts.size(); ++i) {
+            EXPECT_TRUE(regions.sameRegion(verts[i], verts[i + 1]))
+                << "merged path " << p << " mixes regions";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Merger,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(MergerShapes, ChainSegmentsFuseBackTogether)
+{
+    const auto g = graph::makeChain(40);
+    DecomposeOptions dopts;
+    dopts.d_max = 5;
+    const auto raw = decompose(g, dopts);
+    EXPECT_GE(raw.numPaths(), 8u);
+    MergeOptions mopts;
+    mopts.short_threshold = 16;
+    mopts.max_merged_length = 0; // unbounded
+    const auto merged = mergePaths(raw, g, mopts);
+    EXPECT_TRUE(merged.paths.validate(g));
+    EXPECT_EQ(merged.paths.numPaths(), 1u)
+        << "a chain should fuse into a single path";
+    EXPECT_EQ(merged.paths.pathLength(0), 39u);
+}
+
+TEST(MergerShapes, NeverMergesIntoACycle)
+{
+    const auto g = graph::makeCycle(12);
+    DecomposeOptions dopts;
+    dopts.d_max = 4;
+    const auto raw = decompose(g, dopts);
+    MergeOptions mopts;
+    mopts.max_merged_length = 0;
+    const auto merged = mergePaths(raw, g, mopts);
+    EXPECT_TRUE(merged.paths.validate(g));
+    // A full merge to one path of 12 edges is fine (head == tail), but a
+    // chain of merges must never drop edges or loop forever; coverage
+    // validation above catches both.
+    for (PathId p = 0; p < merged.paths.numPaths(); ++p)
+        EXPECT_GE(merged.paths.pathLength(p), 1u);
+}
+
+TEST(MergerShapes, InnerVertexJunctionBlocked)
+{
+    // v3 is an inner vertex of path a (1->3->5) and has in-degree > 1 and
+    // out-degree > 1; paths ending/starting at v3 must not fuse through
+    // it.
+    graph::GraphBuilder b;
+    b.addEdge(1, 3);
+    b.addEdge(3, 5);
+    b.addEdge(2, 3);
+    b.addEdge(3, 6);
+    const auto g = b.build();
+    const auto raw = decompose(g, {});
+    ASSERT_TRUE(raw.validate(g));
+    const auto inner = raw.innerVertexFlags(g.numVertices());
+    if (inner[3]) {
+        const auto merged = mergePaths(raw, g, {});
+        EXPECT_TRUE(merged.paths.validate(g));
+        for (PathId p = 0; p < merged.paths.numPaths(); ++p) {
+            const auto verts = merged.paths.pathVertices(p);
+            for (std::size_t i = 1; i + 1 < verts.size(); ++i) {
+                // 3 may appear inner only on the original DFS path.
+                if (verts[i] == 3) {
+                    EXPECT_EQ(merged.merges_performed, 0u);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace digraph::partition

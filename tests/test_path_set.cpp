@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the PathSet container itself: slicing, heads/tails,
+ * inner-vertex flags, replica counts, average degree, reordering, and
+ * validation failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "partition/path_set.hpp"
+
+namespace digraph::partition {
+namespace {
+
+/** 0->1->2->3 plus 2->4: two explicit paths (0,1,2,3) and (2,4). */
+struct Fixture
+{
+    graph::DirectedGraph g;
+    PathSet paths;
+
+    Fixture()
+    {
+        graph::GraphBuilder b;
+        b.addEdge(0, 1);
+        b.addEdge(1, 2);
+        b.addEdge(2, 3);
+        b.addEdge(2, 4);
+        g = b.build();
+
+        auto eid = [this](VertexId s, VertexId t) {
+            const auto nbrs = g.outNeighbors(s);
+            for (std::size_t k = 0; k < nbrs.size(); ++k) {
+                if (nbrs[k] == t)
+                    return g.outEdgeId(s, k);
+            }
+            return kInvalidEdge;
+        };
+        paths.beginPath(0);
+        paths.extend(1, eid(0, 1));
+        paths.extend(2, eid(1, 2));
+        paths.extend(3, eid(2, 3));
+        paths.beginPath(2);
+        paths.extend(4, eid(2, 4));
+    }
+};
+
+TEST(PathSet, BasicAccessors)
+{
+    Fixture f;
+    ASSERT_EQ(f.paths.numPaths(), 2u);
+    EXPECT_EQ(f.paths.numEdges(), 4u);
+    EXPECT_EQ(f.paths.pathLength(0), 3u);
+    EXPECT_EQ(f.paths.pathLength(1), 1u);
+    EXPECT_EQ(f.paths.head(0), 0u);
+    EXPECT_EQ(f.paths.tail(0), 3u);
+    EXPECT_EQ(f.paths.head(1), 2u);
+    EXPECT_EQ(f.paths.tail(1), 4u);
+    EXPECT_DOUBLE_EQ(f.paths.avgLength(), 2.0);
+    EXPECT_TRUE(f.paths.validate(f.g));
+}
+
+TEST(PathSet, VertexAndEdgeSlices)
+{
+    Fixture f;
+    const auto verts = f.paths.pathVertices(0);
+    ASSERT_EQ(verts.size(), 4u);
+    EXPECT_EQ(verts[2], 2u);
+    const auto edges = f.paths.pathEdges(0);
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_EQ(f.g.edgeSource(edges[1]), 1u);
+    EXPECT_EQ(f.g.edgeTarget(edges[1]), 2u);
+    const auto edges1 = f.paths.pathEdges(1);
+    ASSERT_EQ(edges1.size(), 1u);
+    EXPECT_EQ(f.g.edgeTarget(edges1[0]), 4u);
+}
+
+TEST(PathSet, InnerVertexFlags)
+{
+    Fixture f;
+    const auto inner = f.paths.innerVertexFlags(f.g.numVertices());
+    EXPECT_FALSE(inner[0]); // head of p0
+    EXPECT_TRUE(inner[1]);
+    EXPECT_TRUE(inner[2]); // inner on p0, head on p1
+    EXPECT_FALSE(inner[3]);
+    EXPECT_FALSE(inner[4]);
+}
+
+TEST(PathSet, ReplicaCounts)
+{
+    Fixture f;
+    const auto counts = f.paths.replicaCounts(f.g.numVertices());
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[2], 2u); // occurs on both paths
+    EXPECT_EQ(counts[4], 1u);
+}
+
+TEST(PathSet, AvgDegreeAlongPath)
+{
+    Fixture f;
+    // Path 1 = (2, 4): degree(2) = 1 in + 2 out = 3, degree(4) = 1.
+    EXPECT_DOUBLE_EQ(f.paths.avgDegree(1, f.g), 2.0);
+}
+
+TEST(PathSet, ReorderedPermutesPaths)
+{
+    Fixture f;
+    const auto swapped = f.paths.reordered({1, 0});
+    ASSERT_EQ(swapped.numPaths(), 2u);
+    EXPECT_EQ(swapped.head(0), 2u);
+    EXPECT_EQ(swapped.pathLength(0), 1u);
+    EXPECT_EQ(swapped.head(1), 0u);
+    EXPECT_TRUE(swapped.validate(f.g));
+}
+
+TEST(PathSet, ValidateCatchesMissingEdges)
+{
+    Fixture f;
+    PathSet partial;
+    partial.beginPath(0);
+    partial.extend(1, 0);
+    EXPECT_FALSE(partial.validate(f.g)) << "missing coverage";
+}
+
+TEST(PathSet, ValidateCatchesWrongEndpoints)
+{
+    Fixture f;
+    PathSet wrong;
+    wrong.beginPath(1); // edge 0 actually starts at 0
+    wrong.extend(2, 0);
+    wrong.beginPath(1);
+    wrong.extend(2, 1);
+    wrong.beginPath(2);
+    wrong.extend(3, 2);
+    wrong.beginPath(2);
+    wrong.extend(4, 3);
+    EXPECT_FALSE(wrong.validate(f.g));
+}
+
+TEST(PathSet, ValidateCatchesDuplicateEdges)
+{
+    Fixture f;
+    PathSet dup;
+    dup.beginPath(0);
+    dup.extend(1, 0);
+    dup.beginPath(0);
+    dup.extend(1, 0); // same edge twice
+    dup.beginPath(2);
+    dup.extend(3, 2);
+    dup.beginPath(2);
+    dup.extend(4, 3);
+    EXPECT_FALSE(dup.validate(f.g));
+}
+
+TEST(PathSet, EmptySetValidatesOnlyEmptyGraphs)
+{
+    PathSet empty;
+    EXPECT_EQ(empty.numPaths(), 0u);
+    EXPECT_EQ(empty.numEdges(), 0u);
+    EXPECT_EQ(empty.avgLength(), 0.0);
+    EXPECT_TRUE(empty.validate(graph::DirectedGraph{}));
+    Fixture f;
+    EXPECT_FALSE(empty.validate(f.g));
+}
+
+} // namespace
+} // namespace digraph::partition

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the SCC-region classification that guides the path
+ * decomposer and merger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "partition/scc_regions.hpp"
+
+namespace digraph::partition {
+namespace {
+
+TEST(SccRegions, ChainIsAllAcyclic)
+{
+    const auto g = graph::makeChain(10);
+    const SccRegions regions(g);
+    ASSERT_TRUE(regions.valid());
+    for (VertexId v = 0; v < 10; ++v)
+        EXPECT_FALSE(regions.cyclic(v));
+    EXPECT_TRUE(regions.sameRegion(0, 9));
+    EXPECT_TRUE(regions.sameHeadRegion(2, 7));
+}
+
+TEST(SccRegions, CycleIsOneCyclicRegion)
+{
+    const auto g = graph::makeCycle(6);
+    const SccRegions regions(g);
+    for (VertexId v = 0; v < 6; ++v)
+        EXPECT_TRUE(regions.cyclic(v));
+    EXPECT_TRUE(regions.sameRegion(0, 5));
+}
+
+TEST(SccRegions, CyclicAndAcyclicDoNotMix)
+{
+    // cycle {0,1,2} with a tail 2 -> 3 -> 4.
+    graph::GraphBuilder b;
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(2, 0);
+    b.addEdge(2, 3);
+    b.addEdge(3, 4);
+    const auto g = b.build();
+    const SccRegions regions(g);
+    EXPECT_TRUE(regions.cyclic(0));
+    EXPECT_FALSE(regions.cyclic(3));
+    EXPECT_TRUE(regions.sameRegion(0, 1));
+    EXPECT_FALSE(regions.sameRegion(2, 3)) << "cyclic -> acyclic edge";
+    EXPECT_TRUE(regions.sameRegion(3, 4));
+    EXPECT_FALSE(regions.sameHeadRegion(0, 3));
+}
+
+TEST(SccRegions, DistinctCyclesAreDistinctRegions)
+{
+    // Two disjoint 2-cycles.
+    graph::GraphBuilder b;
+    b.addEdge(0, 1);
+    b.addEdge(1, 0);
+    b.addEdge(2, 3);
+    b.addEdge(3, 2);
+    const auto g = b.build();
+    const SccRegions regions(g);
+    EXPECT_TRUE(regions.cyclic(0));
+    EXPECT_TRUE(regions.cyclic(2));
+    EXPECT_FALSE(regions.sameRegion(0, 2));
+    EXPECT_NE(regions.component(0), regions.component(2));
+}
+
+TEST(SccRegions, DefaultConstructedIsInvalid)
+{
+    SccRegions regions;
+    EXPECT_FALSE(regions.valid());
+}
+
+} // namespace
+} // namespace digraph::partition

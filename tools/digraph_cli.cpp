@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Command-line driver: run any system x algorithm on a dataset stand-in
+ * or a graph file, print the metrics report.
+ *
+ * Usage:
+ *   digraph_cli --algo pagerank [--system digraph] [--gpus 4]
+ *               (--dataset cnr [--scale 0.4] | --graph FILE)
+ *               [--source V] [--k K] [--verbose]
+ *
+ * Systems: digraph (default), digraph-t, digraph-w, gunrock, groute,
+ *          sequential.
+ * Formats for --graph: .mtx, .graph (METIS), .gr (DIMACS), .bin
+ * (native), else plain edge list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "algorithms/factory.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/sssp.hpp"
+#include "baselines/async_engine.hpp"
+#include "baselines/bsp_engine.hpp"
+#include "baselines/sequential.hpp"
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "engine/digraph_engine.hpp"
+#include "graph/formats.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace {
+
+using namespace digraph;
+
+struct Options
+{
+    std::string system = "digraph";
+    std::string algo = "pagerank";
+    std::string dataset;
+    std::string graph_file;
+    double scale = 0.4;
+    unsigned gpus = 4;
+    VertexId source = 0;
+    unsigned k = 3;
+    bool verbose = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --algo NAME [--system NAME] [--gpus N]\n"
+        "          (--dataset NAME [--scale S] | --graph FILE)\n"
+        "          [--source V] [--k K] [--verbose]\n"
+        "algorithms: pagerank adsorption sssp kcore katz bfs wcc\n"
+        "systems:    digraph digraph-t digraph-w gunrock groute "
+        "sequential\n"
+        "datasets:   dblp cnr ljournal webbase it04 twitter\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opts;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--system")
+            opts.system = need(i);
+        else if (arg == "--algo")
+            opts.algo = need(i);
+        else if (arg == "--dataset")
+            opts.dataset = need(i);
+        else if (arg == "--graph")
+            opts.graph_file = need(i);
+        else if (arg == "--scale")
+            opts.scale = std::atof(need(i));
+        else if (arg == "--gpus")
+            opts.gpus = static_cast<unsigned>(std::atoi(need(i)));
+        else if (arg == "--source")
+            opts.source = static_cast<VertexId>(std::atol(need(i)));
+        else if (arg == "--k")
+            opts.k = static_cast<unsigned>(std::atoi(need(i)));
+        else if (arg == "--verbose")
+            opts.verbose = true;
+        else
+            usage(argv[0]);
+    }
+    if (opts.dataset.empty() == opts.graph_file.empty())
+        usage(argv[0]); // exactly one input source
+    return opts;
+}
+
+graph::DirectedGraph
+loadInput(const Options &opts)
+{
+    if (!opts.graph_file.empty())
+        return graph::loadAnyFormat(opts.graph_file);
+    for (const auto d : graph::allDatasets()) {
+        if (graph::datasetName(d) == opts.dataset)
+            return graph::makeDataset(d, opts.scale);
+    }
+    fatal("unknown dataset '", opts.dataset, "'");
+}
+
+algorithms::AlgorithmPtr
+makeAlgo(const Options &opts, const graph::DirectedGraph &g)
+{
+    if (opts.algo == "sssp")
+        return std::make_shared<algorithms::Sssp>(opts.source);
+    if (opts.algo == "kcore")
+        return std::make_shared<algorithms::KCore>(opts.k);
+    return algorithms::makeAlgorithm(opts.algo, g);
+}
+
+void
+printReport(const metrics::RunReport &r, double preprocess_s)
+{
+    std::printf("system        %s\n", r.system.c_str());
+    std::printf("algorithm     %s\n", r.algorithm.c_str());
+    std::printf("gpus          %u\n", r.num_gpus);
+    std::printf("partitions    %llu\n",
+                static_cast<unsigned long long>(r.num_partitions));
+    std::printf("updates       %llu\n",
+                static_cast<unsigned long long>(r.vertex_updates));
+    std::printf("edge procs    %llu\n",
+                static_cast<unsigned long long>(r.edge_processings));
+    std::printf("rounds        %llu\n",
+                static_cast<unsigned long long>(r.rounds));
+    std::printf("sim cycles    %.4g\n", r.sim_cycles);
+    std::printf("utilization   %.1f%%\n", r.utilization * 100.0);
+    std::printf("traffic       %.3f MB\n",
+                static_cast<double>(r.trafficVolume()) / 1e6);
+    std::printf("loaded-data   %.4f updates/slot\n",
+                r.loadedDataUtilization());
+    std::printf("preprocess    %.3f s\n", preprocess_s);
+    std::printf("wall          %.3f s\n", r.wall_seconds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parse(argc, argv);
+    const graph::DirectedGraph g = loadInput(opts);
+    if (opts.verbose) {
+        std::printf("graph: %s\n",
+                    graph::describe(graph::measureProperties(g, 8))
+                        .c_str());
+    }
+    const auto algo = makeAlgo(opts, g);
+
+    gpusim::PlatformConfig platform;
+    platform.num_devices = opts.gpus;
+
+    if (opts.system == "sequential") {
+        WallTimer timer;
+        const auto result = baselines::runSequential(g, *algo);
+        metrics::RunReport report;
+        report.system = "sequential";
+        report.algorithm = algo->name();
+        report.vertex_updates = result.vertex_updates;
+        report.edge_processings = result.edge_processings;
+        report.final_state = result.state;
+        report.wall_seconds = timer.seconds();
+        printReport(report, 0.0);
+        return 0;
+    }
+    if (opts.system == "gunrock") {
+        baselines::BaselineOptions bopts;
+        bopts.platform = platform;
+        printReport(baselines::runBsp(g, *algo, bopts), 0.0);
+        return 0;
+    }
+    if (opts.system == "groute") {
+        baselines::BaselineOptions bopts;
+        bopts.platform = platform;
+        printReport(baselines::runAsync(g, *algo, bopts).report, 0.0);
+        return 0;
+    }
+
+    engine::EngineOptions eopts;
+    eopts.platform = platform;
+    if (opts.system == "digraph-t")
+        eopts.mode = engine::ExecutionMode::VertexAsync;
+    else if (opts.system == "digraph-w")
+        eopts.mode = engine::ExecutionMode::PathNoSched;
+    else if (opts.system != "digraph")
+        usage(argv[0]);
+    engine::DiGraphEngine eng(g, eopts);
+    if (opts.verbose) {
+        std::printf("paths: %u (avg length %.2f), partitions: %u, "
+                    "DAG layers: %u\n",
+                    eng.preprocessed().paths.numPaths(),
+                    eng.preprocessed().paths.avgLength(),
+                    eng.preprocessed().numPartitions(),
+                    eng.preprocessed().dag.numLayers());
+    }
+    printReport(eng.run(*algo), eng.preprocessSeconds());
+    return 0;
+}
