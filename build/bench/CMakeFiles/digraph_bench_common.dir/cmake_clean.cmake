@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/digraph_bench_common.dir/bench_common.cpp.o.d"
+  "libdigraph_bench_common.a"
+  "libdigraph_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_graphs.dir/evolving_graphs.cpp.o"
+  "CMakeFiles/evolving_graphs.dir/evolving_graphs.cpp.o.d"
+  "evolving_graphs"
+  "evolving_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_vs_traditional.dir/fig06_vs_traditional.cpp.o"
+  "CMakeFiles/fig06_vs_traditional.dir/fig06_vs_traditional.cpp.o.d"
+  "fig06_vs_traditional"
+  "fig06_vs_traditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_vs_traditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_vs_nosched.dir/fig07_vs_nosched.cpp.o"
+  "CMakeFiles/fig07_vs_nosched.dir/fig07_vs_nosched.cpp.o.d"
+  "fig07_vs_nosched"
+  "fig07_vs_nosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_vs_nosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_preprocessing.dir/fig08_preprocessing.cpp.o"
+  "CMakeFiles/fig08_preprocessing.dir/fig08_preprocessing.cpp.o.d"
+  "fig08_preprocessing"
+  "fig08_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

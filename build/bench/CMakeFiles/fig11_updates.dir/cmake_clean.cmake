@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_updates.dir/fig11_updates.cpp.o"
+  "CMakeFiles/fig11_updates.dir/fig11_updates.cpp.o.d"
+  "fig11_updates"
+  "fig11_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

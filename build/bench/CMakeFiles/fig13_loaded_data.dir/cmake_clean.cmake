@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_loaded_data.dir/fig13_loaded_data.cpp.o"
+  "CMakeFiles/fig13_loaded_data.dir/fig13_loaded_data.cpp.o.d"
+  "fig13_loaded_data"
+  "fig13_loaded_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_loaded_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bidirectional.dir/fig14_bidirectional.cpp.o"
+  "CMakeFiles/fig14_bidirectional.dir/fig14_bidirectional.cpp.o.d"
+  "fig14_bidirectional"
+  "fig14_bidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_total_time.dir/fig17_total_time.cpp.o"
+  "CMakeFiles/fig17_total_time.dir/fig17_total_time.cpp.o.d"
+  "fig17_total_time"
+  "fig17_total_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_total_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_ranking.dir/citation_ranking.cpp.o"
+  "CMakeFiles/citation_ranking.dir/citation_ranking.cpp.o.d"
+  "citation_ranking"
+  "citation_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

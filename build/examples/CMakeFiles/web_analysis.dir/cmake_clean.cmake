@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_analysis.dir/web_analysis.cpp.o"
+  "CMakeFiles/web_analysis.dir/web_analysis.cpp.o.d"
+  "web_analysis"
+  "web_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

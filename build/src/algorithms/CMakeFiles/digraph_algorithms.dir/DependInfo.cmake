@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/adsorption.cpp" "src/algorithms/CMakeFiles/digraph_algorithms.dir/adsorption.cpp.o" "gcc" "src/algorithms/CMakeFiles/digraph_algorithms.dir/adsorption.cpp.o.d"
+  "/root/repo/src/algorithms/core_numbers.cpp" "src/algorithms/CMakeFiles/digraph_algorithms.dir/core_numbers.cpp.o" "gcc" "src/algorithms/CMakeFiles/digraph_algorithms.dir/core_numbers.cpp.o.d"
+  "/root/repo/src/algorithms/factory.cpp" "src/algorithms/CMakeFiles/digraph_algorithms.dir/factory.cpp.o" "gcc" "src/algorithms/CMakeFiles/digraph_algorithms.dir/factory.cpp.o.d"
+  "/root/repo/src/algorithms/hits.cpp" "src/algorithms/CMakeFiles/digraph_algorithms.dir/hits.cpp.o" "gcc" "src/algorithms/CMakeFiles/digraph_algorithms.dir/hits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/digraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/digraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

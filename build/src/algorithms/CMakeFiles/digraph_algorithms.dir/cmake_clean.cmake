@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_algorithms.dir/adsorption.cpp.o"
+  "CMakeFiles/digraph_algorithms.dir/adsorption.cpp.o.d"
+  "CMakeFiles/digraph_algorithms.dir/core_numbers.cpp.o"
+  "CMakeFiles/digraph_algorithms.dir/core_numbers.cpp.o.d"
+  "CMakeFiles/digraph_algorithms.dir/factory.cpp.o"
+  "CMakeFiles/digraph_algorithms.dir/factory.cpp.o.d"
+  "CMakeFiles/digraph_algorithms.dir/hits.cpp.o"
+  "CMakeFiles/digraph_algorithms.dir/hits.cpp.o.d"
+  "libdigraph_algorithms.a"
+  "libdigraph_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_baselines.dir/async_engine.cpp.o"
+  "CMakeFiles/digraph_baselines.dir/async_engine.cpp.o.d"
+  "CMakeFiles/digraph_baselines.dir/baseline_options.cpp.o"
+  "CMakeFiles/digraph_baselines.dir/baseline_options.cpp.o.d"
+  "CMakeFiles/digraph_baselines.dir/bsp_engine.cpp.o"
+  "CMakeFiles/digraph_baselines.dir/bsp_engine.cpp.o.d"
+  "CMakeFiles/digraph_baselines.dir/sequential.cpp.o"
+  "CMakeFiles/digraph_baselines.dir/sequential.cpp.o.d"
+  "libdigraph_baselines.a"
+  "libdigraph_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_common.dir/logging.cpp.o"
+  "CMakeFiles/digraph_common.dir/logging.cpp.o.d"
+  "CMakeFiles/digraph_common.dir/stats.cpp.o"
+  "CMakeFiles/digraph_common.dir/stats.cpp.o.d"
+  "CMakeFiles/digraph_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/digraph_common.dir/thread_pool.cpp.o.d"
+  "libdigraph_common.a"
+  "libdigraph_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

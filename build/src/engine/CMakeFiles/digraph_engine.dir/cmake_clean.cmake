@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_engine.dir/digraph_engine.cpp.o"
+  "CMakeFiles/digraph_engine.dir/digraph_engine.cpp.o.d"
+  "CMakeFiles/digraph_engine.dir/evolving.cpp.o"
+  "CMakeFiles/digraph_engine.dir/evolving.cpp.o.d"
+  "libdigraph_engine.a"
+  "libdigraph_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

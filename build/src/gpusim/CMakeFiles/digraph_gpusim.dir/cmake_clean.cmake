@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_gpusim.dir/platform.cpp.o"
+  "CMakeFiles/digraph_gpusim.dir/platform.cpp.o.d"
+  "libdigraph_gpusim.a"
+  "libdigraph_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/digraph_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/digraph_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/formats.cpp" "src/graph/CMakeFiles/digraph_graph.dir/formats.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/formats.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/digraph_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/digraph_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/graph/CMakeFiles/digraph_graph.dir/properties.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/properties.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/graph/CMakeFiles/digraph_graph.dir/scc.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/scc.cpp.o.d"
+  "/root/repo/src/graph/transform.cpp" "src/graph/CMakeFiles/digraph_graph.dir/transform.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/transform.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/graph/CMakeFiles/digraph_graph.dir/traversal.cpp.o" "gcc" "src/graph/CMakeFiles/digraph_graph.dir/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/digraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

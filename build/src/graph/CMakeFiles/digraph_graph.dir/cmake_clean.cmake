@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_graph.dir/builder.cpp.o"
+  "CMakeFiles/digraph_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/digraph_graph.dir/digraph.cpp.o"
+  "CMakeFiles/digraph_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/digraph_graph.dir/formats.cpp.o"
+  "CMakeFiles/digraph_graph.dir/formats.cpp.o.d"
+  "CMakeFiles/digraph_graph.dir/generators.cpp.o"
+  "CMakeFiles/digraph_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/digraph_graph.dir/io.cpp.o"
+  "CMakeFiles/digraph_graph.dir/io.cpp.o.d"
+  "CMakeFiles/digraph_graph.dir/properties.cpp.o"
+  "CMakeFiles/digraph_graph.dir/properties.cpp.o.d"
+  "CMakeFiles/digraph_graph.dir/scc.cpp.o"
+  "CMakeFiles/digraph_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/digraph_graph.dir/transform.cpp.o"
+  "CMakeFiles/digraph_graph.dir/transform.cpp.o.d"
+  "CMakeFiles/digraph_graph.dir/traversal.cpp.o"
+  "CMakeFiles/digraph_graph.dir/traversal.cpp.o.d"
+  "libdigraph_graph.a"
+  "libdigraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

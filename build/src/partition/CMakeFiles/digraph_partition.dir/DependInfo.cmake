@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/dag_sketch.cpp" "src/partition/CMakeFiles/digraph_partition.dir/dag_sketch.cpp.o" "gcc" "src/partition/CMakeFiles/digraph_partition.dir/dag_sketch.cpp.o.d"
+  "/root/repo/src/partition/decomposer.cpp" "src/partition/CMakeFiles/digraph_partition.dir/decomposer.cpp.o" "gcc" "src/partition/CMakeFiles/digraph_partition.dir/decomposer.cpp.o.d"
+  "/root/repo/src/partition/dependency.cpp" "src/partition/CMakeFiles/digraph_partition.dir/dependency.cpp.o" "gcc" "src/partition/CMakeFiles/digraph_partition.dir/dependency.cpp.o.d"
+  "/root/repo/src/partition/merger.cpp" "src/partition/CMakeFiles/digraph_partition.dir/merger.cpp.o" "gcc" "src/partition/CMakeFiles/digraph_partition.dir/merger.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/digraph_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/digraph_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/path_set.cpp" "src/partition/CMakeFiles/digraph_partition.dir/path_set.cpp.o" "gcc" "src/partition/CMakeFiles/digraph_partition.dir/path_set.cpp.o.d"
+  "/root/repo/src/partition/preprocess.cpp" "src/partition/CMakeFiles/digraph_partition.dir/preprocess.cpp.o" "gcc" "src/partition/CMakeFiles/digraph_partition.dir/preprocess.cpp.o.d"
+  "/root/repo/src/partition/snapshot.cpp" "src/partition/CMakeFiles/digraph_partition.dir/snapshot.cpp.o" "gcc" "src/partition/CMakeFiles/digraph_partition.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/digraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/digraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_partition.dir/dag_sketch.cpp.o"
+  "CMakeFiles/digraph_partition.dir/dag_sketch.cpp.o.d"
+  "CMakeFiles/digraph_partition.dir/decomposer.cpp.o"
+  "CMakeFiles/digraph_partition.dir/decomposer.cpp.o.d"
+  "CMakeFiles/digraph_partition.dir/dependency.cpp.o"
+  "CMakeFiles/digraph_partition.dir/dependency.cpp.o.d"
+  "CMakeFiles/digraph_partition.dir/merger.cpp.o"
+  "CMakeFiles/digraph_partition.dir/merger.cpp.o.d"
+  "CMakeFiles/digraph_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/digraph_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/digraph_partition.dir/path_set.cpp.o"
+  "CMakeFiles/digraph_partition.dir/path_set.cpp.o.d"
+  "CMakeFiles/digraph_partition.dir/preprocess.cpp.o"
+  "CMakeFiles/digraph_partition.dir/preprocess.cpp.o.d"
+  "CMakeFiles/digraph_partition.dir/snapshot.cpp.o"
+  "CMakeFiles/digraph_partition.dir/snapshot.cpp.o.d"
+  "libdigraph_partition.a"
+  "libdigraph_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

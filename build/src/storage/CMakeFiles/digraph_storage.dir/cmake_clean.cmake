@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_storage.dir/path_storage.cpp.o"
+  "CMakeFiles/digraph_storage.dir/path_storage.cpp.o.d"
+  "libdigraph_storage.a"
+  "libdigraph_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_engines.dir/test_baseline_engines.cpp.o"
+  "CMakeFiles/test_baseline_engines.dir/test_baseline_engines.cpp.o.d"
+  "test_baseline_engines"
+  "test_baseline_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependency_dag.dir/test_dependency_dag.cpp.o"
+  "CMakeFiles/test_dependency_dag.dir/test_dependency_dag.cpp.o.d"
+  "test_dependency_dag"
+  "test_dependency_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependency_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

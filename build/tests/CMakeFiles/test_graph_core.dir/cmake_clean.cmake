@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_core.dir/test_graph_core.cpp.o"
+  "CMakeFiles/test_graph_core.dir/test_graph_core.cpp.o.d"
+  "test_graph_core"
+  "test_graph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

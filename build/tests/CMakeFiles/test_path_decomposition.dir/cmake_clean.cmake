@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_decomposition.dir/test_path_decomposition.cpp.o"
+  "CMakeFiles/test_path_decomposition.dir/test_path_decomposition.cpp.o.d"
+  "test_path_decomposition"
+  "test_path_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

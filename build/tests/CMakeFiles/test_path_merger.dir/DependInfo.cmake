@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_path_merger.cpp" "tests/CMakeFiles/test_path_merger.dir/test_path_merger.cpp.o" "gcc" "tests/CMakeFiles/test_path_merger.dir/test_path_merger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/digraph_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/digraph_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/digraph_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/digraph_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/digraph_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/digraph_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/digraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/digraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

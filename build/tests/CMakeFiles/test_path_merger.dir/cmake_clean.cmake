@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_merger.dir/test_path_merger.cpp.o"
+  "CMakeFiles/test_path_merger.dir/test_path_merger.cpp.o.d"
+  "test_path_merger"
+  "test_path_merger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_merger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

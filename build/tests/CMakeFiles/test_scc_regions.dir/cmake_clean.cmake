@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scc_regions.dir/test_scc_regions.cpp.o"
+  "CMakeFiles/test_scc_regions.dir/test_scc_regions.cpp.o.d"
+  "test_scc_regions"
+  "test_scc_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scc_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digraph_cli.dir/digraph_cli.cpp.o"
+  "CMakeFiles/digraph_cli.dir/digraph_cli.cpp.o.d"
+  "digraph_cli"
+  "digraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
