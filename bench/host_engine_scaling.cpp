@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Host-side scaling of the parallel wave execution engine: wall-clock
+ * seconds of DiGraphEngine::run() as engine_threads grows, on a workload
+ * whose partitions are largely vertex-disjoint (high locality, uniform
+ * degrees), so wave chunks hold many concurrent dispatches.
+ *
+ * This measures the HOST simulation throughput, not simulated GPU time:
+ * every run produces bit-identical results and identical sim_cycles for
+ * every thread count (verified here); only wall_seconds changes.
+ *
+ * Output: a table on stdout plus BENCH_engine.json in the working
+ * directory. Regenerate the committed snapshot from the repo root with:
+ *
+ *     cmake --build build -j --target host_engine_scaling
+ *     ./build/bench/host_engine_scaling
+ *
+ * (see EXPERIMENTS.md). Scale via DIGRAPH_BENCH_SCALE if needed.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace digraph;
+
+graph::DirectedGraph
+scalingWorkload()
+{
+    // Locality-heavy, low-skew graph: vertices recur only in nearby
+    // paths, so most partition pairs share no vertex and the wave
+    // scheduler can run them concurrently. (Hub-heavy graphs serialize
+    // on the interference matrix instead — by design: concurrent stale
+    // reads of a contended master would redo work.)
+    graph::GeneratorConfig c;
+    c.num_vertices = static_cast<VertexId>(150000 * bench::benchScale());
+    c.num_edges = static_cast<EdgeId>(750000 * bench::benchScale());
+    c.degree_skew = 1.0;
+    c.locality = 0.97;
+    c.locality_window = 24;
+    c.scc_core_fraction = 0.25;
+    c.seed = 23;
+    return graph::generate(c);
+}
+
+struct Point
+{
+    std::size_t threads;
+    metrics::RunReport best; // rep with the smallest wall_seconds
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto g = scalingWorkload();
+    const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+    constexpr int kReps = 3;
+
+    std::vector<Point> points;
+    for (const std::size_t threads : thread_counts) {
+        engine::EngineOptions opts;
+        opts.platform = bench::benchPlatform(bench::benchGpus());
+        opts.engine_threads = threads;
+        engine::DiGraphEngine eng(g, opts);
+        const auto algo = algorithms::makeAlgorithm("pagerank", g);
+
+        metrics::RunReport best;
+        for (int rep = 0; rep < kReps; ++rep) {
+            auto report = eng.run(*algo);
+            if (rep == 0 || report.wall_seconds < best.wall_seconds)
+                best = std::move(report);
+        }
+        points.push_back({threads, std::move(best)});
+    }
+
+    // Sanity: thread count must not change results.
+    bool deterministic = true;
+    for (const Point &pt : points) {
+        if (pt.best.final_state != points.front().best.final_state ||
+            pt.best.sim_cycles != points.front().best.sim_cycles) {
+            deterministic = false;
+        }
+    }
+
+    // Wall-clock speedup is bounded by the host cores actually present
+    // (hardware_concurrency); on a single-core container the curve is
+    // flat and the parallel fraction below is the honest scaling signal.
+    const unsigned host_cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    const double base = points.front().best.wall_seconds;
+    const double parallel_fraction =
+        base > 0.0 ? points.front().best.wall_compute_seconds / base : 0.0;
+    const double amdahl_4t =
+        1.0 / ((1.0 - parallel_fraction) + parallel_fraction / 4.0);
+
+    bench::Table table(
+        "Host engine scaling (pagerank, wall seconds per run)",
+        {"threads", "wall_s", "speedup", "compute_s", "barrier_s",
+         "schedule_s", "waves"});
+    for (const Point &pt : points) {
+        table.addRow({std::to_string(pt.threads),
+                      bench::Table::num(pt.best.wall_seconds),
+                      bench::Table::ratio(base, pt.best.wall_seconds),
+                      bench::Table::num(pt.best.wall_compute_seconds),
+                      bench::Table::num(pt.best.wall_barrier_seconds),
+                      bench::Table::num(pt.best.wall_schedule_seconds),
+                      std::to_string(pt.best.waves)});
+    }
+    table.print();
+    std::printf("deterministic across thread counts: %s\n",
+                deterministic ? "yes" : "NO");
+    std::printf("host cores: %u, parallel fraction (compute/wall at 1 "
+                "thread): %.2f, Amdahl-projected speedup at 4 cores: "
+                "%.2fx\n",
+                host_cores, parallel_fraction, amdahl_4t);
+    if (host_cores < 4)
+        std::printf("note: host has fewer than 4 cores; wall-clock "
+                    "speedup is capped at %ux regardless of "
+                    "engine_threads\n",
+                    host_cores);
+
+    std::FILE *out = std::fopen("BENCH_engine.json", "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write BENCH_engine.json\n");
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"host_engine_scaling\",\n");
+    std::fprintf(out, "  \"workload\": {\"algorithm\": \"pagerank\", "
+                      "\"vertices\": %llu, \"edges\": %llu, "
+                      "\"partitions\": %llu},\n",
+                 static_cast<unsigned long long>(g.numVertices()),
+                 static_cast<unsigned long long>(g.numEdges()),
+                 static_cast<unsigned long long>(
+                     points.front().best.num_partitions));
+    std::fprintf(out, "  \"repetitions\": %d,\n", kReps);
+    std::fprintf(out, "  \"host_cores\": %u,\n", host_cores);
+    std::fprintf(out, "  \"parallel_fraction\": %.4f,\n",
+                 parallel_fraction);
+    std::fprintf(out, "  \"amdahl_projected_speedup_4_cores\": %.3f,\n",
+                 amdahl_4t);
+    std::fprintf(out, "  \"deterministic\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(out, "  \"results\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &r = points[i].best;
+        std::fprintf(
+            out,
+            "    {\"engine_threads\": %zu, \"wall_seconds\": %.6f, "
+            "\"speedup_vs_serial\": %.3f, \"wall_compute_seconds\": %.6f, "
+            "\"wall_barrier_seconds\": %.6f, "
+            "\"wall_schedule_seconds\": %.6f, \"waves\": %llu, "
+            "\"sim_cycles\": %.1f}%s\n",
+            points[i].threads, r.wall_seconds,
+            r.wall_seconds > 0.0 ? base / r.wall_seconds : 0.0,
+            r.wall_compute_seconds, r.wall_barrier_seconds,
+            r.wall_schedule_seconds,
+            static_cast<unsigned long long>(r.waves), r.sim_cycles,
+            i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_engine.json\n");
+    return deterministic ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Race-check the parallel wave execution engine under ThreadSanitizer.
+#
+# Builds the repo in a dedicated tree (build-tsan/) with
+# -DDIGRAPH_SANITIZE=thread and runs the engine test binaries — the
+# parallel suite already exercises engine_threads in {2, 4} and the
+# hardware-concurrency path, so any data race in computeDispatch /
+# the barrier replay shows up here.
+#
+# Usage (from the repo root):
+#     ci/tsan.sh            # configure + build + run
+#     ci/tsan.sh -R Waves   # extra args are passed through to ctest
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -S . -DDIGRAPH_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j \
+    --target test_engine_parallel test_engine_features \
+    test_engine_convergence
+
+if [ "$#" -gt 0 ]; then
+    ctest --test-dir build-tsan --output-on-failure "$@"
+else
+    ctest --test-dir build-tsan --output-on-failure \
+        -R 'test_engine_(parallel|features|convergence)'
+fi

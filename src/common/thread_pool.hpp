@@ -64,6 +64,16 @@ class ThreadPool
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Run fn(i) for every i in [0, count) with one task per index and act
+     * as a barrier: returns only when every call has finished. Meant for
+     * coarse-grained items of uneven size (e.g. partition dispatches of a
+     * wave), where per-index scheduling beats contiguous blocks. The first
+     * exception thrown by any task is rethrown after the barrier.
+     */
+    void forEachIndex(std::size_t count,
+                      const std::function<void(std::size_t)> &fn);
+
   private:
     void workerLoop();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <thread>
 #include <unordered_map>
 
 #include "common/logging.hpp"
@@ -56,6 +57,14 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
     buildIndexes();
 }
 
+std::size_t
+DiGraphEngine::engineThreads() const
+{
+    if (options_.engine_threads)
+        return options_.engine_threads;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
 void
 DiGraphEngine::buildIndexes()
 {
@@ -95,28 +104,67 @@ DiGraphEngine::buildIndexes()
             occur_slots_[cursor[e_idx[s]]++] = s;
     }
 
-    // Consumer-partition CSR: vertex -> partitions with a source
-    // occurrence (deduplicated).
+    // Consumer-partition CSR (vertex -> partitions with a source
+    // occurrence) and mirror-partition CSR (vertex -> partitions with any
+    // occurrence), both deduplicated. A vertex's occurrence slots are
+    // ascending and partitions own contiguous path (hence slot) ranges,
+    // so the partition sequence along the occurrence list is already
+    // non-decreasing: one streaming pass with a last-seen compare replaces
+    // the former per-vertex sort/unique scratch loop.
     consumer_offsets_.assign(g_.numVertices() + 1, 0);
-    {
-        std::vector<PartitionId> scratch;
-        for (VertexId v = 0; v < g_.numVertices(); ++v) {
-            scratch.clear();
-            for (std::uint64_t k = occur_offsets_[v];
-                 k < occur_offsets_[v + 1]; ++k) {
-                const std::uint64_t slot = occur_slots_[k];
-                if (is_src_slot_[slot]) {
-                    scratch.push_back(
-                        partition_of_path_[path_of_slot_[slot]]);
-                }
+    consumer_parts_.clear();
+    mirror_offsets_.assign(g_.numVertices() + 1, 0);
+    mirror_parts_.clear();
+    for (VertexId v = 0; v < g_.numVertices(); ++v) {
+        PartitionId last_consumer = kInvalidPartition;
+        PartitionId last_mirror = kInvalidPartition;
+        for (std::uint64_t k = occur_offsets_[v];
+             k < occur_offsets_[v + 1]; ++k) {
+            const std::uint64_t slot = occur_slots_[k];
+            const PartitionId part =
+                partition_of_path_[path_of_slot_[slot]];
+            if (part != last_mirror) {
+                mirror_parts_.push_back(part);
+                last_mirror = part;
             }
-            std::sort(scratch.begin(), scratch.end());
-            scratch.erase(std::unique(scratch.begin(), scratch.end()),
-                          scratch.end());
-            consumer_offsets_[v + 1] =
-                consumer_offsets_[v] + scratch.size();
-            consumer_parts_.insert(consumer_parts_.end(), scratch.begin(),
-                                   scratch.end());
+            if (is_src_slot_[slot] && part != last_consumer) {
+                consumer_parts_.push_back(part);
+                last_consumer = part;
+            }
+        }
+        consumer_offsets_[v + 1] = consumer_parts_.size();
+        mirror_offsets_[v + 1] = mirror_parts_.size();
+    }
+
+    // Partition-interference matrix: partitions sharing any vertex must
+    // not run concurrently (a dispatch could consume the other's stale
+    // master and redo the propagation after the merge). Vertices
+    // mirrored by more partitions than the cap are hubs: their
+    // partitions are flagged as interfering with everything, which
+    // bounds the build at kHubFanoutCap * mirror entries.
+    constexpr std::uint64_t kHubFanoutCap = 32;
+    interference_.assign(static_cast<std::size_t>(nparts) * nparts, 0);
+    interferes_all_.assign(nparts, 0);
+    for (VertexId v = 0; v < g_.numVertices(); ++v) {
+        const std::uint64_t lo = mirror_offsets_[v];
+        const std::uint64_t hi = mirror_offsets_[v + 1];
+        const std::uint64_t fanout = hi - lo;
+        if (fanout < 2)
+            continue;
+        if (fanout > kHubFanoutCap) {
+            for (std::uint64_t k = lo; k < hi; ++k)
+                interferes_all_[mirror_parts_[k]] = 1;
+            continue;
+        }
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            for (std::uint64_t j = i + 1; j < hi; ++j) {
+                const PartitionId a = mirror_parts_[i];
+                const PartitionId b = mirror_parts_[j];
+                interference_[static_cast<std::size_t>(a) * nparts + b] =
+                    1;
+                interference_[static_cast<std::size_t>(b) * nparts + a] =
+                    1;
+            }
         }
     }
 
@@ -358,12 +406,20 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                    const WarmStart *warm)
 {
     WallTimer wall;
+    AccumTimer schedule_timer;
+    AccumTimer compute_timer;
+    AccumTimer barrier_timer;
     metrics::RunReport report;
     report.system = modeName(options_.mode);
     report.algorithm = algo.name();
     report.num_gpus = platform_.numDevices();
     report.num_partitions = pre_.numPartitions();
     report.preprocess_seconds = preprocessSeconds();
+
+    const std::size_t nthreads = engineThreads();
+    report.engine_threads = static_cast<std::uint32_t>(nthreads);
+    if (nthreads > 1 && (!pool_ || pool_->size() != nthreads))
+        pool_ = std::make_unique<ThreadPool>(nthreads);
 
     platform_.reset();
 
@@ -392,6 +448,7 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     storage_.initialize(vinit, einit);
 
     const PartitionId nparts = pre_.numPartitions();
+    const PathId npaths = pre_.paths.numPaths();
     slot_active_.assign(storage_.eIdx().size(), 0);
     master_version_.assign(g_.numVertices(), 0);
     slot_seen_version_.assign(storage_.eIdx().size(), 0);
@@ -403,6 +460,16 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     master_writer_.assign(g_.numVertices(), kInvalidVertex);
     device_resident_.assign(platform_.numDevices(), {});
     device_resident_bytes_.assign(platform_.numDevices(), 0);
+    path_active_count_.assign(npaths, 0);
+    path_in_worklist_.assign(npaths, 0);
+    partition_worklist_.assign(nparts, {});
+    stale_queue_.assign(nparts, {});
+    partition_dirty_.resize(nparts);
+    for (PartitionId q = 0; q < nparts; ++q) {
+        partition_dirty_[q].bind(
+            storage_.pathOffset(pre_.partition_offsets[q]),
+            storage_.pathOffset(pre_.partition_offsets[q + 1]));
+    }
 
     // Prefetch: all partitions are distributed over the devices up
     // front, streamed via the copy queues (Hyper-Q) so kernels can start
@@ -442,7 +509,7 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
              k < occur_offsets_[v + 1]; ++k) {
             const std::uint64_t slot = occur_slots_[k];
             if (isSrcSlot(slot)) {
-                slot_active_[slot] = 1;
+                activateSlot(slot);
                 partition_active_[partition_of_path_[path_of_slot_[slot]]] =
                     1;
             }
@@ -461,20 +528,34 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     // Main dependency-aware dispatch loop, organized in waves: within a
     // wave every active partition is dispatched at most once (the
     // batched-kernel granularity of a real GPU), in topological order of
-    // the DAG sketch, so upstream results reach downstream partitions
-    // within the same wave. Partitions activated after their dispatch
-    // carry over to the next wave.
+    // the DAG sketch. The wave batch is executed in chunks of mutually
+    // NON-INTERFERING partitions (no shared vertex), each in two phases:
+    //   1. compute (parallel): every chunk partition runs its local
+    //      rounds against chunk-start shared state, buffering master
+    //      merges privately (computeDispatch);
+    //   2. barrier (serial): outcomes are committed in dispatch order —
+    //      master merge replay, version bumps, activation fan-out, and
+    //      the simulated platform costs (replayDispatch).
+    // Vertex-disjoint dispatches are exactly order-independent, so a
+    // chunk's parallel execution does the same work as the serial
+    // engine; interfering partitions land in later chunks and see the
+    // committed results (the serial engine's fast intra-wave
+    // propagation). Chunk composition depends only on the batch and the
+    // static interference matrix — NOT the thread count — so results
+    // are identical for every engine_threads value.
     std::vector<std::uint64_t> wave_stamp(nparts, 0);
     std::uint64_t wave = 0;
+    std::vector<PartitionId> batch;
+    std::vector<DispatchOutcome> outcomes;
     for (;;) {
         ++wave;
+        schedule_timer.begin();
         // Readiness and the dispatch set are frozen at wave start: a
         // group is dispatchable only when everything transitively
         // upstream of it has converged, and partitions activated during
-        // the wave wait for the next one (a wave is one bulk batch of
-        // concurrent kernels, not a serial chain).
+        // the wave wait for the next one.
         const auto blocked = blockedGroups();
-        std::vector<PartitionId> batch;
+        batch.clear();
         for (;;) {
             const PartitionId p =
                 choosePartition(wave_stamp, wave, &blocked);
@@ -483,21 +564,73 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
             wave_stamp[p] = wave;
             batch.push_back(p);
         }
-        bool dispatched_any = !batch.empty();
-        for (const PartitionId p : batch)
-            processPartition(p, algo, report);
-        if (!dispatched_any) {
+        if (batch.empty()) {
             // Nothing ready: either converged, or an (unlikely) blocked
             // cycle remains — run one partition "in advance" to make
             // progress (and keep otherwise idle SMXs busy).
             const PartitionId p =
                 choosePartition(wave_stamp, wave, nullptr);
-            if (p == kInvalidPartition)
-                break;
-            wave_stamp[p] = wave;
-            processPartition(p, algo, report);
+            if (p != kInvalidPartition) {
+                wave_stamp[p] = wave;
+                batch.push_back(p);
+            }
+        }
+        schedule_timer.end();
+        if (batch.empty())
+            break;
+
+        std::vector<std::uint8_t> taken(batch.size(), 0);
+        std::vector<PartitionId> chunk;
+        std::size_t done = 0;
+        while (done < batch.size()) {
+            // Greedy independent-set chunk in batch (priority) order:
+            // the first remaining partition always enters, later ones
+            // only if vertex-disjoint from every current member.
+            schedule_timer.begin();
+            chunk.clear();
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                if (taken[i])
+                    continue;
+                const PartitionId p = batch[i];
+                bool compatible =
+                    chunk.empty() ||
+                    (!interferes_all_[p] &&
+                     std::none_of(
+                         chunk.begin(), chunk.end(),
+                         [&](PartitionId m) {
+                             return interferes_all_[m] ||
+                                    interference_[static_cast<std::size_t>(
+                                                      p) *
+                                                      nparts +
+                                                  m];
+                         }));
+                if (!compatible)
+                    continue;
+                chunk.push_back(p);
+                taken[i] = 1;
+            }
+            done += chunk.size();
+            schedule_timer.end();
+
+            compute_timer.begin();
+            outcomes.assign(chunk.size(), {});
+            if (nthreads == 1 || chunk.size() == 1) {
+                for (std::size_t i = 0; i < chunk.size(); ++i)
+                    outcomes[i] = computeDispatch(chunk[i], algo);
+            } else {
+                pool_->forEachIndex(chunk.size(), [&](std::size_t i) {
+                    outcomes[i] = computeDispatch(chunk[i], algo);
+                });
+            }
+            compute_timer.end();
+
+            barrier_timer.begin();
+            for (auto &outcome : outcomes)
+                replayDispatch(outcome, algo, report);
+            barrier_timer.end();
         }
     }
+    report.waves = wave - 1; // the last wave dispatched nothing
 
     report.used_vertices = report.vertex_updates;
     report.final_state.assign(storage_.vVals().begin(),
@@ -507,70 +640,72 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     report.ring_transfer_bytes = platform_.ring().totalBytes();
     report.global_load_bytes = platform_.globalLoadBytes();
     report.wall_seconds = wall.seconds();
+    report.wall_compute_seconds = compute_timer.seconds();
+    report.wall_barrier_seconds = barrier_timer.seconds();
+    report.wall_schedule_seconds = schedule_timer.seconds();
     return report;
 }
 
-void
-DiGraphEngine::processPartition(PartitionId p,
-                                const algorithms::Algorithm &algo,
-                                metrics::RunReport &report)
+DiGraphEngine::DispatchOutcome
+DiGraphEngine::computeDispatch(PartitionId p,
+                               const algorithms::Algorithm &algo)
 {
+    DispatchOutcome out;
+    out.partition = p;
+    // Clearing here (not at batch selection) absorbs re-activations from
+    // earlier chunks of the same wave: their stale-queue entries are
+    // consumed by the conversion below, so the flag need not survive.
+    // Re-activations by *this* chunk's barrier happen after every
+    // compute returns and do survive. Distinct bytes per partition, so
+    // concurrent dispatches clearing their own flags do not race.
     partition_active_[p] = 0;
-    ++partition_process_count_[p];
-    ++report.partition_processings;
 
-    const DeviceId dev = chooseDevice(p);
-    partition_device_[p] = dev;
-    auto &device = platform_.device(dev);
-    // One SMX owns this dispatch's serial round chain; other SMXs are
-    // touched only by work-stealing surplus, so concurrent partitions on
-    // the device keep their own SMXs.
-    const SmxId home_smx = device.leastLoadedSmx();
     const std::uint32_t path_lo = pre_.partition_offsets[p];
     const std::uint32_t path_hi = pre_.partition_offsets[p + 1];
     const std::uint64_t slot_lo = storage_.pathOffset(path_lo);
     const std::uint64_t slot_hi = storage_.pathOffset(path_hi);
     const std::uint64_t partition_slots = slot_hi - slot_lo;
 
-    double ready = ensureResident(
-        p, dev,
-        std::max({device.smx(home_smx).clock(), partition_done_[p],
-                  partition_msg_ready_[p]}),
-        report);
+    // Private master overlay: wave-start master + this dispatch's own
+    // merges. Global V_val is frozen for the whole wave, so concurrent
+    // dispatches may read it freely.
+    auto &overlay = out.overlay;
+    const auto masterOf = [&](VertexId v) -> Value {
+        const auto it = overlay.find(v);
+        return it != overlay.end() ? it->second : storage_.vVal(v);
+    };
 
-    // Master refresh: path results are buffered in the global memory of
-    // the device that produced them (Section 3.2.2); masters written on
-    // another device are pulled over the ring, one batch per source
-    // device. Locally-written masters are free.
+    // Stale-queue conversion (replaces the dispatch-start full version
+    // scan): only vertices whose master version bumped since this
+    // partition last absorbed them are examined. Activating their source
+    // slots folds cross-partition staleness into the one slot_active_
+    // worklist the local rounds run on.
     {
-        std::vector<std::uint64_t> pull_bytes(platform_.numDevices(), 0);
-        std::vector<VertexId> stale_vertices;
-        for (std::uint64_t s = slot_lo; s < slot_hi; ++s) {
-            const VertexId v = storage_.vertexAt(s);
-            if (slot_seen_version_[s] != master_version_[v])
-                stale_vertices.push_back(v);
+        auto &queue = stale_queue_[p];
+        std::sort(queue.begin(), queue.end());
+        queue.erase(std::unique(queue.begin(), queue.end()), queue.end());
+        for (const VertexId v : queue) {
+            bool any_stale = false;
+            const auto occ_begin = occur_slots_.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       occur_offsets_[v]);
+            const auto occ_end = occur_slots_.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     occur_offsets_[v + 1]);
+            for (auto it = std::lower_bound(occ_begin, occ_end, slot_lo);
+                 it != occ_end && *it < slot_hi; ++it) {
+                const std::uint64_t slot = *it;
+                if (slot_seen_version_[slot] != master_version_[v]) {
+                    any_stale = true;
+                    slot_seen_version_[slot] = master_version_[v];
+                    if (isSrcSlot(slot))
+                        activateSlot(slot);
+                }
+            }
+            if (any_stale)
+                out.stale_vertices.push_back(v);
         }
-        std::sort(stale_vertices.begin(), stale_vertices.end());
-        stale_vertices.erase(
-            std::unique(stale_vertices.begin(), stale_vertices.end()),
-            stale_vertices.end());
-        for (const VertexId v : stale_vertices) {
-            const DeviceId home = master_writer_[v];
-            if (home != kInvalidVertex && home != dev)
-                pull_bytes[home] += kMessageBytes;
-        }
-        const double issue = ready;
-        for (DeviceId home = 0; home < platform_.numDevices(); ++home) {
-            if (pull_bytes[home] == 0)
-                continue;
-            ready = std::max(ready,
-                             platform_.ring().transfer(
-                                 home, dev, issue, pull_bytes[home]));
-            report.comm_cycles +=
-                options_.platform.transfer_latency_cycles +
-                static_cast<double>(pull_bytes[home]) /
-                    options_.platform.ring_bytes_per_cycle;
-        }
+        queue.clear();
     }
 
     // Lazy partition pull: only paths with active work are streamed from
@@ -592,53 +727,51 @@ DiGraphEngine::processPartition(PartitionId p,
     std::vector<std::uint64_t> pending; // VertexAsync deferred flags
     std::vector<Value> snapshot;
     std::vector<VertexId> changed;
-    // Mirror->master sync is batched per dispatch: every changed master
-    // is written back once (deduplicated), and the partitions it
-    // activates learn about it when that batch lands.
-    std::vector<VertexId> pushed_masters;
-    std::vector<PartitionId> activated_parts;
+    auto &worklist = partition_worklist_[p];
+    auto &dirty = partition_dirty_[p];
 
     std::size_t local_rounds = 0;
     for (;;) {
-        // Collect paths with at least one active source slot, and count
-        // active slots for Pri(p)'s N(p).
+        // Collect paths with at least one active source slot from the
+        // incremental worklist — O(active paths), not O(partition
+        // slots). Sorting restores storage order (what the former full
+        // sweep produced), which PathNoSched relies on.
         active_paths.clear();
         active_counts.clear();
-        for (std::uint32_t q = path_lo; q < path_hi; ++q) {
-            std::uint32_t n_active = 0;
-            for (std::uint64_t s = storage_.pathOffset(q);
-                 s + 1 < storage_.pathOffset(q + 1); ++s) {
-                if (slot_active_[s] ||
-                    slot_seen_version_[s] !=
-                        master_version_[storage_.vertexAt(s)]) {
-                    ++n_active;
-                }
-            }
-            if (n_active) {
+        std::sort(worklist.begin(), worklist.end());
+        std::size_t keep = 0;
+        for (const PathId q : worklist) {
+            if (path_active_count_[q] > 0) {
+                worklist[keep++] = q;
                 active_paths.push_back(q);
-                active_counts.push_back(n_active);
+                active_counts.push_back(path_active_count_[q]);
+            } else {
+                path_in_worklist_[q] = 0;
             }
         }
+        worklist.resize(keep);
         if (active_paths.empty())
             break;
         if (local_rounds >= options_.max_local_rounds) {
-            partition_active_[p] = 1; // reschedule the remainder
+            out.reactivate_self = true; // reschedule the remainder
             break;
         }
         ++local_rounds;
-        ++report.rounds;
 
-        // First-touch pull of newly active paths.
+        // First-touch pull of newly active paths (through the overlay so
+        // the pull sees this dispatch's own pending merges).
         for (const PathId q : active_paths) {
             if (pulled[q - path_lo])
                 continue;
             pulled[q - path_lo] = 1;
-            storage_.pullPath(q);
+            if (overlay.empty())
+                storage_.pullPath(q);
+            else
+                storage_.pullPathWith(q, masterOf);
             const std::size_t bytes = storage_.pathBytes(q);
-            report.loaded_vertices +=
+            out.loaded_vertices +=
                 storage_.pathOffset(q + 1) - storage_.pathOffset(q);
-            device.addGlobalLoad(bytes);
-            report.global_load_bytes += bytes;
+            out.global_load_bytes += bytes;
         }
 
         // Path scheduling (Section 3.2.3): the warp scheduler runs paths
@@ -705,12 +838,10 @@ DiGraphEngine::processPartition(PartitionId p,
             for (std::size_t i = 0; i < n_edges; ++i) {
                 const std::uint64_t src_slot = base + i;
                 const VertexId src_v = view.vertex_ids[i];
-                if (!slot_active_[src_slot] &&
-                    slot_seen_version_[src_slot] ==
-                        master_version_[src_v]) {
+                if (!slot_active_[src_slot])
                     continue;
-                }
                 slot_active_[src_slot] = 0;
+                --path_active_count_[q];
                 slot_seen_version_[src_slot] = master_version_[src_v];
                 const Value src_val =
                     vertex_async ? snapshot[src_slot - slot_lo]
@@ -720,16 +851,20 @@ DiGraphEngine::processPartition(PartitionId p,
                     src_val, view.edge_states[i], eid, g_.edgeWeight(eid),
                     static_cast<std::uint32_t>(g_.outDegree(src_v)),
                     view.mirror_states[i + 1]);
-                ++report.edge_processings;
+                ++out.edge_processings;
                 ++processed_edges[ap];
+                // The destination mirror may have been written even on a
+                // sub-threshold update — it joins the dirty worklist the
+                // mirror-push phase examines.
+                dirty.mark(base + i + 1);
                 if (changed_dst) {
-                    ++report.vertex_updates;
+                    ++out.vertex_updates;
                     const std::uint64_t dst_slot = base + i + 1;
                     if (isSrcSlot(dst_slot)) {
                         if (vertex_async)
                             pending.push_back(dst_slot);
                         else
-                            slot_active_[dst_slot] = 1;
+                            activateSlot(dst_slot);
                     }
                 }
             }
@@ -737,26 +872,34 @@ DiGraphEngine::processPartition(PartitionId p,
 
         if (vertex_async) {
             for (const std::uint64_t slot : pending)
-                slot_active_[slot] = 1;
+                activateSlot(slot);
         }
 
         // --- mirror -> master sync (batched, Section 3.2.2) ---
-        // Phase 1: every mirror pushes its pending value/delta to the
-        // master. Refreshes are deferred to phase 2 so that a refresh of
-        // one replica can never clobber another replica's un-pushed work.
+        // Phase 1: every dirty mirror pushes its pending value/delta to
+        // the (privately overlaid) master. Only slots written this round
+        // are examined — the incremental replacement of the former full
+        // slot-range sweep. Ascending slot order keeps the merge order
+        // of the sweep. Refreshes are deferred to phase 2 so that a
+        // refresh of one replica can never clobber another replica's
+        // un-pushed work.
         std::uint64_t proxy_pushes = 0;
         std::uint64_t atomic_pushes = 0;
         changed.clear();
-        for (std::uint64_t s = slot_lo; s < slot_hi; ++s) {
+        auto &dirty_slots = dirty.slots();
+        std::sort(dirty_slots.begin(), dirty_slots.end());
+        for (const std::uint64_t s : dirty_slots) {
             Value &mirror = storage_.sVal(s);
             Value &loaded = storage_.loadedVal(s);
             if (!algo.hasPush(mirror, loaded))
                 continue;
             const VertexId v = storage_.vertexAt(s);
             const Value push = algo.pushValue(mirror, loaded);
-            const bool master_changed =
-                algo.mergeMaster(storage_.vVal(v), push);
+            const auto [it, inserted] =
+                overlay.try_emplace(v, storage_.vVal(v));
+            const bool master_changed = algo.mergeMaster(it->second, push);
             loaded = mirror;
+            out.pushes.emplace_back(v, push);
             if (options_.use_proxy &&
                 g_.inDegree(v) >= options_.proxy_indegree_threshold) {
                 ++proxy_pushes;
@@ -766,6 +909,7 @@ DiGraphEngine::processPartition(PartitionId p,
             if (master_changed)
                 changed.push_back(v);
         }
+        dirty.reset();
         std::sort(changed.begin(), changed.end());
         changed.erase(std::unique(changed.begin(), changed.end()),
                       changed.end());
@@ -774,13 +918,10 @@ DiGraphEngine::processPartition(PartitionId p,
         // of each changed vertex (the proxy-vertex effect: accumulated
         // results are reusable on this SMX within the next local round).
         // The occurrence list is slot-sorted, so the local slice is found
-        // by binary search; remote occurrences are handled once at
-        // dispatch end.
+        // by binary search; remote occurrences are handled at the wave
+        // barrier.
         for (const VertexId v : changed) {
-            master_writer_[v] = dev;
-            ++master_version_[v];
-            pushed_masters.push_back(v);
-            const Value master = storage_.vVal(v);
+            const Value master = overlay.find(v)->second;
             const auto occ_begin = occur_slots_.begin() +
                                    static_cast<std::ptrdiff_t>(
                                        occur_offsets_[v]);
@@ -794,11 +935,12 @@ DiGraphEngine::processPartition(PartitionId p,
                 mirror = algo.pull(master, mirror);
                 storage_.loadedVal(slot) = mirror;
                 if (isSrcSlot(slot))
-                    slot_active_[slot] = 1;
+                    activateSlot(slot);
             }
         }
 
-        // --- simulated cost of this round ---
+        // --- simulated cost of this round (recorded; charged to real
+        //     SMX clocks at the wave barrier) ---
         // Per-thread load balancing: paths are packed into lane bins by
         // work units (longest first); work stealing spreads bins over
         // several SMXs of the device. A path's work is its processed
@@ -820,7 +962,7 @@ DiGraphEngine::processPartition(PartitionId p,
         std::stable_sort(path_work.begin(), path_work.end(),
                          std::greater<>());
         const unsigned max_groups =
-            options_.work_stealing ? device.numSmxs() : 1;
+            options_.work_stealing ? options_.platform.smx_per_device : 1;
         const unsigned n_bins = static_cast<unsigned>(std::min<std::size_t>(
             path_work.size(),
             static_cast<std::size_t>(lanes) * max_groups));
@@ -838,8 +980,8 @@ DiGraphEngine::processPartition(PartitionId p,
         // Work-stealing groups start together on different SMXs; the
         // round ends when the slowest group finishes.
         const unsigned groups = (n_bins + lanes - 1) / lanes;
-        const double round_start = ready;
-        double round_end = round_start;
+        std::vector<double> group_cycles;
+        group_cycles.reserve(std::max(1u, groups));
         for (unsigned k = 0; k < std::max(1u, groups); ++k) {
             std::vector<std::uint64_t> group(
                 bins.begin() + std::min<std::size_t>(bins.size(),
@@ -848,34 +990,141 @@ DiGraphEngine::processPartition(PartitionId p,
                     std::min<std::size_t>(bins.size(), (k + 1) * lanes));
             if (group.empty())
                 group.push_back(0);
-            const double cycles =
-                gpusim::warpCost(group, per_edge_cycles) + sync_cycles;
+            group_cycles.push_back(
+                gpusim::warpCost(group, per_edge_cycles) + sync_cycles);
+        }
+        out.round_group_cycles.push_back(std::move(group_cycles));
+    }
+    out.local_rounds = local_rounds;
+
+    // Global-load accounting: charged to the wave-start resident device
+    // (thread-safe atomic counter); deferred to the barrier when the
+    // partition was evicted and has no residence.
+    if (out.global_load_bytes) {
+        const DeviceId dev = partition_device_[p];
+        if (dev != kInvalidVertex)
+            platform_.device(dev).addGlobalLoad(out.global_load_bytes);
+        else
+            out.deferred_load_bytes = out.global_load_bytes;
+    }
+    return out;
+}
+
+void
+DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
+                              const algorithms::Algorithm &algo,
+                              metrics::RunReport &report)
+{
+    const PartitionId p = outcome.partition;
+    ++partition_process_count_[p];
+    ++report.partition_processings;
+    report.rounds += outcome.local_rounds;
+    report.edge_processings += outcome.edge_processings;
+    report.vertex_updates += outcome.vertex_updates;
+    report.loaded_vertices += outcome.loaded_vertices;
+    report.global_load_bytes += outcome.global_load_bytes;
+
+    const DeviceId dev = chooseDevice(p);
+    partition_device_[p] = dev;
+    auto &device = platform_.device(dev);
+    // One SMX owns this dispatch's serial round chain; other SMXs are
+    // touched only by work-stealing surplus, so concurrent partitions on
+    // the device keep their own SMXs.
+    const SmxId home_smx = device.leastLoadedSmx();
+    if (outcome.deferred_load_bytes)
+        device.addGlobalLoad(outcome.deferred_load_bytes);
+
+    double ready = ensureResident(
+        p, dev,
+        std::max({device.smx(home_smx).clock(), partition_done_[p],
+                  partition_msg_ready_[p]}),
+        report);
+
+    // Master refresh: path results are buffered in the global memory of
+    // the device that produced them (Section 3.2.2); masters written on
+    // another device are pulled over the ring, one batch per source
+    // device. Locally-written masters are free. The stale vertices were
+    // collected from the incremental stale queue at dispatch start.
+    {
+        std::vector<std::uint64_t> pull_bytes(platform_.numDevices(), 0);
+        for (const VertexId v : outcome.stale_vertices) {
+            const DeviceId home = master_writer_[v];
+            if (home != kInvalidVertex && home != dev)
+                pull_bytes[home] += kMessageBytes;
+        }
+        const double issue = ready;
+        for (DeviceId home = 0; home < platform_.numDevices(); ++home) {
+            if (pull_bytes[home] == 0)
+                continue;
+            ready = std::max(ready,
+                             platform_.ring().transfer(
+                                 home, dev, issue, pull_bytes[home]));
+            report.comm_cycles +=
+                options_.platform.transfer_latency_cycles +
+                static_cast<double>(pull_bytes[home]) /
+                    options_.platform.ring_bytes_per_cycle;
+        }
+    }
+
+    // Charge the recorded kernel rounds to the device clocks, exactly as
+    // the interleaved execution would have: group 0 chains on the home
+    // SMX, surplus groups steal the momentarily least-loaded SMX.
+    for (const auto &group_cycles : outcome.round_group_cycles) {
+        const double round_start = ready;
+        double round_end = round_start;
+        for (std::size_t k = 0; k < group_cycles.size(); ++k) {
             gpusim::Smx &smx =
                 k == 0 ? device.smx(home_smx)
                        : device.smx(device.leastLoadedSmx());
             round_end =
-                std::max(round_end, smx.run(round_start, cycles));
+                std::max(round_end, smx.run(round_start, group_cycles[k]));
         }
         ready = round_end;
     }
 
-    // Flush: changed masters stay buffered in this device's global
-    // memory (written back to host only on eviction); the partitions
-    // they activate receive a small notification batch over the ring,
-    // one per destination device.
-    std::sort(pushed_masters.begin(), pushed_masters.end());
-    pushed_masters.erase(
-        std::unique(pushed_masters.begin(), pushed_masters.end()),
-        pushed_masters.end());
-    // Remote activation: the consumer partitions of every changed master
-    // re-enter the worklist; their stale slots are found by the version
-    // check when they are dispatched.
-    for (const VertexId v : pushed_masters) {
+    // Commit the buffered master merges in push order against the true
+    // masters (earlier dispatches of this wave have already committed
+    // theirs — the deterministic dispatch-order merge).
+    std::vector<VertexId> changed;
+    for (const auto &[v, push] : outcome.pushes) {
+        if (algo.mergeMaster(storage_.vVal(v), push))
+            changed.push_back(v);
+    }
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()),
+                  changed.end());
+    for (const VertexId v : changed) {
+        ++master_version_[v];
+        master_writer_[v] = dev;
+    }
+
+    // Activation fan-out: every changed master feeds the stale queues of
+    // the partitions mirroring it and re-enters its consumer partitions
+    // into the worklist. The dispatching partition itself is skipped
+    // only when its private overlay already equals the committed master
+    // (sole writer); when another wave member also pushed the vertex,
+    // its own mirrors went stale and it must be redispatched too.
+    std::vector<PartitionId> activated_parts;
+    for (const VertexId v : changed) {
+        const Value master = storage_.vVal(v);
+        const auto ov = outcome.overlay.find(v);
+        const bool self_current =
+            ov != outcome.overlay.end() && ov->second == master;
+        for (std::uint64_t k = mirror_offsets_[v];
+             k < mirror_offsets_[v + 1]; ++k) {
+            const PartitionId part = mirror_parts_[k];
+            if (part == p && self_current)
+                continue;
+            stale_queue_[part].push_back(v);
+        }
         for (std::uint64_t k = consumer_offsets_[v];
              k < consumer_offsets_[v + 1]; ++k) {
             const PartitionId part = consumer_parts_[k];
-            if (part == p)
+            if (part == p) {
+                if (!self_current)
+                    partition_active_[p] = 1;
                 continue;
+            }
             if (!partition_active_[part]) {
                 // Gate only on the activation that wakes the partition
                 // up; later batches are picked up whenever it runs.
@@ -914,6 +1163,42 @@ DiGraphEngine::processPartition(PartitionId p,
             std::max(partition_msg_ready_[dest], arrive);
     }
     partition_done_[p] = ready;
+    if (outcome.reactivate_self)
+        partition_active_[p] = 1;
+}
+
+bool
+DiGraphEngine::activationBookkeepingConsistent() const
+{
+    const PathId np = pre_.paths.numPaths();
+    if (path_active_count_.size() != np)
+        return slot_active_.empty(); // run() has not initialized yet
+    std::vector<std::uint32_t> recount(np, 0);
+    for (std::uint64_t s = 0; s < slot_active_.size(); ++s) {
+        if (slot_active_[s])
+            ++recount[path_of_slot_[s]];
+    }
+    for (PathId q = 0; q < np; ++q) {
+        if (recount[q] != path_active_count_[q])
+            return false;
+        if (recount[q] > 0 && !path_in_worklist_[q])
+            return false;
+    }
+    std::vector<std::uint8_t> listed(np, 0);
+    for (PartitionId q = 0; q < pre_.numPartitions(); ++q) {
+        for (const PathId path : partition_worklist_[q]) {
+            if (listed[path] || !path_in_worklist_[path] ||
+                partition_of_path_[path] != q) {
+                return false;
+            }
+            listed[path] = 1;
+        }
+    }
+    for (PathId q = 0; q < np; ++q) {
+        if (path_in_worklist_[q] && !listed[q])
+            return false;
+    }
+    return true;
 }
 
 } // namespace digraph::engine

@@ -17,12 +17,26 @@
  * along the whole path; in VertexAsync mode (DiGraph-t) sources are read
  * from a round-start snapshot and new flags are applied at round end, so
  * state crosses one hop per round, as in traditional async engines.
+ *
+ * Host execution model (see DESIGN.md "Host execution model"): the
+ * partitions dispatched in one wave run *concurrently* on host worker
+ * threads. Each dispatch reads only wave-start shared state (masters,
+ * versions) plus its own partition-sliced state, buffers its master
+ * merges in a private overlay, and emits a DispatchOutcome; at the wave
+ * barrier the outcomes are committed serially in dispatch order (master
+ * merge replay, version bumps, activation fan-out, simulated platform
+ * costs), so results are bit-identical for every engine_threads value.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "common/thread_pool.hpp"
 
 #include "algorithms/algorithm.hpp"
 #include "engine/options.hpp"
@@ -100,7 +114,51 @@ class DiGraphEngine
         return precursor_parts_[q];
     }
 
+    /**
+     * Validate the incremental activation bookkeeping (tests): per-path
+     * active-slot counters must equal a full recount of slot flags, and
+     * every path with a nonzero counter must sit in its partition's
+     * worklist. O(total slots) — debug/tests only.
+     */
+    bool activationBookkeepingConsistent() const;
+
+    /** Worker threads run() will use (resolves engine_threads == 0). */
+    std::size_t engineThreads() const;
+
   private:
+    /**
+     * Everything one partition dispatch produces during the parallel
+     * compute phase of a wave, committed serially at the wave barrier.
+     */
+    struct DispatchOutcome
+    {
+        PartitionId partition = kInvalidPartition;
+        /** Vertices whose mirrors were stale at dispatch start (sorted;
+         *  drives the ring master-refresh pulls at replay). */
+        std::vector<VertexId> stale_vertices;
+        /** Per local round, per work-stealing group: kernel cycles. */
+        std::vector<std::vector<double>> round_group_cycles;
+        /** Master push log in generation order (replayed via
+         *  Algorithm::mergeMaster against the true masters). */
+        std::vector<std::pair<VertexId, Value>> pushes;
+        /** Privately merged master values (wave-start master + own
+         *  pushes); the barrier compares these against the committed
+         *  masters to decide whether this partition's own mirrors went
+         *  stale (another wave member also pushed the vertex). */
+        std::unordered_map<VertexId, Value> overlay;
+        /** Partition hit max_local_rounds; redispatch it. */
+        bool reactivate_self = false;
+        /** Global-load bytes that could not be accounted during compute
+         *  (partition had no resident device at wave start). */
+        std::uint64_t deferred_load_bytes = 0;
+        // Work counters merged into the report at the barrier.
+        std::uint64_t edge_processings = 0;
+        std::uint64_t vertex_updates = 0;
+        std::uint64_t local_rounds = 0;
+        std::uint64_t loaded_vertices = 0;
+        std::uint64_t global_load_bytes = 0;
+    };
+
     void buildIndexes();
     std::vector<std::uint8_t> blockedGroups() const;
     PartitionId choosePartition(const std::vector<std::uint64_t> &stamp,
@@ -109,11 +167,41 @@ class DiGraphEngine
     DeviceId chooseDevice(PartitionId p) const;
     double ensureResident(PartitionId p, DeviceId dev, double issue_time,
                           metrics::RunReport &report);
-    void processPartition(PartitionId p, const algorithms::Algorithm &algo,
-                          metrics::RunReport &report);
+    DispatchOutcome computeDispatch(PartitionId p,
+                                    const algorithms::Algorithm &algo);
+    void replayDispatch(DispatchOutcome &outcome,
+                        const algorithms::Algorithm &algo,
+                        metrics::RunReport &report);
 
     /** True when the slot is a source position (not a path tail). */
     bool isSrcSlot(std::uint64_t slot) const { return is_src_slot_[slot]; }
+
+    /** Set a slot's activation flag, maintaining the per-path active
+     *  counter and the owning partition's path worklist. Only the
+     *  partition owning the slot may call this (partition-sliced
+     *  state, safe under concurrent wave dispatches). */
+    void
+    activateSlot(std::uint64_t slot)
+    {
+        if (slot_active_[slot])
+            return;
+        slot_active_[slot] = 1;
+        const PathId q = path_of_slot_[slot];
+        if (path_active_count_[q]++ == 0 && !path_in_worklist_[q]) {
+            path_in_worklist_[q] = 1;
+            partition_worklist_[partition_of_path_[q]].push_back(q);
+        }
+    }
+
+    /** Clear a processed slot's activation flag (counter bookkeeping). */
+    void
+    deactivateSlot(std::uint64_t slot)
+    {
+        if (slot_active_[slot]) {
+            slot_active_[slot] = 0;
+            --path_active_count_[path_of_slot_[slot]];
+        }
+    }
 
     const graph::DirectedGraph &g_;
     EngineOptions options_;
@@ -135,8 +223,22 @@ class DiGraphEngine
      *  (deduplicated; used for activation fan-out). */
     std::vector<std::uint64_t> consumer_offsets_;
     std::vector<PartitionId> consumer_parts_;
+    /** CSR: vertex -> partitions holding ANY occurrence (deduplicated;
+     *  used for the stale-vertex queue fan-out at the wave barrier). */
+    std::vector<std::uint64_t> mirror_offsets_;
+    std::vector<PartitionId> mirror_parts_;
     /** Per-partition precursor partitions (deduped, from the DAG). */
     std::vector<std::vector<PartitionId>> precursor_parts_;
+    /** Symmetric partition-interference matrix (nparts x nparts, row
+     *  major): set when two partitions mirror a common vertex. Only
+     *  mutually non-interfering partitions are dispatched concurrently —
+     *  their dispatches are then exactly order-independent, so the
+     *  parallel wave does the same work the serial engine would. */
+    std::vector<std::uint8_t> interference_;
+    /** Partitions mirroring a very-high-fanout (hub) vertex; treated as
+     *  interfering with everything (keeps the matrix build O(fanout
+     *  cap * occurrences) instead of quadratic in the hub fanout). */
+    std::vector<std::uint8_t> interferes_all_;
     /** SCC group of each partition in the partition dependency graph:
      *  partitions of one group form a dependency cycle and iterate
      *  together; a group is *ready* when no group transitively upstream
@@ -171,6 +273,27 @@ class DiGraphEngine
     std::vector<DeviceId> master_writer_;
     std::vector<std::vector<PartitionId>> device_resident_; // LRU order
     std::vector<std::size_t> device_resident_bytes_;
+
+    // --- incremental worklists (partition-sliced; each structure is
+    // touched only by the dispatch owning the partition during a wave's
+    // compute phase, and by the serial barrier otherwise) ---
+    /** Active source slots per path (incremental activation counter). */
+    std::vector<std::uint32_t> path_active_count_;
+    /** Whether the path currently sits in its partition's worklist. */
+    std::vector<std::uint8_t> path_in_worklist_;
+    /** Per partition: paths with (possibly) active slots; swept lazily
+     *  each local round, so active-path collection is O(active paths)
+     *  instead of O(partition slots). */
+    std::vector<std::vector<PathId>> partition_worklist_;
+    /** Per partition: vertices whose master version bumped since the
+     *  partition last absorbed them (fed at the wave barrier; consumed
+     *  at dispatch start instead of a full slot-range version scan). */
+    std::vector<std::vector<VertexId>> stale_queue_;
+    /** Per partition: dirty-slot worklist for the mirror-push phase. */
+    std::vector<storage::SlotDirtySet> partition_dirty_;
+
+    /** Host workers for the wave compute phase (created on first use). */
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace digraph::engine

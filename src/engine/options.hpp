@@ -55,6 +55,13 @@ struct EngineOptions
     bool dag_dispatch = true;
     /** Cap on partition-local iteration rounds per dispatch. */
     std::size_t max_local_rounds = 64;
+    /** Host worker threads executing the partitions of a dispatch wave
+     *  concurrently; 0 means hardware_concurrency(), 1 runs the wave
+     *  inline on the calling thread. Results (final state, simulated
+     *  cycles, traffic counters) are identical for every value — the
+     *  wave-snapshot execution model commits all shared-state changes at
+     *  a barrier in dispatch order. */
+    std::size_t engine_threads = 0;
     /** Activate every vertex initially (Fig 2 methodology) regardless of
      *  the algorithm's initActive(). */
     bool force_all_active = false;

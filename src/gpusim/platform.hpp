@@ -13,6 +13,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -131,6 +132,12 @@ class LinkModel
 
 /**
  * One simulated GPU: SMXs plus a host link and global-memory accounting.
+ *
+ * Threading contract: clocks (SMXs, links) are single-writer — the engine
+ * mutates them only from the serial wave-barrier replay. Global-load
+ * accounting is the one counter fed from the *parallel* compute phase of a
+ * wave (several dispatches resident on one device at once), so it is
+ * atomic; relaxed ordering suffices because it is a pure sum.
  */
 class Device
 {
@@ -140,6 +147,17 @@ class Device
           host_link_(cfg.host_link_bytes_per_cycle,
                      cfg.transfer_latency_cycles, cfg.num_streams)
     {}
+
+    Device(Device &&other) noexcept
+        : id_(other.id_), smxs_(std::move(other.smxs_)),
+          host_link_(std::move(other.host_link_)),
+          global_load_bytes_(other.global_load_bytes_.load(
+              std::memory_order_relaxed))
+    {}
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+    Device &operator=(Device &&) = delete;
 
     DeviceId id() const { return id_; }
 
@@ -186,11 +204,20 @@ class Device
         return b;
     }
 
-    /** Record @p bytes loaded from global memory into cores. */
-    void addGlobalLoad(std::uint64_t bytes) { global_load_bytes_ += bytes; }
+    /** Record @p bytes loaded from global memory into cores.
+     *  Thread-safe: callable from concurrent wave dispatches. */
+    void
+    addGlobalLoad(std::uint64_t bytes)
+    {
+        global_load_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
 
     /** Bytes loaded from global memory into cores. */
-    std::uint64_t globalLoadBytes() const { return global_load_bytes_; }
+    std::uint64_t
+    globalLoadBytes() const
+    {
+        return global_load_bytes_.load(std::memory_order_relaxed);
+    }
 
     /** Reset clocks and accounting. */
     void
@@ -199,14 +226,14 @@ class Device
         for (Smx &s : smxs_)
             s.reset();
         host_link_.reset();
-        global_load_bytes_ = 0;
+        global_load_bytes_.store(0, std::memory_order_relaxed);
     }
 
   private:
     DeviceId id_;
     std::vector<Smx> smxs_;
     LinkModel host_link_;
-    std::uint64_t global_load_bytes_ = 0;
+    std::atomic<std::uint64_t> global_load_bytes_{0};
 };
 
 /**

@@ -59,6 +59,19 @@ struct RunReport
     double sim_cycles = 0.0;
     /** Host wall-clock of the processing phase, seconds. */
     double wall_seconds = 0.0;
+    /** Host wall-clock spent in the parallel compute phase of the waves
+     *  (partition-local path processing), seconds. */
+    double wall_compute_seconds = 0.0;
+    /** Host wall-clock spent in the serial wave barrier (master merge +
+     *  platform cost replay in dispatch order), seconds. */
+    double wall_barrier_seconds = 0.0;
+    /** Host wall-clock spent selecting dispatch batches (readiness and
+     *  priority scans), seconds. */
+    double wall_schedule_seconds = 0.0;
+    /** Host worker threads the engine used for wave execution. */
+    std::uint32_t engine_threads = 1;
+    /** Dispatch waves executed (a wave batches concurrent dispatches). */
+    std::uint64_t waves = 0;
     /** Preprocessing wall-clock, seconds. */
     double preprocess_seconds = 0.0;
     /** Mean SMX utilization in [0,1]. */

@@ -49,6 +49,59 @@ struct PathView
 };
 
 /**
+ * Incremental dirty-slot worklist over a contiguous E_idx slot range
+ * (one partition). mark() appends a slot on its first marking; drain
+ * callers take the slot list (sorting it if a deterministic order is
+ * required) and reset() clears the marks in O(marked). Replaces the
+ * per-round full-range sweeps of the mirror-push phase.
+ */
+class SlotDirtySet
+{
+  public:
+    SlotDirtySet() = default;
+
+    /** Bind to slot range [lo, hi); clears any previous state. */
+    void
+    bind(std::uint64_t lo, std::uint64_t hi)
+    {
+        lo_ = lo;
+        marked_.assign(hi - lo, 0);
+        slots_.clear();
+    }
+
+    /** Mark @p slot (must be inside the bound range) dirty. */
+    void
+    mark(std::uint64_t slot)
+    {
+        std::uint8_t &flag = marked_[slot - lo_];
+        if (!flag) {
+            flag = 1;
+            slots_.push_back(slot);
+        }
+    }
+
+    /** Slots marked since the last reset, in marking order. */
+    std::vector<std::uint64_t> &slots() { return slots_; }
+
+    /** Number of marked slots. */
+    std::size_t size() const { return slots_.size(); }
+
+    /** Unmark everything (O(marked), not O(range)). */
+    void
+    reset()
+    {
+        for (const std::uint64_t slot : slots_)
+            marked_[slot - lo_] = 0;
+        slots_.clear();
+    }
+
+  private:
+    std::uint64_t lo_ = 0;
+    std::vector<std::uint8_t> marked_;
+    std::vector<std::uint64_t> slots_;
+};
+
+/**
  * The four arrays plus PTable, materialized from a partitioned PathSet.
  */
 class PathStorage
@@ -105,6 +158,25 @@ class PathStorage
     /** Fill every S_val and loaded-state slot of path @p p from V_val
      *  (the partition-load pull). */
     void pullPath(PathId p);
+
+    /**
+     * pullPath() with a master override: each slot is filled from
+     * @p masterOf(vertex_id) instead of V_val. Used by dispatches that
+     * buffer their master merges privately until a wave barrier — the
+     * pull must see the dispatch's own pending merges even though V_val
+     * is frozen for the wave.
+     */
+    template <typename F>
+    void
+    pullPathWith(PathId p, F &&masterOf)
+    {
+        const std::uint64_t lo = ptable_[p];
+        const std::uint64_t hi = ptable_[p + 1];
+        for (std::uint64_t slot = lo; slot < hi; ++slot) {
+            s_val_[slot] = masterOf(e_idx_[slot]);
+            loaded_val_[slot] = s_val_[slot];
+        }
+    }
 
     /** Bytes a GPU must move to load path @p p (E_idx + S_val + E_val
      *  slices plus its PTable entry). */

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The parallel wave execution engine: results must be bit-identical for
+ * every engine_threads value (the wave-snapshot + ordered-barrier design
+ * guarantee), and the incremental activation bookkeeping (per-path
+ * counters, worklists) must stay consistent across dispatch patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algorithms/factory.hpp"
+#include "engine/digraph_engine.hpp"
+#include "test_util.hpp"
+
+namespace digraph {
+namespace {
+
+engine::EngineOptions
+optionsWithThreads(std::size_t threads)
+{
+    engine::EngineOptions opts;
+    opts.engine_threads = threads;
+    return opts;
+}
+
+/** Fields that must match bit-for-bit between thread counts. */
+void
+expectIdenticalReports(const metrics::RunReport &a,
+                       const metrics::RunReport &b,
+                       const std::string &label)
+{
+    ASSERT_EQ(a.final_state.size(), b.final_state.size()) << label;
+    for (std::size_t v = 0; v < a.final_state.size(); ++v) {
+        // Bitwise, not near: the barrier replays master merges in
+        // dispatch order, so even float accumulation must agree.
+        EXPECT_EQ(a.final_state[v], b.final_state[v])
+            << label << ": vertex " << v;
+    }
+    EXPECT_EQ(a.edge_processings, b.edge_processings) << label;
+    EXPECT_EQ(a.vertex_updates, b.vertex_updates) << label;
+    EXPECT_EQ(a.rounds, b.rounds) << label;
+    EXPECT_EQ(a.waves, b.waves) << label;
+    EXPECT_EQ(a.partition_processings, b.partition_processings) << label;
+    EXPECT_EQ(a.host_transfer_bytes, b.host_transfer_bytes) << label;
+    EXPECT_EQ(a.ring_transfer_bytes, b.ring_transfer_bytes) << label;
+    EXPECT_EQ(a.global_load_bytes, b.global_load_bytes) << label;
+    EXPECT_EQ(a.loaded_vertices, b.loaded_vertices) << label;
+    EXPECT_EQ(a.sim_cycles, b.sim_cycles) << label;
+    EXPECT_EQ(a.utilization, b.utilization) << label;
+    EXPECT_EQ(a.comm_cycles, b.comm_cycles) << label;
+}
+
+TEST(ParallelWaves, ThreadCountDoesNotChangeResults)
+{
+    for (auto &ng : test::testGraphs()) {
+        for (const char *algo_name : {"pagerank", "sssp", "wcc"}) {
+            const auto algo =
+                algorithms::makeAlgorithm(algo_name, ng.graph);
+
+            engine::DiGraphEngine serial(ng.graph, optionsWithThreads(1));
+            const auto base = serial.run(*algo);
+            EXPECT_EQ(base.engine_threads, 1u);
+
+            for (const std::size_t threads : {2ul, 4ul}) {
+                engine::DiGraphEngine parallel(ng.graph,
+                                               optionsWithThreads(threads));
+                const auto got = parallel.run(*algo);
+                EXPECT_EQ(got.engine_threads, threads);
+                expectIdenticalReports(
+                    base, got,
+                    ng.name + "/" + algo_name + "/threads=" +
+                        std::to_string(threads));
+            }
+        }
+    }
+}
+
+TEST(ParallelWaves, RerunOnSameEngineIsReproducible)
+{
+    const auto g = test::testGraphs()[6].graph; // "random"
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    engine::DiGraphEngine eng(g, optionsWithThreads(4));
+    const auto first = eng.run(*algo);
+    const auto second = eng.run(*algo);
+    expectIdenticalReports(first, second, "rerun");
+}
+
+TEST(ParallelWaves, ThreadsZeroResolvesToHardwareConcurrency)
+{
+    const auto g = graph::makeChain(8, 1.0);
+    engine::DiGraphEngine eng(g, optionsWithThreads(0));
+    EXPECT_GE(eng.engineThreads(), 1u);
+}
+
+/** The incremental activation structures must agree with a full recount
+ *  after every run, including runs that hit the max_local_rounds
+ *  redispatch path and runs over multi-partition graphs. */
+TEST(ActivationBookkeeping, ConsistentAfterConvergence)
+{
+    for (auto &ng : test::testGraphs()) {
+        const auto algo = algorithms::makeAlgorithm("pagerank", ng.graph);
+        engine::DiGraphEngine eng(ng.graph, optionsWithThreads(2));
+        (void)eng.run(*algo);
+        EXPECT_TRUE(eng.activationBookkeepingConsistent()) << ng.name;
+    }
+}
+
+TEST(ActivationBookkeeping, ConsistentUnderForcedRedispatch)
+{
+    // max_local_rounds = 1 forces every partition through the
+    // reactivate-self path repeatedly, exercising worklist carry-over
+    // between dispatches (paths left active across dispatch boundaries).
+    for (const char *algo_name : {"pagerank", "sssp"}) {
+        const auto g = graph::makeDataset(graph::Dataset::dblp, 0.2);
+        const auto algo = algorithms::makeAlgorithm(algo_name, g);
+
+        engine::EngineOptions opts;
+        opts.engine_threads = 2;
+        opts.max_local_rounds = 1;
+        engine::DiGraphEngine eng(g, opts);
+        const auto report = eng.run(*algo);
+        EXPECT_TRUE(eng.activationBookkeepingConsistent()) << algo_name;
+
+        // The truncated dispatches must still reach the same fixed
+        // point as the unconstrained engine.
+        engine::DiGraphEngine ref_eng(g, optionsWithThreads(1));
+        const auto ref = ref_eng.run(*algo);
+        test::expectStatesNear(report.final_state, ref.final_state,
+                               algo->resultTolerance(),
+                               std::string("redispatch/") + algo_name);
+    }
+}
+
+} // namespace
+} // namespace digraph
