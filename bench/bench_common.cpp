@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "metrics/trace.hpp"
 
 namespace digraph::bench {
 
@@ -36,6 +37,19 @@ benchGpus()
     }();
     return gpus;
 }
+
+namespace {
+
+/** DIGRAPH_BENCH_TRACE=DIR dumps one chrome trace per bench run into
+ *  DIR (which must already exist); unset disables tracing entirely. */
+const char *
+benchTraceDir()
+{
+    static const char *dir = std::getenv("DIGRAPH_BENCH_TRACE");
+    return dir;
+}
+
+} // namespace
 
 gpusim::PlatformConfig
 benchPlatform(unsigned gpus)
@@ -99,19 +113,31 @@ runSystemImplCached(const std::string &system, graph::Dataset d,
 {
     const graph::DirectedGraph &g = dataset(d);
     const auto algo = algorithms::makeAlgorithm(algo_name, g);
+    const char *const trace_dir = benchTraceDir();
+    metrics::TraceSink sink;
+    auto finish = [&](metrics::RunReport report) {
+        if (trace_dir) {
+            sink.writeChromeJson(std::string(trace_dir) + "/" + system +
+                                 "_" + algo_name + "_" +
+                                 graph::datasetName(d) + ".json");
+        }
+        return report;
+    };
     if (system == "gunrock") {
         baselines::BaselineOptions opts;
         opts.platform = benchPlatform(gpus);
+        opts.trace = trace_dir ? &sink : nullptr;
         auto report = baselines::runBsp(g, *algo, opts);
         report.system = "gunrock";
-        return report;
+        return finish(std::move(report));
     }
     if (system == "groute") {
         baselines::BaselineOptions opts;
         opts.platform = benchPlatform(gpus);
+        opts.trace = trace_dir ? &sink : nullptr;
         auto report = baselines::runAsync(g, *algo, opts).report;
         report.system = "groute";
-        return report;
+        return finish(std::move(report));
     }
     engine::ExecutionMode mode = engine::ExecutionMode::PathAsync;
     if (system == "digraph-t")
@@ -120,7 +146,11 @@ runSystemImplCached(const std::string &system, graph::Dataset d,
         mode = engine::ExecutionMode::PathNoSched;
     else if (system != "digraph")
         fatal("runSystem: unknown system '", system, "'");
-    return engineFor(d, mode, gpus).run(*algo);
+    auto &eng = engineFor(d, mode, gpus);
+    eng.setTrace(trace_dir ? &sink : nullptr);
+    auto report = eng.run(*algo);
+    eng.setTrace(nullptr);
+    return finish(std::move(report));
 }
 
 } // namespace

@@ -1,0 +1,103 @@
+#!/bin/sh
+# Validate the chrome://tracing JSON the CLI emits with --trace.
+#
+# Runs a traced digraph_cli invocation, then uses jq to check the trace
+# against the schema DESIGN.md documents:
+#   - top-level displayTimeUnit / counters / traceEvents keys
+#   - every counter key present with a numeric value
+#   - every event is a complete ("ph": "X") event with name/ts/dur/pid/tid
+#     and a numeric wave arg
+#   - event names come from the documented taxonomy
+# and cross-checks the embedded counter totals against the report the CLI
+# printed on stdout (updates == vertex_updates, edge procs ==
+# edge_processings, partitions == num_partitions) — the "trace and report
+# can never disagree" invariant.
+#
+# Usage: ci/trace_schema.sh /path/to/digraph_cli [workdir]
+# Exit codes: 0 ok, 1 validation failure, 77 jq unavailable (skip).
+set -eu
+
+CLI="${1:?usage: trace_schema.sh /path/to/digraph_cli [workdir]}"
+WORKDIR="${2:-$(mktemp -d)}"
+mkdir -p "$WORKDIR"
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "trace_schema: jq not found, skipping" >&2
+    exit 77
+fi
+
+TRACE="$WORKDIR/trace.json"
+REPORT="$WORKDIR/report.txt"
+
+"$CLI" --algo sssp --dataset dblp --scale 0.2 --gpus 2 \
+    --trace "$TRACE" --trace-csv "$WORKDIR/trace.csv" > "$REPORT"
+
+fail() {
+    echo "trace_schema: $1" >&2
+    exit 1
+}
+
+# --- structural schema ---------------------------------------------------
+jq -e 'type == "object"' "$TRACE" >/dev/null ||
+    fail "trace is not a JSON object"
+jq -e '.displayTimeUnit == "ms"' "$TRACE" >/dev/null ||
+    fail "missing displayTimeUnit"
+jq -e '.counters | type == "object"' "$TRACE" >/dev/null ||
+    fail "missing counters object"
+jq -e '.traceEvents | type == "array" and length > 0' "$TRACE" >/dev/null ||
+    fail "traceEvents missing or empty"
+
+for key in edge_processings vertex_updates rounds waves \
+    partition_processings num_partitions host_transfer_bytes \
+    ring_transfer_bytes global_load_bytes loaded_vertices used_vertices
+do
+    jq -e --arg k "$key" '.counters[$k] | type == "number"' \
+        "$TRACE" >/dev/null || fail "counter $key missing or non-numeric"
+done
+
+jq -e '.traceEvents | all(
+        .ph == "X"
+        and (.name | type == "string")
+        and (.ts | type == "number")
+        and (.dur | type == "number")
+        and (.pid | type == "number")
+        and (.tid | type == "number")
+        and (.args.wave | type == "number"))' "$TRACE" >/dev/null ||
+    fail "an event is missing required complete-event fields"
+
+jq -e '.traceEvents | map(.name) | unique - ["wave_start", "wave_end",
+        "dispatch", "merge_barrier", "mirror_push", "path_schedule",
+        "steal"] | length == 0' "$TRACE" >/dev/null ||
+    fail "event name outside the documented taxonomy"
+
+jq -e '([.traceEvents[] | select(.name == "wave_start")] | length) ==
+       ([.traceEvents[] | select(.name == "wave_end")] | length)' \
+    "$TRACE" >/dev/null || fail "unbalanced wave_start/wave_end"
+
+# --- trace counters == printed report -----------------------------------
+report_field() {
+    awk -v key="$1" '$1 == key { print $NF }' "$REPORT" | head -n 1
+}
+
+check_counter() {
+    want="$(report_field "$1")"
+    got="$(jq -r --arg k "$2" '.counters[$k]' "$TRACE")"
+    [ "$want" = "$got" ] ||
+        fail "report $1=$want but trace $2=$got"
+}
+
+check_counter updates vertex_updates
+check_counter rounds rounds
+check_counter partitions num_partitions
+
+# dispatch event count == partition_processings counter
+jq -e '([.traceEvents[] | select(.name == "dispatch")] | length) ==
+       .counters.partition_processings' "$TRACE" >/dev/null ||
+    fail "dispatch event count != partition_processings"
+
+# --- CSV sanity ----------------------------------------------------------
+head -n 1 "$WORKDIR/trace.csv" | grep -q \
+    '^event,tid,wave,partition,sim_begin,sim_dur,wall_seconds,arg0,arg1$' ||
+    fail "unexpected CSV header"
+
+echo "trace_schema: OK ($(jq '.traceEvents | length' "$TRACE") events)"

@@ -6,6 +6,8 @@
 
 #include "common/timer.hpp"
 #include "gpusim/platform.hpp"
+#include "metrics/counter_registry.hpp"
+#include "metrics/trace.hpp"
 
 namespace digraph::baselines {
 
@@ -24,6 +26,8 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
     metrics::RunReport &report = result.report;
     report.system = "async";
     report.algorithm = algo.name();
+    metrics::CounterRegistry counters;
+    metrics::TraceSink *const trace = options.trace;
 
     gpusim::Platform platform(options.platform);
     const unsigned num_dev = platform.numDevices();
@@ -124,9 +128,9 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
             break;
         wave_stamp[pick] = wave;
         ++dispatches;
-        ++report.partition_processings;
+        counters.add(metrics::Counter::PartitionProcessings);
         ++result.partition_process_count[pick];
-        ++report.rounds;
+        counters.add(metrics::Counter::Rounds);
         part_active[pick] = 0;
 
         const DeviceId d = device_of_part[pick];
@@ -138,7 +142,8 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
             uploaded[pick] = 1;
             const double done =
                 device.hostLink().transfer(ready, part_bytes[pick]);
-            report.host_transfer_bytes += part_bytes[pick];
+            counters.add(metrics::Counter::HostTransferBytes,
+                         part_bytes[pick]);
             report.comm_cycles += device.hostLink().cost(part_bytes[pick]);
             ready = done;
         }
@@ -166,11 +171,11 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
             for (std::size_t k = 0; k < nbrs.size(); ++k) {
                 const EdgeId e = g.outEdgeId(u, k);
                 const VertexId w = nbrs[k];
-                ++report.edge_processings;
+                counters.add(metrics::Counter::EdgeProcessings);
                 if (algo.processEdge(src, edge_state[e], e,
                                      g.edgeWeight(e), out_deg,
                                      state[w])) {
-                    ++report.vertex_updates;
+                    counters.add(metrics::Counter::VertexUpdates);
                     newly_active.push_back(w);
                     // Every remote update crosses the interconnect
                     // (vertex-centric engines push deltas eagerly).
@@ -181,12 +186,12 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
             }
         }
 
-        report.loaded_vertices += active_count + touched_edges;
+        counters.add(metrics::Counter::LoadedVertices,
+                     active_count + touched_edges);
         const std::size_t load_bytes =
             (active_count + touched_edges) * sizeof(Value) +
             touched_edges * (sizeof(VertexId) + sizeof(Value));
         device.addGlobalLoad(load_bytes);
-        report.global_load_bytes += load_bytes;
 
         // Activations: local ones re-activate this partition; remote ones
         // are messages to the owning partition's device.
@@ -219,6 +224,11 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
                     options.platform.cycles_per_atomic;
             done = device.smx(device.leastLoadedSmx()).run(ready, cycles);
         }
+        if (trace) {
+            trace->event(metrics::TraceEventType::Dispatch, wave, pick,
+                         ready, done - ready, active_count,
+                         touched_edges);
+        }
 
         // One ring transfer per destination device (batched messaging).
         std::vector<std::uint64_t> device_bytes(num_dev, 0);
@@ -230,15 +240,22 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
             }
         }
         std::vector<double> device_arrive(num_dev, done);
+        std::uint64_t remote_bytes = 0;
         for (DeviceId dd = 0; dd < num_dev; ++dd) {
             if (device_bytes[dd] == 0)
                 continue;
+            remote_bytes += device_bytes[dd];
             device_arrive[dd] =
                 platform.ring().transfer(d, dd, done, device_bytes[dd]);
             report.comm_cycles +=
                 options.platform.transfer_latency_cycles +
                 static_cast<double>(device_bytes[dd]) /
                     options.platform.ring_bytes_per_cycle;
+        }
+        if (trace && remote_bytes > 0) {
+            trace->event(metrics::TraceEventType::MirrorPush, wave, pick,
+                         done, 0.0, remote_bytes / kMessageBytes,
+                         remote_bytes);
         }
         for (const PartitionId dest : woken) {
             part_msg_ready[dest] = std::max(
@@ -253,11 +270,20 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
         }
     }
 
-    report.used_vertices = report.vertex_updates;
+    counters.set(metrics::Counter::Waves, wave);
+    counters.set(metrics::Counter::NumPartitions, nparts);
+    counters.set(metrics::Counter::UsedVertices,
+                 counters.get(metrics::Counter::VertexUpdates));
+    counters.set(metrics::Counter::RingTransferBytes,
+                 platform.ring().totalBytes());
+    counters.set(metrics::Counter::GlobalLoadBytes,
+                 platform.globalLoadBytes());
+    counters.exportTo(report);
+    if (trace)
+        trace->setCounters(counters);
     report.final_state = std::move(state);
     report.sim_cycles = platform.makespan();
     report.utilization = platform.utilization();
-    report.ring_transfer_bytes = platform.ring().totalBytes();
     report.wall_seconds = wall.seconds();
     return result;
 }

@@ -17,6 +17,10 @@
 #include "common/types.hpp"
 #include "graph/digraph.hpp"
 
+namespace digraph::metrics {
+class TraceSink;
+} // namespace digraph::metrics
+
 namespace digraph::baselines {
 
 /** Options shared by both baseline engines. */
@@ -31,6 +35,9 @@ struct BaselineOptions
     bool force_all_active = false;
     /** Safety cap on rounds / dispatches. */
     std::size_t max_rounds = 1u << 20;
+    /** Structured trace sink; nullptr disables tracing (same contract
+     *  as EngineOptions::trace). */
+    metrics::TraceSink *trace = nullptr;
 };
 
 /**

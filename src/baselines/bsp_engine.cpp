@@ -5,6 +5,8 @@
 
 #include "common/timer.hpp"
 #include "gpusim/platform.hpp"
+#include "metrics/counter_registry.hpp"
+#include "metrics/trace.hpp"
 
 namespace digraph::baselines {
 
@@ -33,6 +35,8 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
     metrics::RunReport report;
     report.system = "bsp";
     report.algorithm = algo.name();
+    metrics::CounterRegistry counters;
+    metrics::TraceSink *const trace = options.trace;
 
     gpusim::Platform platform(options.platform);
     const unsigned num_dev = platform.numDevices();
@@ -68,7 +72,7 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
             chunkBytes(g, dev_bounds[d], dev_bounds[d + 1]);
         const double done =
             platform.device(d).hostLink().transfer(0.0, bytes);
-        report.host_transfer_bytes += bytes;
+        counters.add(metrics::Counter::HostTransferBytes, bytes);
         report.comm_cycles += platform.device(d).hostLink().cost(bytes);
         barrier = std::max(barrier, done);
     }
@@ -94,9 +98,16 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
         options.platform.cycles_per_edge +
         3.0 * options.platform.cycles_per_global_access;
 
-    while (any && report.rounds < options.max_rounds) {
-        ++report.rounds;
+    while (any &&
+           counters.get(metrics::Counter::Rounds) < options.max_rounds) {
+        counters.add(metrics::Counter::Rounds);
         any = false;
+        const std::uint64_t round = counters.get(metrics::Counter::Rounds);
+        if (trace) {
+            trace->event(metrics::TraceEventType::WaveStart, round,
+                         metrics::kTraceNoPartition, barrier, 0.0,
+                         num_dev);
+        }
 
         // Cross-device activation counts for end-of-round messaging.
         std::vector<std::vector<std::uint32_t>> remote(
@@ -105,6 +116,7 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
         double round_end = barrier;
         for (DeviceId d = 0; d < num_dev; ++d) {
             auto &device = platform.device(d);
+            double device_end = barrier;
             std::vector<std::uint64_t> lane_work;
             std::uint64_t touched_edges = 0;
             std::uint64_t active_count = 0;
@@ -120,11 +132,11 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
                 for (std::size_t k = 0; k < nbrs.size(); ++k) {
                     const EdgeId e = g.outEdgeId(u, k);
                     const VertexId w = nbrs[k];
-                    ++report.edge_processings;
+                    counters.add(metrics::Counter::EdgeProcessings);
                     if (algo.processEdge(prev[u], edge_state[e], e,
                                          g.edgeWeight(e), out_deg,
                                          next[w])) {
-                        ++report.vertex_updates;
+                        counters.add(metrics::Counter::VertexUpdates);
                         // Remote contributions are combined per vertex
                         // before the end-of-round exchange (frontier
                         // engines aggregate locally).
@@ -137,12 +149,12 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
                     }
                 }
             }
-            report.loaded_vertices += active_count + touched_edges;
+            counters.add(metrics::Counter::LoadedVertices,
+                         active_count + touched_edges);
             const std::size_t load_bytes =
                 (active_count + touched_edges) * sizeof(Value) +
                 touched_edges * (sizeof(VertexId) + sizeof(Value));
             device.addGlobalLoad(load_bytes);
-            report.global_load_bytes += load_bytes;
 
             // Spread lane bins over all SMXs, gated on the barrier.
             if (!lane_work.empty()) {
@@ -166,17 +178,26 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
                     const double done =
                         device.smx(device.leastLoadedSmx())
                             .run(barrier, cycles);
-                    round_end = std::max(round_end, done);
+                    device_end = std::max(device_end, done);
                 }
+                round_end = std::max(round_end, device_end);
+            }
+            if (trace && active_count > 0) {
+                trace->event(metrics::TraceEventType::Dispatch, round, d,
+                             barrier, device_end - barrier, active_count,
+                             touched_edges);
             }
         }
 
         // End-of-round synchronization: remote activations travel the
         // ring; every device then waits at the global barrier.
+        const double exchange_begin = round_end;
+        std::uint64_t remote_messages = 0;
         for (DeviceId a = 0; a < num_dev; ++a) {
             for (DeviceId b = 0; b < num_dev; ++b) {
                 if (remote[a][b] == 0)
                     continue;
+                remote_messages += remote[a][b];
                 const std::uint64_t bytes =
                     static_cast<std::uint64_t>(remote[a][b]) *
                     kMessageBytes;
@@ -188,6 +209,14 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
                         options.platform.ring_bytes_per_cycle;
                 round_end = std::max(round_end, done);
             }
+        }
+        if (trace) {
+            trace->event(metrics::TraceEventType::MergeBarrier, round,
+                         metrics::kTraceNoPartition, exchange_begin,
+                         round_end - exchange_begin, remote_messages);
+            trace->event(metrics::TraceEventType::WaveEnd, round,
+                         metrics::kTraceNoPartition, round_end, 0.0,
+                         num_dev);
         }
         barrier = round_end;
 
@@ -202,11 +231,21 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
         }
     }
 
-    report.used_vertices = report.vertex_updates;
+    counters.set(metrics::Counter::Waves,
+                 counters.get(metrics::Counter::Rounds));
+    counters.set(metrics::Counter::NumPartitions, num_dev);
+    counters.set(metrics::Counter::UsedVertices,
+                 counters.get(metrics::Counter::VertexUpdates));
+    counters.set(metrics::Counter::RingTransferBytes,
+                 platform.ring().totalBytes());
+    counters.set(metrics::Counter::GlobalLoadBytes,
+                 platform.globalLoadBytes());
+    counters.exportTo(report);
+    if (trace)
+        trace->setCounters(counters);
     report.final_state = std::move(prev);
     report.sim_cycles = std::max(barrier, platform.makespan());
     report.utilization = platform.utilization();
-    report.ring_transfer_bytes = platform.ring().totalBytes();
     report.wall_seconds = wall.seconds();
     return report;
 }

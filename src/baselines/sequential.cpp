@@ -6,6 +6,7 @@
 
 #include "graph/scc.hpp"
 #include "graph/traversal.hpp"
+#include "metrics/counter_registry.hpp"
 
 namespace digraph::baselines {
 
@@ -77,20 +78,26 @@ runSequential(const graph::DirectedGraph &g,
         }
     }
 
+    metrics::CounterRegistry counters;
     while (!worklist.empty()) {
         const VertexId v = worklist.front();
         worklist.pop_front();
         queued[v] = 0;
-        ++result.vertex_updates;
+        counters.add(metrics::Counter::VertexUpdates);
         ++result.updates_per_vertex[v];
-        result.edge_processings += processVertex(
-            g, algo, v, result.state, edge_state, [&](VertexId w) {
-                if (!queued[w]) {
-                    queued[w] = 1;
-                    worklist.push_back(w);
-                }
-            });
+        counters.add(
+            metrics::Counter::EdgeProcessings,
+            processVertex(g, algo, v, result.state, edge_state,
+                          [&](VertexId w) {
+                              if (!queued[w]) {
+                                  queued[w] = 1;
+                                  worklist.push_back(w);
+                              }
+                          }));
     }
+    result.edge_processings =
+        counters.get(metrics::Counter::EdgeProcessings);
+    result.vertex_updates = counters.get(metrics::Counter::VertexUpdates);
     return result;
 }
 
@@ -127,6 +134,7 @@ runTopological(const graph::DirectedGraph &g,
     // a vertex is handled only after all its precursors converged).
     // Vertices outside any cycle are then updated exactly once.
     std::vector<std::uint8_t> active(g.numVertices(), 1);
+    metrics::CounterRegistry counters;
     std::size_t begin = 0;
     while (begin < order.size()) {
         std::size_t end = begin;
@@ -138,17 +146,18 @@ runTopological(const graph::DirectedGraph &g,
         bool any = true;
         while (any) {
             any = false;
-            ++result.rounds;
+            counters.add(metrics::Counter::Rounds);
             for (std::size_t i = begin; i < end; ++i) {
                 const VertexId v = order[i];
                 if (!active[v])
                     continue;
                 active[v] = 0;
-                ++result.vertex_updates;
+                counters.add(metrics::Counter::VertexUpdates);
                 ++result.updates_per_vertex[v];
-                result.edge_processings += processVertex(
-                    g, algo, v, result.state, edge_state,
-                    [&](VertexId w) { active[w] = 1; });
+                counters.add(
+                    metrics::Counter::EdgeProcessings,
+                    processVertex(g, algo, v, result.state, edge_state,
+                                  [&](VertexId w) { active[w] = 1; }));
             }
             for (std::size_t i = begin; i < end; ++i) {
                 if (active[order[i]]) {
@@ -159,6 +168,10 @@ runTopological(const graph::DirectedGraph &g,
         }
         begin = end;
     }
+    result.edge_processings =
+        counters.get(metrics::Counter::EdgeProcessings);
+    result.vertex_updates = counters.get(metrics::Counter::VertexUpdates);
+    result.rounds = counters.get(metrics::Counter::Rounds);
     return result;
 }
 

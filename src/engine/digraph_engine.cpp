@@ -397,7 +397,7 @@ DiGraphEngine::ensureResident(PartitionId p, DeviceId dev,
 
     const double done = device.hostLink().transfer(issue_time, bytes);
     report.comm_cycles += device.hostLink().cost(bytes);
-    report.host_transfer_bytes += bytes;
+    counters_.add(metrics::Counter::HostTransferBytes, bytes);
     return done;
 }
 
@@ -422,6 +422,8 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
         pool_ = std::make_unique<ThreadPool>(nthreads);
 
     platform_.reset();
+    counters_.reset();
+    trace_ = options_.trace;
 
     // Initialize storage from the algorithm (or from the warm start).
     std::vector<Value> vinit(g_.numVertices());
@@ -494,7 +496,8 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                 device.hostLink().transfer(0.0, partition_bytes_[q]);
             report.comm_cycles +=
                 device.hostLink().cost(partition_bytes_[q]);
-            report.host_transfer_bytes += partition_bytes_[q];
+            counters_.add(metrics::Counter::HostTransferBytes,
+                          partition_bytes_[q]);
             partition_device_[q] = dev;
             partition_done_[q] = done;
             device_resident_[dev].push_back(q);
@@ -579,6 +582,16 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
         if (batch.empty())
             break;
 
+        if (trace_) {
+            // Wave context for the compute-phase events: written here by
+            // the serial scheduler, read-only while workers run.
+            trace_wave_ = wave;
+            trace_wave_sim_ = platform_.makespan();
+            trace_->event(metrics::TraceEventType::WaveStart, wave,
+                          metrics::kTraceNoPartition, trace_wave_sim_,
+                          0.0, batch.size(), batch.front());
+        }
+
         std::vector<std::uint8_t> taken(batch.size(), 0);
         std::vector<PartitionId> chunk;
         std::size_t done = 0;
@@ -629,16 +642,29 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                 replayDispatch(outcome, algo, report);
             barrier_timer.end();
         }
+        if (trace_) {
+            trace_->event(metrics::TraceEventType::WaveEnd, wave,
+                          metrics::kTraceNoPartition,
+                          platform_.makespan(), 0.0, batch.size());
+        }
     }
-    report.waves = wave - 1; // the last wave dispatched nothing
+    counters_.set(metrics::Counter::Waves,
+                  wave - 1); // the last wave dispatched nothing
+    counters_.set(metrics::Counter::NumPartitions, nparts);
+    counters_.set(metrics::Counter::RingTransferBytes,
+                  platform_.ring().totalBytes());
+    counters_.set(metrics::Counter::GlobalLoadBytes,
+                  platform_.globalLoadBytes());
+    counters_.set(metrics::Counter::UsedVertices,
+                  counters_.get(metrics::Counter::VertexUpdates));
+    counters_.exportTo(report);
+    if (trace_)
+        trace_->setCounters(counters_);
 
-    report.used_vertices = report.vertex_updates;
     report.final_state.assign(storage_.vVals().begin(),
                               storage_.vVals().end());
     report.sim_cycles = platform_.makespan();
     report.utilization = platform_.utilization();
-    report.ring_transfer_bytes = platform_.ring().totalBytes();
-    report.global_load_bytes = platform_.globalLoadBytes();
     report.wall_seconds = wall.seconds();
     report.wall_compute_seconds = compute_timer.seconds();
     report.wall_barrier_seconds = barrier_timer.seconds();
@@ -798,6 +824,11 @@ DiGraphEngine::computeDispatch(PartitionId p,
             for (std::size_t i = 0; i < idx.size(); ++i)
                 ordered[i] = active_paths[idx[i]];
             active_paths.swap(ordered);
+            if (trace_) {
+                trace_->event(metrics::TraceEventType::PathSchedule,
+                              trace_wave_, p, trace_wave_sim_, 0.0,
+                              active_paths.size(), active_paths.front());
+            }
         }
 
         // Warp-scheduler capacity: one GPU thread processes one path per
@@ -913,6 +944,11 @@ DiGraphEngine::computeDispatch(PartitionId p,
         std::sort(changed.begin(), changed.end());
         changed.erase(std::unique(changed.begin(), changed.end()),
                       changed.end());
+        if (trace_ && proxy_pushes + atomic_pushes > 0) {
+            trace_->event(metrics::TraceEventType::MirrorPush,
+                          trace_wave_, p, trace_wave_sim_, 0.0,
+                          proxy_pushes + atomic_pushes, local_rounds);
+        }
 
         // Phase 2: refresh and re-activate this partition's own mirrors
         // of each changed vertex (the proxy-vertex effect: accumulated
@@ -1017,12 +1053,16 @@ DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
 {
     const PartitionId p = outcome.partition;
     ++partition_process_count_[p];
-    ++report.partition_processings;
-    report.rounds += outcome.local_rounds;
-    report.edge_processings += outcome.edge_processings;
-    report.vertex_updates += outcome.vertex_updates;
-    report.loaded_vertices += outcome.loaded_vertices;
-    report.global_load_bytes += outcome.global_load_bytes;
+    counters_.add(metrics::Counter::PartitionProcessings);
+    counters_.add(metrics::Counter::Rounds, outcome.local_rounds);
+    counters_.add(metrics::Counter::EdgeProcessings,
+                  outcome.edge_processings);
+    counters_.add(metrics::Counter::VertexUpdates,
+                  outcome.vertex_updates);
+    counters_.add(metrics::Counter::LoadedVertices,
+                  outcome.loaded_vertices);
+    counters_.add(metrics::Counter::GlobalLoadBytes,
+                  outcome.global_load_bytes);
 
     const DeviceId dev = chooseDevice(p);
     partition_device_[p] = dev;
@@ -1069,17 +1109,28 @@ DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
     // Charge the recorded kernel rounds to the device clocks, exactly as
     // the interleaved execution would have: group 0 chains on the home
     // SMX, surplus groups steal the momentarily least-loaded SMX.
+    const double kernel_begin = ready;
     for (const auto &group_cycles : outcome.round_group_cycles) {
         const double round_start = ready;
         double round_end = round_start;
         for (std::size_t k = 0; k < group_cycles.size(); ++k) {
-            gpusim::Smx &smx =
-                k == 0 ? device.smx(home_smx)
-                       : device.smx(device.leastLoadedSmx());
-            round_end =
-                std::max(round_end, smx.run(round_start, group_cycles[k]));
+            const SmxId sid =
+                k == 0 ? home_smx : device.leastLoadedSmx();
+            if (trace_ && k > 0) {
+                trace_->event(metrics::TraceEventType::Steal,
+                              trace_wave_, p, round_start,
+                              group_cycles[k], k, sid);
+            }
+            round_end = std::max(
+                round_end,
+                device.smx(sid).run(round_start, group_cycles[k]));
         }
         ready = round_end;
+    }
+    if (trace_) {
+        trace_->event(metrics::TraceEventType::Dispatch, trace_wave_, p,
+                      kernel_begin, ready - kernel_begin,
+                      outcome.local_rounds, outcome.edge_processings);
     }
 
     // Commit the buffered master merges in push order against the true
@@ -1093,6 +1144,11 @@ DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
     std::sort(changed.begin(), changed.end());
     changed.erase(std::unique(changed.begin(), changed.end()),
                   changed.end());
+    if (trace_) {
+        trace_->event(metrics::TraceEventType::MergeBarrier, trace_wave_,
+                      p, ready, 0.0, outcome.pushes.size(),
+                      changed.size());
+    }
     for (const VertexId v : changed) {
         ++master_version_[v];
         master_writer_[v] = dev;

@@ -42,7 +42,9 @@
 #include "engine/options.hpp"
 #include "gpusim/platform.hpp"
 #include "graph/digraph.hpp"
+#include "metrics/counter_registry.hpp"
 #include "metrics/run_report.hpp"
+#include "metrics/trace.hpp"
 #include "partition/preprocess.hpp"
 #include "storage/path_storage.hpp"
 
@@ -91,6 +93,15 @@ class DiGraphEngine
 
     /** Engine options in effect. */
     const EngineOptions &options() const { return options_; }
+
+    /** Attach (or detach, with nullptr) a trace sink for subsequent
+     *  run() calls. Tracing never changes results; a null sink keeps
+     *  every instrumentation point a single branch. */
+    void setTrace(metrics::TraceSink *sink) { options_.trace = sink; }
+
+    /** Counter totals of the most recent run (always equal to the
+     *  matching RunReport aggregate fields). */
+    const metrics::CounterRegistry &counters() const { return counters_; }
 
     /** The simulated platform state of the most recent run. */
     const gpusim::Platform &platform() const { return platform_; }
@@ -208,6 +219,18 @@ class DiGraphEngine
     partition::Preprocessed pre_;
     storage::PathStorage storage_;
     gpusim::Platform platform_;
+    /** Typed counters of the current run (mutated only by the serial
+     *  scheduler/barrier thread; exported into the RunReport at run
+     *  end). */
+    metrics::CounterRegistry counters_;
+    /** Trace sink of the current run (= options_.trace; nullptr when
+     *  tracing is disabled). */
+    metrics::TraceSink *trace_ = nullptr;
+    /** Wave context for compute-phase trace events (written by the
+     *  serial scheduler before the parallel phase, read-only during
+     *  it). */
+    std::uint64_t trace_wave_ = 0;
+    double trace_wave_sim_ = 0.0;
 
     // --- static indexes (built once) ---
     /** Path owning each E_idx slot. */

@@ -34,10 +34,22 @@ EvolvingEngine::insertAndRun(const algorithms::Algorithm &algo,
                              const std::vector<graph::Edge> &new_edges)
 {
     // Grow the snapshot (existing (src, dst) pairs are kept as-is).
+    // A batch may repeat a pair; only its first occurrence counts, so
+    // dedupe before the hasEdge filter — otherwise the repeats slip
+    // through (the graph does not contain the pair yet) and inflate
+    // `fresh`, which seeds the warm start and classifies edges as
+    // inserted-vs-existing below.
     std::vector<graph::Edge> fresh;
     fresh.reserve(new_edges.size());
     for (const graph::Edge &e : new_edges) {
-        if (e.src != e.dst && !graph_.hasEdge(e.src, e.dst))
+        if (e.src == e.dst || graph_.hasEdge(e.src, e.dst))
+            continue;
+        const bool seen_in_batch =
+            std::any_of(fresh.begin(), fresh.end(),
+                        [&](const graph::Edge &f) {
+                            return f.src == e.src && f.dst == e.dst;
+                        });
+        if (!seen_in_batch)
             fresh.push_back(e);
     }
     const VertexId old_n = graph_.numVertices();

@@ -12,6 +12,10 @@
 #include "gpusim/config.hpp"
 #include "partition/preprocess.hpp"
 
+namespace digraph::metrics {
+class TraceSink;
+} // namespace digraph::metrics
+
 namespace digraph::engine {
 
 /** Execution model selector. */
@@ -65,6 +69,10 @@ struct EngineOptions
     /** Activate every vertex initially (Fig 2 methodology) regardless of
      *  the algorithm's initActive(). */
     bool force_all_active = false;
+    /** Structured trace sink; nullptr disables tracing (every
+     *  instrumentation point reduces to one null check — see
+     *  src/metrics/trace.hpp). Tracing never changes results. */
+    metrics::TraceSink *trace = nullptr;
 };
 
 } // namespace digraph::engine

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -12,6 +13,10 @@ namespace digraph::graph {
 namespace {
 
 constexpr std::uint64_t kBinaryMagic = 0x44694772'61424947ULL; // "DiGraBIG"
+/** Bumped when the record layout changes; version 2 added this field
+ *  (version-1 files, which had none, are rejected up front instead of
+ *  being misparsed as garbage counts). */
+constexpr std::uint64_t kBinaryVersion = 2;
 
 } // namespace
 
@@ -30,9 +35,13 @@ loadEdgeListText(const std::string &path)
         std::istringstream iss(line);
         VertexId src, dst;
         if (!(iss >> src >> dst))
-            continue;
+            continue; // header / malformed / missing-destination line
         Value w = 1.0;
-        iss >> w;
+        // A failed extraction value-initializes the target (C++11
+        // num_get), so parse into a temporary and keep the default
+        // weight unless a weight column actually parsed.
+        if (Value parsed; iss >> parsed)
+            w = parsed;
         builder.addEdge(src, dst, w);
     }
     return builder.build();
@@ -58,12 +67,20 @@ loadBinary(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         fatal("loadBinary: cannot open ", path);
-    std::uint64_t magic = 0, n = 0, m = 0;
+    std::uint64_t magic = 0, version = 0, n = 0, m = 0;
     in.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
     in.read(reinterpret_cast<char *>(&n), sizeof(n));
     in.read(reinterpret_cast<char *>(&m), sizeof(m));
     if (!in || magic != kBinaryMagic)
         fatal("loadBinary: ", path, " is not a DiGraph binary file");
+    if (version != kBinaryVersion) {
+        fatal("loadBinary: ", path, " has format version ", version,
+              ", expected ", kBinaryVersion);
+    }
+    if (n > std::numeric_limits<VertexId>::max())
+        fatal("loadBinary: ", path, " vertex count ", n,
+              " overflows VertexId");
 
     GraphBuilder builder(static_cast<VertexId>(n));
     builder.setDeduplicate(false);
@@ -88,9 +105,14 @@ saveBinary(const DirectedGraph &g, const std::string &path)
     if (!out)
         fatal("saveBinary: cannot open ", path);
     const std::uint64_t magic = kBinaryMagic;
+    const std::uint64_t version = kBinaryVersion;
     const std::uint64_t n = g.numVertices();
     const std::uint64_t m = g.numEdges();
+    if (n > std::numeric_limits<std::uint32_t>::max())
+        fatal("saveBinary: vertex count ", n,
+              " overflows the 32-bit on-disk id");
     out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char *>(&version), sizeof(version));
     out.write(reinterpret_cast<const char *>(&n), sizeof(n));
     out.write(reinterpret_cast<const char *>(&m), sizeof(m));
     for (EdgeId e = 0; e < g.numEdges(); ++e) {
@@ -101,6 +123,9 @@ saveBinary(const DirectedGraph &g, const std::string &path)
         out.write(reinterpret_cast<const char *>(&dst), sizeof(dst));
         out.write(reinterpret_cast<const char *>(&w), sizeof(w));
     }
+    out.flush();
+    if (!out)
+        fatal("saveBinary: write failed for ", path);
 }
 
 } // namespace digraph::graph

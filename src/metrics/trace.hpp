@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Structured execution tracing for the engines.
+ *
+ * A TraceSink records typed events (wave start/end, partition dispatch,
+ * merge barrier, mirror-push batches, path-schedule decisions, work
+ * steals) carrying both a simulated-cycle timestamp and a wall-clock
+ * timestamp relative to the sink's epoch. Engines hold a `TraceSink *`
+ * that defaults to nullptr; every instrumentation point is guarded by a
+ * null check, so a disabled trace costs one predictable branch and no
+ * allocation — the hot loop is unchanged.
+ *
+ * Event *order* in the sink may differ between runs with different
+ * engine_threads values (compute-phase events are appended as worker
+ * threads reach them); counter totals and per-event payloads must not.
+ *
+ * Exporters: writeChromeJson() emits chrome://tracing "Trace Event
+ * Format" JSON (open in chrome://tracing or https://ui.perfetto.dev),
+ * writeCsv() a flat table for scripting. Both embed the final
+ * CounterRegistry totals so traces are self-describing.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "metrics/counter_registry.hpp"
+
+namespace digraph::metrics {
+
+/** Event taxonomy (see DESIGN.md "Observability layer"). */
+enum class TraceEventType : std::uint8_t {
+    /** A dispatch wave's schedule was frozen (arg0 = batch size,
+     *  arg1 = first partition of the batch). */
+    WaveStart,
+    /** All chunks of the wave committed (arg0 = partitions run). */
+    WaveEnd,
+    /** One partition dispatch's simulated kernel span (arg0 = local
+     *  rounds, arg1 = edges processed). */
+    Dispatch,
+    /** Serial barrier commit of one dispatch (arg0 = master pushes
+     *  replayed, arg1 = masters changed). */
+    MergeBarrier,
+    /** One local round's mirror->master push batch (arg0 = pushes,
+     *  arg1 = local round index). */
+    MirrorPush,
+    /** Pri(p) path-schedule decision for one local round (arg0 = active
+     *  paths, arg1 = highest-priority path id). */
+    PathSchedule,
+    /** A surplus work-stealing group ran on a stolen SMX (arg0 = group
+     *  index, arg1 = stolen SMX id). */
+    Steal,
+};
+
+/** Stable name of an event type (trace/CSV/JSON key). */
+constexpr const char *
+traceEventName(TraceEventType t)
+{
+    switch (t) {
+      case TraceEventType::WaveStart:    return "wave_start";
+      case TraceEventType::WaveEnd:      return "wave_end";
+      case TraceEventType::Dispatch:     return "dispatch";
+      case TraceEventType::MergeBarrier: return "merge_barrier";
+      case TraceEventType::MirrorPush:   return "mirror_push";
+      case TraceEventType::PathSchedule: return "path_schedule";
+      case TraceEventType::Steal:        return "steal";
+    }
+    return "?";
+}
+
+/** Sentinel for "no partition" in TraceEvent::partition. */
+inline constexpr std::uint64_t kTraceNoPartition = ~0ull;
+
+/** One recorded event. */
+struct TraceEvent
+{
+    TraceEventType type = TraceEventType::WaveStart;
+    /** Recording thread's dense id (0 = the serial scheduler/barrier
+     *  thread; workers get 1..N in first-record order). */
+    std::uint32_t tid = 0;
+    /** Dispatch wave the event belongs to. */
+    std::uint64_t wave = 0;
+    /** Partition, or kTraceNoPartition for wave-level events. */
+    std::uint64_t partition = kTraceNoPartition;
+    /** Simulated-cycle timestamp (start). */
+    double sim_begin = 0.0;
+    /** Simulated duration in cycles (0 for instantaneous events). */
+    double sim_dur = 0.0;
+    /** Wall-clock seconds since the sink's epoch. */
+    double wall_seconds = 0.0;
+    /** Event-type-specific payload (see TraceEventType docs). */
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+};
+
+/**
+ * Thread-safe event collector plus exporter.
+ *
+ * One sink may observe several runs; clear() between runs (or use one
+ * sink per run) to keep traces separable.
+ */
+class TraceSink
+{
+  public:
+    TraceSink() = default;
+
+    /** Append @p event, stamping wall_seconds and tid. Thread-safe. */
+    void record(TraceEvent event);
+
+    /** Convenience wrapper building the TraceEvent in place. */
+    void
+    event(TraceEventType type, std::uint64_t wave, std::uint64_t partition,
+          double sim_begin, double sim_dur = 0.0, std::uint64_t arg0 = 0,
+          std::uint64_t arg1 = 0)
+    {
+        TraceEvent e;
+        e.type = type;
+        e.wave = wave;
+        e.partition = partition;
+        e.sim_begin = sim_begin;
+        e.sim_dur = sim_dur;
+        e.arg0 = arg0;
+        e.arg1 = arg1;
+        record(e);
+    }
+
+    /** Snapshot of the recorded events. Thread-safe. */
+    std::vector<TraceEvent> events() const;
+
+    /** Number of recorded events. Thread-safe. */
+    std::size_t size() const;
+
+    /** Count events of one type. Thread-safe. */
+    std::size_t count(TraceEventType type) const;
+
+    /** Drop all events and counters, restart the wall epoch. */
+    void clear();
+
+    /** Attach the final per-run counter totals (exported alongside the
+     *  events; must equal the RunReport aggregates). */
+    void setCounters(const CounterRegistry &counters);
+
+    /** The attached counter totals. */
+    CounterRegistry counters() const;
+
+    /** Write chrome://tracing JSON ("ts"/"dur" are simulated cycles,
+     *  wall timestamps travel in args). Fatal on I/O errors. */
+    void writeChromeJson(const std::string &path) const;
+
+    /** Write a flat CSV (one row per event, header included). */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    CounterRegistry counters_;
+    WallTimer epoch_;
+};
+
+} // namespace digraph::metrics

@@ -10,6 +10,7 @@
 
 #include "algorithms/factory.hpp"
 #include "engine/digraph_engine.hpp"
+#include "metrics/trace.hpp"
 #include "test_util.hpp"
 
 namespace digraph {
@@ -71,6 +72,37 @@ TEST(ParallelWaves, ThreadCountDoesNotChangeResults)
                     ng.name + "/" + algo_name + "/threads=" +
                         std::to_string(threads));
             }
+        }
+    }
+}
+
+TEST(ParallelWaves, TracingDoesNotChangeResultsAtAnyThreadCount)
+{
+    const auto g = graph::makeDataset(graph::Dataset::dblp, 0.2);
+    const auto algo = algorithms::makeAlgorithm("sssp", g);
+
+    engine::DiGraphEngine plain(g, optionsWithThreads(1));
+    const auto base = plain.run(*algo);
+
+    metrics::CounterRegistry serial_counters;
+    for (const std::size_t threads : {1ul, 2ul, 4ul}) {
+        auto opts = optionsWithThreads(threads);
+        metrics::TraceSink sink;
+        opts.trace = &sink;
+        engine::DiGraphEngine traced(g, opts);
+        const auto got = traced.run(*algo);
+        expectIdenticalReports(base, got,
+                               "traced/threads=" +
+                                   std::to_string(threads));
+        // Counter totals and per-type event counts must not depend on
+        // the thread count (event *order* may).
+        EXPECT_TRUE(sink.counters() ==
+                    metrics::CounterRegistry::fromReport(got));
+        if (threads == 1) {
+            serial_counters = sink.counters();
+        } else {
+            EXPECT_TRUE(sink.counters() == serial_counters)
+                << "threads=" << threads;
         }
     }
 }

@@ -362,5 +362,32 @@ TEST(EvolvingEngine, DuplicateInsertionsAreIgnored)
     EXPECT_EQ(evolving.graph().numEdges(), before);
 }
 
+TEST(EvolvingEngine, IntraBatchDuplicatesCollapseToOneEdge)
+{
+    // A batch repeating the same new (src, dst) pair must behave as if
+    // the pair appeared once: one edge added, warm result == cold.
+    engine::EngineOptions opts;
+    opts.platform = smallPlatform();
+    engine::EvolvingEngine evolving(graph::makeChain(20), opts);
+    const algorithms::Sssp sssp(0);
+    evolving.run(sssp);
+    const auto before = evolving.graph().numEdges();
+    const auto step = evolving.insertAndRun(
+        sssp, {{2, 15, 0.5}, {2, 15, 9.0}, {2, 15, 0.5}});
+    EXPECT_EQ(evolving.graph().numEdges(), before + 1);
+    const auto &g = evolving.graph();
+    const auto nbrs = g.outNeighbors(2);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        if (nbrs[k] == 15) {
+            EXPECT_EQ(g.edgeWeight(g.outEdgeId(2, k)), 0.5)
+                << "first occurrence in the batch wins";
+        }
+    }
+    EXPECT_TRUE(step.warm);
+    const auto cold = baselines::runSequential(evolving.graph(), sssp);
+    test::expectStatesNear(step.run.final_state, cold.state, 1e-9,
+                           "evolving duplicate batch");
+}
+
 } // namespace
 } // namespace digraph

@@ -3,12 +3,14 @@
  * Tests for text and binary graph IO round trips.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 
@@ -88,6 +90,102 @@ TEST_F(IoTest, EmptyGraphRoundTrips)
     saveBinary(g, path("empty.bin"));
     const auto h = loadBinary(path("empty.bin"));
     EXPECT_EQ(h.numEdges(), 0u);
+}
+
+TEST_F(IoTest, UnweightedLineWithTrailingJunkKeepsDefaultWeight)
+{
+    // A trailing non-numeric token used to value-initialize the weight
+    // to 0 (C++11 num_get) instead of leaving the 1.0 default.
+    std::ofstream out(path("junk.txt"));
+    out << "0 1 x\n";
+    out << "1 2\t# trailing comment\n";
+    out << "2 3 2.5\n";
+    out.close();
+    const auto g = loadEdgeListText(path("junk.txt"));
+    ASSERT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.edgeWeight(0), 1.0);
+    EXPECT_EQ(g.edgeWeight(1), 1.0);
+    EXPECT_EQ(g.edgeWeight(2), 2.5);
+}
+
+TEST_F(IoTest, MissingDestinationLineIsSkipped)
+{
+    std::ofstream out(path("short.txt"));
+    out << "0 1\n";
+    out << "5\n"; // source without a destination
+    out << "1 2\n";
+    out.close();
+    const auto g = loadEdgeListText(path("short.txt"));
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST_F(IoTest, UnweightedTextRoundTripKeepsWeightOne)
+{
+    GraphBuilder b;
+    b.addEdge(0, 1, 1.0);
+    b.addEdge(1, 2, 1.0);
+    const auto g = b.build();
+    // Write without a weight column, as SNAP-style datasets do.
+    std::ofstream out(path("unw.txt"));
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        out << g.edgeSource(e) << ' ' << g.edgeTarget(e) << '\n';
+    out.close();
+    const auto h = loadEdgeListText(path("unw.txt"));
+    ASSERT_EQ(h.numEdges(), g.numEdges());
+    for (EdgeId e = 0; e < h.numEdges(); ++e)
+        EXPECT_EQ(h.edgeWeight(e), 1.0);
+}
+
+TEST_F(IoTest, BinaryRejectsVersionMismatch)
+{
+    GeneratorConfig c;
+    c.num_vertices = 10;
+    c.num_edges = 20;
+    c.seed = 6;
+    saveBinary(generate(c), path("v.bin"));
+    // Corrupt the version field (second u64) in place.
+    std::fstream f(path("v.bin"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(sizeof(std::uint64_t));
+    const std::uint64_t bogus = 999;
+    f.write(reinterpret_cast<const char *>(&bogus), sizeof(bogus));
+    f.close();
+    EXPECT_EXIT(loadBinary(path("v.bin")),
+                ::testing::ExitedWithCode(1), "format version");
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedFile)
+{
+    GeneratorConfig c;
+    c.num_vertices = 10;
+    c.num_edges = 20;
+    c.seed = 7;
+    saveBinary(generate(c), path("t.bin"));
+    const auto full = std::filesystem::file_size(path("t.bin"));
+    std::filesystem::resize_file(path("t.bin"), full - 6);
+    EXPECT_EXIT(loadBinary(path("t.bin")),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST_F(IoTest, BinaryRejectsWrongMagic)
+{
+    std::ofstream out(path("m.bin"), std::ios::binary);
+    const std::uint64_t junk[4] = {0xdeadbeefULL, 2, 0, 0};
+    out.write(reinterpret_cast<const char *>(junk), sizeof(junk));
+    out.close();
+    EXPECT_EXIT(loadBinary(path("m.bin")),
+                ::testing::ExitedWithCode(1), "not a DiGraph binary");
+}
+
+TEST_F(IoTest, SaveBinaryFailsLoudlyOnBadPath)
+{
+    GeneratorConfig c;
+    c.num_vertices = 4;
+    c.num_edges = 6;
+    c.seed = 8;
+    EXPECT_EXIT(
+        saveBinary(generate(c), (dir_ / "nodir" / "g.bin").string()),
+        ::testing::ExitedWithCode(1), "cannot open");
 }
 
 } // namespace

@@ -7,6 +7,7 @@
  *   digraph_cli --algo pagerank [--system digraph] [--gpus 4]
  *               (--dataset cnr [--scale 0.4] | --graph FILE)
  *               [--source V] [--k K] [--verbose]
+ *               [--trace out.json] [--trace-csv out.csv]
  *
  * Systems: digraph (default), digraph-t, digraph-w, gunrock, groute,
  *          sequential.
@@ -31,6 +32,7 @@
 #include "graph/formats.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "metrics/trace.hpp"
 
 namespace {
 
@@ -47,6 +49,8 @@ struct Options
     VertexId source = 0;
     unsigned k = 3;
     bool verbose = false;
+    std::string trace_json;
+    std::string trace_csv;
 };
 
 [[noreturn]] void
@@ -57,6 +61,7 @@ usage(const char *argv0)
         "usage: %s --algo NAME [--system NAME] [--gpus N]\n"
         "          (--dataset NAME [--scale S] | --graph FILE)\n"
         "          [--source V] [--k K] [--verbose]\n"
+        "          [--trace out.json] [--trace-csv out.csv]\n"
         "algorithms: pagerank adsorption sssp kcore katz bfs wcc\n"
         "systems:    digraph digraph-t digraph-w gunrock groute "
         "sequential\n"
@@ -94,6 +99,10 @@ parse(int argc, char **argv)
             opts.k = static_cast<unsigned>(std::atoi(need(i)));
         else if (arg == "--verbose")
             opts.verbose = true;
+        else if (arg == "--trace")
+            opts.trace_json = need(i);
+        else if (arg == "--trace-csv")
+            opts.trace_csv = need(i);
         else
             usage(argv[0]);
     }
@@ -148,12 +157,24 @@ printReport(const metrics::RunReport &r, double preprocess_s)
     std::printf("wall          %.3f s\n", r.wall_seconds);
 }
 
+/** Write the requested trace exports; no-op when neither was asked. */
+void
+writeTraces(const metrics::TraceSink &sink, const Options &opts)
+{
+    if (!opts.trace_json.empty())
+        sink.writeChromeJson(opts.trace_json);
+    if (!opts.trace_csv.empty())
+        sink.writeCsv(opts.trace_csv);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options opts = parse(argc, argv);
+    const bool want_trace =
+        !opts.trace_json.empty() || !opts.trace_csv.empty();
     const graph::DirectedGraph g = loadInput(opts);
     if (opts.verbose) {
         std::printf("graph: %s\n",
@@ -165,6 +186,8 @@ main(int argc, char **argv)
     gpusim::PlatformConfig platform;
     platform.num_devices = opts.gpus;
 
+    metrics::TraceSink sink;
+
     if (opts.system == "sequential") {
         WallTimer timer;
         const auto result = baselines::runSequential(g, *algo);
@@ -173,26 +196,42 @@ main(int argc, char **argv)
         report.algorithm = algo->name();
         report.vertex_updates = result.vertex_updates;
         report.edge_processings = result.edge_processings;
+        report.used_vertices = result.vertex_updates;
         report.final_state = result.state;
         report.wall_seconds = timer.seconds();
+        if (want_trace) {
+            // No simulated timeline for the host reference run, but the
+            // counter block still exports.
+            sink.setCounters(metrics::CounterRegistry::fromReport(report));
+            writeTraces(sink, opts);
+        }
         printReport(report, 0.0);
         return 0;
     }
     if (opts.system == "gunrock") {
         baselines::BaselineOptions bopts;
         bopts.platform = platform;
-        printReport(baselines::runBsp(g, *algo, bopts), 0.0);
+        bopts.trace = want_trace ? &sink : nullptr;
+        const auto report = baselines::runBsp(g, *algo, bopts);
+        if (want_trace)
+            writeTraces(sink, opts);
+        printReport(report, 0.0);
         return 0;
     }
     if (opts.system == "groute") {
         baselines::BaselineOptions bopts;
         bopts.platform = platform;
-        printReport(baselines::runAsync(g, *algo, bopts).report, 0.0);
+        bopts.trace = want_trace ? &sink : nullptr;
+        const auto result = baselines::runAsync(g, *algo, bopts);
+        if (want_trace)
+            writeTraces(sink, opts);
+        printReport(result.report, 0.0);
         return 0;
     }
 
     engine::EngineOptions eopts;
     eopts.platform = platform;
+    eopts.trace = want_trace ? &sink : nullptr;
     if (opts.system == "digraph-t")
         eopts.mode = engine::ExecutionMode::VertexAsync;
     else if (opts.system == "digraph-w")
@@ -208,6 +247,9 @@ main(int argc, char **argv)
                     eng.preprocessed().numPartitions(),
                     eng.preprocessed().dag.numLayers());
     }
-    printReport(eng.run(*algo), eng.preprocessSeconds());
+    const auto report = eng.run(*algo);
+    if (want_trace)
+        writeTraces(sink, opts);
+    printReport(report, eng.preprocessSeconds());
     return 0;
 }
