@@ -1,0 +1,29 @@
+#!/bin/sh
+# Memory-check the engine under AddressSanitizer + UBSan.
+#
+# Builds the repo in a dedicated tree (build-asan/) with
+# -DDIGRAPH_SANITIZE=address,undefined and runs the engine and
+# fault-tolerance test binaries. The fault suite is the interesting one
+# here: checkpoint restore rewrites the V_val/E_val arrays in place and
+# recovery drops device residency wholesale, so any stale index or
+# use-after-rollback shows up under ASan.
+#
+# Usage (from the repo root):
+#     ci/asan.sh            # configure + build + run
+#     ci/asan.sh -R Fault   # extra args are passed through to ctest
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . -DDIGRAPH_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j \
+    --target test_fault_tolerance test_robustness \
+    test_engine_parallel test_engine_features test_io test_snapshot
+
+if [ "$#" -gt 0 ]; then
+    ctest --test-dir build-asan --output-on-failure "$@"
+else
+    ctest --test-dir build-asan --output-on-failure \
+        -R 'test_(fault_tolerance|robustness|engine_parallel|engine_features|io|snapshot)$'
+fi

@@ -49,7 +49,8 @@ jq -e '.traceEvents | type == "array" and length > 0' "$TRACE" >/dev/null ||
 
 for key in edge_processings vertex_updates rounds waves \
     partition_processings num_partitions host_transfer_bytes \
-    ring_transfer_bytes global_load_bytes loaded_vertices used_vertices
+    ring_transfer_bytes global_load_bytes loaded_vertices used_vertices \
+    faults_injected transfer_retries checkpoints recoveries
 do
     jq -e --arg k "$key" '.counters[$k] | type == "number"' \
         "$TRACE" >/dev/null || fail "counter $key missing or non-numeric"
@@ -67,7 +68,8 @@ jq -e '.traceEvents | all(
 
 jq -e '.traceEvents | map(.name) | unique - ["wave_start", "wave_end",
         "dispatch", "merge_barrier", "mirror_push", "path_schedule",
-        "steal"] | length == 0' "$TRACE" >/dev/null ||
+        "steal", "fault_injected", "transfer_retry", "checkpoint",
+        "recovery"] | length == 0' "$TRACE" >/dev/null ||
     fail "event name outside the documented taxonomy"
 
 jq -e '([.traceEvents[] | select(.name == "wave_start")] | length) ==
@@ -100,4 +102,31 @@ head -n 1 "$WORKDIR/trace.csv" | grep -q \
     '^event,tid,wave,partition,sim_begin,sim_dur,wall_seconds,arg0,arg1$' ||
     fail "unexpected CSV header"
 
-echo "trace_schema: OK ($(jq '.traceEvents | length' "$TRACE") events)"
+# --- faulted run: fault counters == fault event counts -------------------
+# Kill device 1 mid-run and drop 5% of transfers; the engine must recover
+# (recoveries >= 1) and every fault counter must equal the count of its
+# trace event type — the observability invariant the fault-tolerance
+# tests assert in-process, checked here end-to-end through the CLI.
+FTRACE="$WORKDIR/fault_trace.json"
+"$CLI" --algo sssp --dataset dblp --scale 0.2 --gpus 2 \
+    --faults "seed=3,device=1@1000,xfer=0.05" --verify \
+    --trace "$FTRACE" > "$WORKDIR/fault_report.txt"
+
+jq -e '.counters.recoveries >= 1' "$FTRACE" >/dev/null ||
+    fail "faulted run did not record a recovery"
+
+for pair in "faults_injected fault_injected" \
+    "transfer_retries transfer_retry" \
+    "checkpoints checkpoint" \
+    "recoveries recovery"
+do
+    counter="${pair%% *}"
+    event="${pair##* }"
+    jq -e --arg c "$counter" --arg e "$event" \
+        '([.traceEvents[] | select(.name == $e)] | length) ==
+         .counters[$c]' "$FTRACE" >/dev/null ||
+        fail "counter $counter != $event event count"
+done
+
+echo "trace_schema: OK ($(jq '.traceEvents | length' "$TRACE") events," \
+    "faulted run $(jq '.counters.recoveries' "$FTRACE") recovery)"

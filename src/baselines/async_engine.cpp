@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "gpusim/platform.hpp"
 #include "metrics/counter_registry.hpp"
@@ -21,6 +22,8 @@ AsyncResult
 runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
          const BaselineOptions &options)
 {
+    if (const std::string err = options.validate(); !err.empty())
+        fatal("runAsync: invalid options: ", err);
     WallTimer wall;
     AsyncResult result;
     metrics::RunReport &report = result.report;

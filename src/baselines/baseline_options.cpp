@@ -4,6 +4,33 @@
 
 namespace digraph::baselines {
 
+std::string
+BaselineOptions::validate() const
+{
+    const auto &pc = platform;
+    if (pc.num_devices == 0)
+        return "platform.num_devices must be > 0";
+    if (pc.smx_per_device == 0)
+        return "platform.smx_per_device must be > 0";
+    if (pc.warps_per_smx == 0)
+        return "platform.warps_per_smx must be > 0";
+    if (pc.global_mem_bytes == 0)
+        return "platform.global_mem_bytes must be > 0";
+    if (!(pc.host_link_bytes_per_cycle > 0.0))
+        return "platform.host_link_bytes_per_cycle must be > 0";
+    if (!(pc.ring_bytes_per_cycle > 0.0))
+        return "platform.ring_bytes_per_cycle must be > 0";
+    if (pc.transfer_latency_cycles < 0.0)
+        return "platform.transfer_latency_cycles must be >= 0";
+    if (pc.cycles_per_edge < 0.0)
+        return "platform.cycles_per_edge must be >= 0";
+    if (pc.num_streams == 0)
+        return "platform.num_streams must be > 0";
+    if (max_rounds == 0)
+        return "max_rounds must be > 0";
+    return "";
+}
+
 std::vector<VertexId>
 vertexRangePartitions(const graph::DirectedGraph &g,
                       std::size_t edges_per_partition)

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "gpusim/config.hpp"
@@ -38,6 +39,14 @@ struct BaselineOptions
     /** Structured trace sink; nullptr disables tracing (same contract
      *  as EngineOptions::trace). */
     metrics::TraceSink *trace = nullptr;
+
+    /**
+     * Reject nonsensical knob combinations (zero devices/SMXs, negative
+     * bandwidths, max_rounds == 0) before they divide by zero or spin
+     * forever inside the engines.
+     * @return a diagnostic, or "" when the options are usable.
+     */
+    std::string validate() const;
 };
 
 /**

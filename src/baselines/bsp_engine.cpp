@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "gpusim/platform.hpp"
 #include "metrics/counter_registry.hpp"
@@ -31,6 +32,8 @@ metrics::RunReport
 runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
        const BaselineOptions &options)
 {
+    if (const std::string err = options.validate(); !err.empty())
+        fatal("runBsp: invalid options: ", err);
     WallTimer wall;
     metrics::RunReport report;
     report.system = "bsp";

@@ -39,6 +39,8 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
                              EngineOptions options)
     : g_(g), options_(std::move(options)),
       pre_([&] {
+          if (const std::string err = options_.validate(); !err.empty())
+              fatal("DiGraphEngine: invalid options: ", err);
           if (options_.auto_partition_budget) {
               // The budget is independent of the device count so that
               // scaling studies compare identical partitionings.
@@ -54,6 +56,9 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
       }()),
       storage_(pre_.paths, g), platform_(options_.platform)
 {
+    ft_enabled_ = !options_.faults.empty();
+    if (ft_enabled_)
+        injector_ = gpusim::FaultInjector(options_.faults);
     buildIndexes();
 }
 
@@ -342,10 +347,12 @@ DiGraphEngine::chooseDevice(PartitionId p) const
         options_.platform.transfer_latency_cycles +
         static_cast<double>(partition_bytes_[p]) /
             options_.platform.host_link_bytes_per_cycle;
-    DeviceId best = 0;
+    DeviceId best = kInvalidVertex;
     double best_start = 0.0;
     for (DeviceId d = 0; d < platform_.numDevices(); ++d) {
         const auto &device = platform_.device(d);
+        if (device.failed())
+            continue; // degrade: survivors absorb the dead device's share
         double start = device.smx(device.leastLoadedSmx()).clock();
         if (partition_device_[p] != d)
             start += xfer_cost;
@@ -354,11 +361,13 @@ DiGraphEngine::chooseDevice(PartitionId p) const
             if (partition_device_[t] == d)
                 start -= options_.platform.transfer_latency_cycles * 0.05;
         }
-        if (d == 0 || start < best_start) {
+        if (best == kInvalidVertex || start < best_start) {
             best = d;
             best_start = start;
         }
     }
+    if (best == kInvalidVertex)
+        panic("DiGraphEngine::chooseDevice: no alive device");
     return best;
 }
 
@@ -388,14 +397,18 @@ DiGraphEngine::ensureResident(PartitionId p, DeviceId dev,
         if (partition_device_[victim] == dev)
             partition_device_[victim] = kInvalidVertex;
         // Buffered results written back to host memory.
-        device.hostLink().transfer(issue_time, partition_bytes_[victim]);
+        device.hostLink().transfer(
+            issue_time +
+                transferFaultPenalty(partition_bytes_[victim], report),
+            partition_bytes_[victim]);
         report.comm_cycles +=
             device.hostLink().cost(partition_bytes_[victim]);
     }
     resident.push_back(p);
     used += bytes;
 
-    const double done = device.hostLink().transfer(issue_time, bytes);
+    const double done = device.hostLink().transfer(
+        issue_time + transferFaultPenalty(bytes, report), bytes);
     report.comm_cycles += device.hostLink().cost(bytes);
     counters_.add(metrics::Counter::HostTransferBytes, bytes);
     return done;
@@ -472,6 +485,8 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
             storage_.pathOffset(pre_.partition_offsets[q]),
             storage_.pathOffset(pre_.partition_offsets[q + 1]));
     }
+    if (ft_enabled_)
+        initFaultTolerance();
 
     // Prefetch: all partitions are distributed over the devices up
     // front, streamed via the copy queues (Hyper-Q) so kernels can start
@@ -492,8 +507,9 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                                       filled / per_dev));
             filled += partition_bytes_[q];
             auto &device = platform_.device(dev);
-            const double done =
-                device.hostLink().transfer(0.0, partition_bytes_[q]);
+            const double done = device.hostLink().transfer(
+                transferFaultPenalty(partition_bytes_[q], report),
+                partition_bytes_[q]);
             report.comm_cycles +=
                 device.hostLink().cost(partition_bytes_[q]);
             counters_.add(metrics::Counter::HostTransferBytes,
@@ -552,6 +568,8 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     std::vector<DispatchOutcome> outcomes;
     for (;;) {
         ++wave;
+        if (ft_enabled_)
+            pollFaults(wave, report);
         schedule_timer.begin();
         // Readiness and the dispatch set are frozen at wave start: a
         // group is dispatchable only when everything transitively
@@ -623,6 +641,14 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                 taken[i] = 1;
             }
             done += chunk.size();
+            if (ft_enabled_) {
+                // Journal the E_val slices this chunk may mutate —
+                // serially, before the parallel compute phase touches
+                // them (copy-on-write at the granularity the dispatch
+                // hands to a device).
+                for (const PartitionId cp : chunk)
+                    markPartitionDirty(cp);
+            }
             schedule_timer.end();
 
             compute_timer.begin();
@@ -642,12 +668,23 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                 replayDispatch(outcome, algo, report);
             barrier_timer.end();
         }
+        if (ft_enabled_)
+            maybeCheckpoint(wave, report);
         if (trace_) {
             trace_->event(metrics::TraceEventType::WaveEnd, wave,
                           metrics::kTraceNoPartition,
                           platform_.makespan(), 0.0, batch.size());
         }
     }
+    if (options_.verify_invariants) {
+        const InvariantReport inv = postRunInvariants(algo);
+        if (!inv.ok()) {
+            panic("DiGraphEngine: post-run invariant violation: ",
+                  inv.detail.empty() ? std::string("unspecified")
+                                     : inv.detail);
+        }
+    }
+
     counters_.set(metrics::Counter::Waves,
                   wave - 1); // the last wave dispatched nothing
     counters_.set(metrics::Counter::NumPartitions, nparts);
@@ -1096,9 +1133,13 @@ DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
         for (DeviceId home = 0; home < platform_.numDevices(); ++home) {
             if (pull_bytes[home] == 0)
                 continue;
-            ready = std::max(ready,
-                             platform_.ring().transfer(
-                                 home, dev, issue, pull_bytes[home]));
+            ready = std::max(
+                ready,
+                platform_.ring().transfer(
+                    home, dev,
+                    issue + transferFaultPenalty(pull_bytes[home],
+                                                 report),
+                    pull_bytes[home]));
             report.comm_cycles +=
                 options_.platform.transfer_latency_cycles +
                 static_cast<double>(pull_bytes[home]) /
@@ -1116,14 +1157,17 @@ DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
         for (std::size_t k = 0; k < group_cycles.size(); ++k) {
             const SmxId sid =
                 k == 0 ? home_smx : device.leastLoadedSmx();
+            // An armed SMX stall slows this group's kernel down.
+            const double cycles =
+                group_cycles[k] * smxStallFactor(dev, sid);
             if (trace_ && k > 0) {
                 trace_->event(metrics::TraceEventType::Steal,
-                              trace_wave_, p, round_start,
-                              group_cycles[k], k, sid);
+                              trace_wave_, p, round_start, cycles, k,
+                              sid);
             }
-            round_end = std::max(
-                round_end,
-                device.smx(sid).run(round_start, group_cycles[k]));
+            round_end = std::max(round_end,
+                                 device.smx(sid).run(round_start,
+                                                     cycles));
         }
         ready = round_end;
     }
@@ -1138,6 +1182,11 @@ DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
     // theirs — the deterministic dispatch-order merge).
     std::vector<VertexId> changed;
     for (const auto &[v, push] : outcome.pushes) {
+        // Journal before the merge: accumulative algorithms mutate the
+        // master even when mergeMaster reports no activation-worthy
+        // change, so every pushed vertex is checkpoint-dirty.
+        if (ft_enabled_)
+            markVertexDirty(v);
         if (algo.mergeMaster(storage_.vVal(v), push))
             changed.push_back(v);
     }
@@ -1203,8 +1252,10 @@ DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
     for (DeviceId dd = 0; dd < platform_.numDevices(); ++dd) {
         if (notify_bytes[dd] == 0)
             continue;
-        notify_arrive[dd] =
-            platform_.ring().transfer(dev, dd, ready, notify_bytes[dd]);
+        notify_arrive[dd] = platform_.ring().transfer(
+            dev, dd,
+            ready + transferFaultPenalty(notify_bytes[dd], report),
+            notify_bytes[dd]);
         report.comm_cycles +=
             options_.platform.transfer_latency_cycles +
             static_cast<double>(notify_bytes[dd]) /

@@ -136,6 +136,46 @@ class DiGraphEngine
     /** Worker threads run() will use (resolves engine_threads == 0). */
     std::size_t engineThreads() const;
 
+    /** Result of the post-run invariant checker (see
+     *  postRunInvariants()). */
+    struct InvariantReport
+    {
+        /** No edge would still move its destination by more than the
+         *  residual slack at the converged state. */
+        bool residual_ok = true;
+        /** No mirror holds an un-pushed value (hasPush false
+         *  everywhere). */
+        bool coherence_ok = true;
+        /** Activation bookkeeping recounts cleanly and the engine is
+         *  quiescent (no active slot or partition). */
+        bool activation_ok = true;
+        /** Largest |destination movement| any edge could still cause. */
+        double max_residual = 0.0;
+        /** Edges exceeding the slack. */
+        std::uint64_t residual_violations = 0;
+        /** First violation, human-readable (empty when ok). */
+        std::string detail;
+
+        bool
+        ok() const
+        {
+            return residual_ok && coherence_ok && activation_ok;
+        }
+    };
+
+    /**
+     * Post-run invariant checker (debug/CI): re-examines the converged
+     * state of the most recent run() — convergence residual (re-running
+     * processEdge on a copy must not move any destination by more than
+     * @p residual_slack * epsilon), master/mirror coherence, and an
+     * activation recount. Used standalone by tests and, with
+     * EngineOptions::verify_invariants, inside run() (panic on
+     * violation).
+     */
+    InvariantReport
+    postRunInvariants(const algorithms::Algorithm &algo,
+                      double residual_slack = 64.0);
+
   private:
     /**
      * Everything one partition dispatch produces during the parallel
@@ -213,6 +253,75 @@ class DiGraphEngine
             --path_active_count_[path_of_slot_[slot]];
         }
     }
+
+    // --- fault tolerance (implemented in fault_recovery.cpp; all
+    // methods are serial-phase only — see DESIGN.md §10) ---
+
+    /** Reset the injector and take the epoch-0 checkpoint (full V_val +
+     *  E_val copy). Called from run() after storage initialization. */
+    void initFaultTolerance();
+
+    /** Fire discrete faults due at the current makespan: device losses
+     *  trigger checkpoint-restore recovery, SMX stalls arm their cycle
+     *  multiplier. Called at every wave start. */
+    void pollFaults(std::uint64_t wave, metrics::RunReport &report);
+
+    /** Journal a master mutation since the last checkpoint epoch. */
+    void
+    markVertexDirty(VertexId v)
+    {
+        if (!ckpt_v_dirty_[v]) {
+            ckpt_v_dirty_[v] = 1;
+            ckpt_v_dirty_list_.push_back(v);
+        }
+    }
+
+    /** Journal a partition whose E_val slice a dispatch may mutate. */
+    void
+    markPartitionDirty(PartitionId p)
+    {
+        if (!ckpt_part_dirty_[p]) {
+            ckpt_part_dirty_[p] = 1;
+            ckpt_part_dirty_list_.push_back(p);
+        }
+    }
+
+    /** Advance the checkpoint epoch when the interval elapsed: flush
+     *  dirty masters/E_val slices into the shadow arrays, charging the
+     *  simulated flush traffic. Called at every wave end. */
+    void maybeCheckpoint(std::uint64_t wave, metrics::RunReport &report);
+
+    /** Degrade-and-redistribute recovery from losing @p dead: roll every
+     *  dirty master/E_val slice back to the checkpoint, clear the
+     *  volatile run state, re-activate all source slots, and drop all
+     *  device residency so the DAG dispatcher restripes partitions over
+     *  the survivors. Hard-aborts past max_recoveries or when no device
+     *  survives. */
+    void recoverFromDeviceLoss(DeviceId dead, std::uint64_t wave,
+                               metrics::RunReport &report);
+
+    /** Issue-time penalty of the transfer-drop coin for one transfer of
+     *  @p bytes: 0 when delivered first try, the accumulated exponential
+     *  backoff otherwise; hard-aborts when the retry budget is
+     *  exhausted. Every simulated transfer issue passes through this. */
+    double transferFaultPenalty(std::uint64_t bytes,
+                                metrics::RunReport &report);
+
+    /** Kernel-cycle multiplier of (device, smx) under active stalls. */
+    double
+    smxStallFactor(DeviceId d, SmxId s) const
+    {
+        return ft_enabled_
+                   ? smx_stall_factor_[static_cast<std::size_t>(d) *
+                                           options_.platform
+                                               .smx_per_device +
+                                       s]
+                   : 1.0;
+    }
+
+    /** Copy partition @p p's E_val slice between live and shadow
+     *  arrays (@p to_checkpoint: live -> shadow, else shadow -> live). */
+    void copyPartitionEval(PartitionId p, bool to_checkpoint);
 
     const graph::DirectedGraph &g_;
     EngineOptions options_;
@@ -314,6 +423,32 @@ class DiGraphEngine
     std::vector<std::vector<VertexId>> stale_queue_;
     /** Per partition: dirty-slot worklist for the mirror-push phase. */
     std::vector<storage::SlotDirtySet> partition_dirty_;
+
+    // --- fault tolerance state (allocated only when a FaultPlan is
+    // active; ft_enabled_ == false keeps every hot-path hook a single
+    // branch) ---
+    /** True when options_.faults is non-empty. */
+    bool ft_enabled_ = false;
+    gpusim::FaultInjector injector_;
+    /** Per (device, smx) kernel-cycle multiplier (armed stalls). */
+    std::vector<double> smx_stall_factor_;
+    /** Shadow copy of V_val at the last checkpoint epoch. */
+    std::vector<Value> ckpt_v_;
+    /** Shadow copy of E_val at the last checkpoint epoch. */
+    std::vector<Value> ckpt_e_;
+    /** Masters mutated since the last epoch (flag + journal). */
+    std::vector<std::uint8_t> ckpt_v_dirty_;
+    std::vector<VertexId> ckpt_v_dirty_list_;
+    /** Partitions whose E_val slice was dispatched since the epoch. */
+    std::vector<std::uint8_t> ckpt_part_dirty_;
+    std::vector<PartitionId> ckpt_part_dirty_list_;
+    /** Wave of the last checkpoint epoch. */
+    std::uint64_t ckpt_wave_ = 0;
+    /** Device-loss recoveries performed this run. */
+    std::size_t recoveries_ = 0;
+    /** pollFaults scratch. */
+    std::vector<DeviceId> due_loss_;
+    std::vector<gpusim::SmxStallFault> due_stalls_;
 
     /** Host workers for the wave compute phase (created on first use). */
     std::unique_ptr<ThreadPool> pool_;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "gpusim/config.hpp"
+#include "gpusim/fault.hpp"
 #include "partition/preprocess.hpp"
 
 namespace digraph::metrics {
@@ -73,6 +74,34 @@ struct EngineOptions
      *  instrumentation point reduces to one null check — see
      *  src/metrics/trace.hpp). Tracing never changes results. */
     metrics::TraceSink *trace = nullptr;
+
+    // --- fault tolerance (see DESIGN.md "Fault model and recovery") ---
+    /** Deterministic fault-injection plan. An empty plan (default)
+     *  disables the whole fault-tolerance layer: no checkpoint copies,
+     *  no retry coins, zero overhead. */
+    gpusim::FaultPlan faults;
+    /** Waves between merge-barrier checkpoints while faults are
+     *  enabled. Must be >= 1; larger intervals checkpoint less often
+     *  but lose more work per recovery. */
+    std::size_t checkpoint_interval = 4;
+    /** Dropped-transfer retries before the run hard-aborts. */
+    std::size_t max_transfer_retries = 6;
+    /** Backoff after the first dropped attempt, simulated cycles; each
+     *  further retry doubles it. */
+    double transfer_backoff_cycles = 200.0;
+    /** Device-loss recoveries tolerated before the run hard-aborts. */
+    std::size_t max_recoveries = 4;
+    /** Run the post-run invariant checker (convergence residual,
+     *  master/mirror coherence, activation recount) inside run() and
+     *  panic on violation. Debug/CI tool; off by default. */
+    bool verify_invariants = false;
+
+    /**
+     * Reject nonsensical knob combinations before they become UB deep
+     * in preprocessing or the cost model.
+     * @return a diagnostic, or "" when the options are usable.
+     */
+    std::string validate() const;
 };
 
 } // namespace digraph::engine

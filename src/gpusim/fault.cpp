@@ -1,0 +1,174 @@
+#include "gpusim/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace digraph::gpusim {
+
+namespace {
+
+/** Split @p s at every @p sep (no empty-token suppression). */
+std::vector<std::string>
+splitAt(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream iss(s);
+    while (std::getline(iss, token, sep))
+        out.push_back(token);
+    return out;
+}
+
+/** Strict full-string double parse. */
+bool
+parseDouble(const std::string &s, double &value)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    value = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
+/** Strict full-string unsigned parse. */
+bool
+parseUnsigned(const std::string &s, std::uint64_t &value)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    char *end = nullptr;
+    value = std::strtoull(s.c_str(), &end, 10);
+    return end == s.c_str() + s.size();
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec, std::string &error)
+{
+    FaultPlan plan;
+    error.clear();
+    for (const std::string &clause : splitAt(spec, ',')) {
+        if (clause.empty())
+            continue;
+        const auto eq = clause.find('=');
+        if (eq == std::string::npos) {
+            error = "fault clause '" + clause + "' has no '='";
+            return plan;
+        }
+        const std::string key = clause.substr(0, eq);
+        const std::string val = clause.substr(eq + 1);
+        if (key == "seed") {
+            if (!parseUnsigned(val, plan.seed)) {
+                error = "bad seed '" + val + "'";
+                return plan;
+            }
+        } else if (key == "xfer") {
+            if (!parseDouble(val, plan.transfer_drop_p)) {
+                error = "bad transfer probability '" + val + "'";
+                return plan;
+            }
+        } else if (key == "device") {
+            // device=D@T
+            const auto at = val.find('@');
+            std::uint64_t dev = 0;
+            double cycle = 0.0;
+            if (at == std::string::npos ||
+                !parseUnsigned(val.substr(0, at), dev) ||
+                !parseDouble(val.substr(at + 1), cycle)) {
+                error = "bad device-loss clause '" + val +
+                        "' (want D@T)";
+                return plan;
+            }
+            plan.device_loss.push_back(
+                {static_cast<DeviceId>(dev), cycle});
+        } else if (key == "smx") {
+            // smx=D.S@T or smx=D.S@TxF
+            SmxStallFault stall;
+            const auto dot = val.find('.');
+            const auto at = val.find('@');
+            std::uint64_t dev = 0, smx = 0;
+            if (dot == std::string::npos || at == std::string::npos ||
+                at < dot ||
+                !parseUnsigned(val.substr(0, dot), dev) ||
+                !parseUnsigned(val.substr(dot + 1, at - dot - 1), smx)) {
+                error = "bad smx-stall clause '" + val +
+                        "' (want D.S@T or D.S@TxF)";
+                return plan;
+            }
+            std::string when = val.substr(at + 1);
+            const auto x = when.find('x');
+            if (x != std::string::npos) {
+                if (!parseDouble(when.substr(x + 1), stall.factor)) {
+                    error = "bad smx-stall factor in '" + val + "'";
+                    return plan;
+                }
+                when = when.substr(0, x);
+            }
+            if (!parseDouble(when, stall.at_cycle)) {
+                error = "bad smx-stall cycle in '" + val + "'";
+                return plan;
+            }
+            stall.device = static_cast<DeviceId>(dev);
+            stall.smx = static_cast<SmxId>(smx);
+            plan.smx_stalls.push_back(stall);
+        } else {
+            error = "unknown fault clause '" + key + "'";
+            return plan;
+        }
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream out;
+    out << "seed=" << seed;
+    if (transfer_drop_p > 0.0)
+        out << ", xfer-drop p=" << transfer_drop_p;
+    for (const auto &loss : device_loss) {
+        out << ", device " << loss.device << " dies @" << loss.at_cycle;
+    }
+    for (const auto &stall : smx_stalls) {
+        out << ", smx " << stall.device << "." << stall.smx << " x"
+            << stall.factor << " @" << stall.at_cycle;
+    }
+    return out.str();
+}
+
+std::string
+FaultPlan::validate(const PlatformConfig &cfg) const
+{
+    // p == 1 is allowed: it deterministically exhausts the retry budget,
+    // which the hard-abort tests rely on.
+    if (transfer_drop_p < 0.0 || transfer_drop_p > 1.0)
+        return "faults: transfer drop probability must be in [0, 1]";
+    for (const auto &loss : device_loss) {
+        if (loss.device >= cfg.num_devices) {
+            return "faults: device-loss id " +
+                   std::to_string(loss.device) + " out of range (" +
+                   std::to_string(cfg.num_devices) + " devices)";
+        }
+        if (!(loss.at_cycle >= 0.0))
+            return "faults: device-loss cycle must be >= 0";
+    }
+    for (const auto &stall : smx_stalls) {
+        if (stall.device >= cfg.num_devices) {
+            return "faults: smx-stall device " +
+                   std::to_string(stall.device) + " out of range";
+        }
+        if (stall.smx >= cfg.smx_per_device) {
+            return "faults: smx-stall smx " + std::to_string(stall.smx) +
+                   " out of range (" +
+                   std::to_string(cfg.smx_per_device) + " per device)";
+        }
+        if (!(stall.at_cycle >= 0.0))
+            return "faults: smx-stall cycle must be >= 0";
+        if (!(stall.factor > 0.0))
+            return "faults: smx-stall factor must be > 0";
+    }
+    return "";
+}
+
+} // namespace digraph::gpusim

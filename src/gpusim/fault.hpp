@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated platform.
+ *
+ * A FaultPlan describes *what* goes wrong and *when*, in simulated
+ * cycles: whole-device loss at a cycle, per-transfer drop with a fixed
+ * probability, or an SMX slowdown (thermal-throttle style stall) from a
+ * cycle on. A FaultInjector executes the plan: it hands newly-due
+ * discrete faults to the engine and drives the transfer-drop coin from
+ * one SplitMix64 stream, so a (plan, seed) pair reproduces the exact
+ * same fault sequence on every run — the property the fault-determinism
+ * tests build on.
+ *
+ * Faults surface as *typed outcomes* (which device died, how many
+ * attempts a transfer took, how long the backoff stalled it), never as
+ * silent success; consuming them (retry accounting, checkpoint restore,
+ * repartitioning) is the engine's job. The injector must only be
+ * consumed from serial engine phases: the coin stream is ordered, so
+ * draws from concurrent threads would break run-to-run determinism.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gpusim/config.hpp"
+
+namespace digraph::gpusim {
+
+/** Whole-device loss: the device fails permanently at a cycle. */
+struct DeviceLossFault
+{
+    DeviceId device = 0;
+    /** Simulated cycle at which the loss becomes visible. */
+    double at_cycle = 0.0;
+};
+
+/** SMX stall: one SMX runs @p factor times slower from a cycle on. */
+struct SmxStallFault
+{
+    DeviceId device = 0;
+    SmxId smx = 0;
+    double at_cycle = 0.0;
+    /** Kernel-cycle multiplier (> 1 slows the SMX down). */
+    double factor = 8.0;
+};
+
+/**
+ * The full injection schedule. An empty plan (the default) disables
+ * fault tolerance entirely — engines must not pay any checkpointing or
+ * retry cost for it.
+ */
+struct FaultPlan
+{
+    /** Seed of the transfer-drop coin stream. */
+    std::uint64_t seed = 0x5eedULL;
+    /** Probability that any single transfer attempt is dropped. */
+    double transfer_drop_p = 0.0;
+    std::vector<DeviceLossFault> device_loss;
+    std::vector<SmxStallFault> smx_stalls;
+
+    /** True when the plan injects nothing. */
+    bool
+    empty() const
+    {
+        return transfer_drop_p <= 0.0 && device_loss.empty() &&
+               smx_stalls.empty();
+    }
+
+    /**
+     * Parse a CLI spec: comma-separated clauses
+     *   seed=N          coin-stream seed
+     *   xfer=P          transfer drop probability in [0, 1]
+     *   device=D@T      kill device D at cycle T
+     *   smx=D.S@T       stall SMX S of device D at cycle T (factor 8)
+     *   smx=D.S@TxF     same with an explicit factor F
+     * e.g. "seed=7,device=1@50000,xfer=0.01,smx=0.3@20000x16".
+     * @param error Receives a diagnostic; empty on success.
+     */
+    static FaultPlan parse(const std::string &spec, std::string &error);
+
+    /** Human-readable one-line summary of the plan. */
+    std::string describe() const;
+
+    /** Check the plan against a platform (device/SMX ids in range,
+     *  probability in [0,1], cycles and factors sane).
+     *  @return a diagnostic, or "" when valid. */
+    std::string validate(const PlatformConfig &cfg) const;
+};
+
+/** Typed outcome of one (possibly retried) transfer attempt series. */
+struct TransferOutcome
+{
+    /** Attempts made (1 = first try succeeded). */
+    unsigned attempts = 1;
+    /** Backoff delay accumulated before the successful attempt,
+     *  simulated cycles. */
+    double delay_cycles = 0.0;
+    /** False when the retry budget was exhausted. */
+    bool delivered = true;
+};
+
+/**
+ * Executes a FaultPlan. One injector per engine run; reset() rewinds
+ * the coin stream and re-arms the discrete faults for a rerun.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan = {})
+        : plan_(std::move(plan)), rng_(plan_.seed)
+    {
+        reset();
+    }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** True when the plan injects anything at all. */
+    bool enabled() const { return !plan_.empty(); }
+
+    /** Rewind: re-arm every discrete fault, reseed the coin stream. */
+    void
+    reset()
+    {
+        rng_ = SplitMix64(plan_.seed);
+        loss_fired_.assign(plan_.device_loss.size(), 0);
+        stall_fired_.assign(plan_.smx_stalls.size(), 0);
+    }
+
+    /** Device losses due at simulated time @p now that have not fired
+     *  yet (each fires exactly once per run), appended to @p out. */
+    void
+    drainDueDeviceLoss(double now, std::vector<DeviceId> &out)
+    {
+        for (std::size_t i = 0; i < plan_.device_loss.size(); ++i) {
+            if (!loss_fired_[i] && plan_.device_loss[i].at_cycle <= now) {
+                loss_fired_[i] = 1;
+                out.push_back(plan_.device_loss[i].device);
+            }
+        }
+    }
+
+    /** SMX stalls due at @p now that have not fired yet. */
+    void
+    drainDueSmxStalls(double now, std::vector<SmxStallFault> &out)
+    {
+        for (std::size_t i = 0; i < plan_.smx_stalls.size(); ++i) {
+            if (!stall_fired_[i] && plan_.smx_stalls[i].at_cycle <= now) {
+                stall_fired_[i] = 1;
+                out.push_back(plan_.smx_stalls[i]);
+            }
+        }
+    }
+
+    /**
+     * Run the drop coin for one transfer: each attempt fails with the
+     * plan's probability; a failed attempt costs
+     * backoff_base * 2^(attempt-1) cycles before the next try.
+     * Serial-phase only (ordered coin stream).
+     */
+    TransferOutcome
+    attemptTransfer(unsigned max_retries, double backoff_base_cycles)
+    {
+        TransferOutcome out;
+        if (plan_.transfer_drop_p <= 0.0)
+            return out;
+        unsigned failed = 0;
+        while (rng_.nextBool(plan_.transfer_drop_p)) {
+            if (failed >= max_retries) {
+                out.attempts = failed + 1;
+                out.delivered = false;
+                return out;
+            }
+            out.delay_cycles +=
+                backoff_base_cycles *
+                static_cast<double>(1ull << std::min(failed, 30u));
+            ++failed;
+        }
+        out.attempts = failed + 1;
+        return out;
+    }
+
+  private:
+    FaultPlan plan_;
+    SplitMix64 rng_;
+    std::vector<std::uint8_t> loss_fired_;
+    std::vector<std::uint8_t> stall_fired_;
+};
+
+} // namespace digraph::gpusim

@@ -151,6 +151,7 @@ class Device
     Device(Device &&other) noexcept
         : id_(other.id_), smxs_(std::move(other.smxs_)),
           host_link_(std::move(other.host_link_)),
+          failed_(other.failed_),
           global_load_bytes_(other.global_load_bytes_.load(
               std::memory_order_relaxed))
     {}
@@ -219,13 +220,22 @@ class Device
         return global_load_bytes_.load(std::memory_order_relaxed);
     }
 
-    /** Reset clocks and accounting. */
+    /** Mark the device as permanently lost (fault injection). Clocks
+     *  and accounting are kept — work done before the loss happened. */
+    void markFailed() { failed_ = true; }
+
+    /** True when the device was lost to an injected fault. */
+    bool failed() const { return failed_; }
+
+    /** Reset clocks and accounting; a failed device is resurrected
+     *  (reset() starts a fresh simulated run). */
     void
     reset()
     {
         for (Smx &s : smxs_)
             s.reset();
         host_link_.reset();
+        failed_ = false;
         global_load_bytes_.store(0, std::memory_order_relaxed);
     }
 
@@ -233,6 +243,7 @@ class Device
     DeviceId id_;
     std::vector<Smx> smxs_;
     LinkModel host_link_;
+    bool failed_ = false;
     std::atomic<std::uint64_t> global_load_bytes_{0};
 };
 
@@ -333,6 +344,19 @@ class Platform
 
     /** Device with the smallest clock. */
     DeviceId leastLoadedDevice() const;
+
+    /** Mark @p d as permanently lost (fault injection). */
+    void markFailed(DeviceId d) { devices_[d].markFailed(); }
+
+    /** Number of devices that have not failed. */
+    unsigned
+    numAlive() const
+    {
+        unsigned alive = 0;
+        for (const Device &d : devices_)
+            alive += d.failed() ? 0 : 1;
+        return alive;
+    }
 
     /** Simulated makespan: max clock over every component. */
     double makespan() const;

@@ -29,20 +29,35 @@ loadEdgeListText(const std::string &path)
 
     GraphBuilder builder;
     std::string line;
+    std::uint64_t lineno = 0;
+    // Parse ids as signed 64-bit so a negative or >32-bit id is a
+    // loud diagnostic instead of a silent wrap into a (possibly huge)
+    // valid VertexId.
+    constexpr long long kMaxId = std::numeric_limits<VertexId>::max();
     while (std::getline(in, line)) {
+        ++lineno;
         if (line.empty() || line[0] == '#' || line[0] == '%')
             continue;
         std::istringstream iss(line);
-        VertexId src, dst;
+        long long src, dst;
         if (!(iss >> src >> dst))
             continue; // header / malformed / missing-destination line
+        if (src < 0 || dst < 0) {
+            fatal("loadEdgeListText: ", path, ":", lineno,
+                  ": negative vertex id in '", line, "'");
+        }
+        if (src > kMaxId || dst > kMaxId) {
+            fatal("loadEdgeListText: ", path, ":", lineno,
+                  ": vertex id overflows 32-bit ids in '", line, "'");
+        }
         Value w = 1.0;
         // A failed extraction value-initializes the target (C++11
         // num_get), so parse into a temporary and keep the default
         // weight unless a weight column actually parsed.
         if (Value parsed; iss >> parsed)
             w = parsed;
-        builder.addEdge(src, dst, w);
+        builder.addEdge(static_cast<VertexId>(src),
+                        static_cast<VertexId>(dst), w);
     }
     return builder.build();
 }

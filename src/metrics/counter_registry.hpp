@@ -37,6 +37,10 @@ enum class Counter : unsigned {
     GlobalLoadBytes,
     LoadedVertices,
     UsedVertices,
+    FaultsInjected,
+    TransferRetries,
+    Checkpoints,
+    Recoveries,
     Count_ // sentinel, keep last
 };
 
@@ -60,6 +64,10 @@ counterName(Counter c)
       case Counter::GlobalLoadBytes:      return "global_load_bytes";
       case Counter::LoadedVertices:       return "loaded_vertices";
       case Counter::UsedVertices:         return "used_vertices";
+      case Counter::FaultsInjected:       return "faults_injected";
+      case Counter::TransferRetries:      return "transfer_retries";
+      case Counter::Checkpoints:          return "checkpoints";
+      case Counter::Recoveries:           return "recoveries";
       case Counter::Count_:               break;
     }
     return "?";
@@ -125,6 +133,10 @@ class CounterRegistry
         report.global_load_bytes = get(Counter::GlobalLoadBytes);
         report.loaded_vertices = get(Counter::LoadedVertices);
         report.used_vertices = get(Counter::UsedVertices);
+        report.faults_injected = get(Counter::FaultsInjected);
+        report.transfer_retries = get(Counter::TransferRetries);
+        report.checkpoints = get(Counter::Checkpoints);
+        report.recoveries = get(Counter::Recoveries);
     }
 
     /** Registry holding the aggregates of @p report (test cross-checks). */
@@ -144,6 +156,10 @@ class CounterRegistry
         reg.set(Counter::GlobalLoadBytes, report.global_load_bytes);
         reg.set(Counter::LoadedVertices, report.loaded_vertices);
         reg.set(Counter::UsedVertices, report.used_vertices);
+        reg.set(Counter::FaultsInjected, report.faults_injected);
+        reg.set(Counter::TransferRetries, report.transfer_retries);
+        reg.set(Counter::Checkpoints, report.checkpoints);
+        reg.set(Counter::Recoveries, report.recoveries);
         return reg;
     }
 

@@ -54,6 +54,16 @@ struct RunReport
     /** Loaded vertex slots that performed useful work. */
     std::uint64_t used_vertices = 0;
 
+    // --- fault tolerance (all zero when no FaultPlan was active) ---
+    /** Discrete faults injected (device losses + SMX stalls). */
+    std::uint64_t faults_injected = 0;
+    /** Dropped transfer attempts that were retried. */
+    std::uint64_t transfer_retries = 0;
+    /** Merge-barrier checkpoints taken. */
+    std::uint64_t checkpoints = 0;
+    /** Device-loss recoveries (checkpoint restore + redistribute). */
+    std::uint64_t recoveries = 0;
+
     // --- time ---
     /** Simulated makespan, cycles (primary "time" metric). */
     double sim_cycles = 0.0;

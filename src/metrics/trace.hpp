@@ -54,6 +54,18 @@ enum class TraceEventType : std::uint8_t {
     /** A surplus work-stealing group ran on a stolen SMX (arg0 = group
      *  index, arg1 = stolen SMX id). */
     Steal,
+    /** An injected fault became visible (arg0 = device, arg1 = 0 for a
+     *  device loss, 1 for an SMX stall). */
+    FaultInjected,
+    /** One dropped transfer attempt was retried after backoff (arg0 =
+     *  retry index within the transfer, arg1 = transfer bytes). */
+    TransferRetry,
+    /** A merge-barrier checkpoint epoch advanced (arg0 = dirty vertices
+     *  flushed, arg1 = dirty partitions flushed). */
+    Checkpoint,
+    /** Device-loss recovery: checkpoint restore + redistribution
+     *  (arg0 = dead device, arg1 = recovery ordinal). */
+    Recovery,
 };
 
 /** Stable name of an event type (trace/CSV/JSON key). */
@@ -68,6 +80,10 @@ traceEventName(TraceEventType t)
       case TraceEventType::MirrorPush:   return "mirror_push";
       case TraceEventType::PathSchedule: return "path_schedule";
       case TraceEventType::Steal:        return "steal";
+      case TraceEventType::FaultInjected: return "fault_injected";
+      case TraceEventType::TransferRetry: return "transfer_retry";
+      case TraceEventType::Checkpoint:    return "checkpoint";
+      case TraceEventType::Recovery:      return "recovery";
     }
     return "?";
 }

@@ -1,6 +1,7 @@
 #include "partition/snapshot.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <optional>
 
@@ -12,7 +13,38 @@ namespace digraph::partition {
 namespace {
 
 constexpr std::uint64_t kSnapshotMagic = 0x44695072'65505245ULL;
-constexpr std::uint32_t kSnapshotVersion = 1;
+/** v2 added the FNV-1a graph content checksum after the edge count;
+ *  v1 snapshots (count fingerprint only) are still accepted. */
+constexpr std::uint32_t kSnapshotVersion = 2;
+
+/**
+ * FNV-1a over the graph's edge arrays (source, target, weight bits per
+ * edge). The v1 fingerprint only compared vertex/edge *counts*, which
+ * accepts a snapshot of a different graph with the same shape — the
+ * engine then dereferences path vertex ids that may be inconsistent
+ * with the adjacency it runs on.
+ */
+std::uint64_t
+graphChecksum(const graph::DirectedGraph &g)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t word) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (word >> (8 * byte)) & 0xffULL;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        mix(g.edgeSource(e));
+        mix(g.edgeTarget(e));
+        std::uint64_t weight_bits = 0;
+        const Value w = g.edgeWeight(e);
+        static_assert(sizeof(weight_bits) == sizeof(w));
+        std::memcpy(&weight_bits, &w, sizeof(weight_bits));
+        mix(weight_bits);
+    }
+    return h;
+}
 
 template <typename T>
 void
@@ -107,6 +139,7 @@ saveSnapshot(const Preprocessed &pre, const graph::DirectedGraph &g,
     writePod(out, kSnapshotVersion);
     writePod(out, static_cast<std::uint64_t>(g.numVertices()));
     writePod(out, static_cast<std::uint64_t>(g.numEdges()));
+    writePod(out, graphChecksum(g));
 
     const FlatPaths flat = flatten(pre.paths);
     writeVector(out, flat.offsets);
@@ -148,11 +181,20 @@ loadSnapshot(const graph::DirectedGraph &g, const std::string &path)
     std::uint32_t version = 0;
     if (!readPod(in, magic) || magic != kSnapshotMagic)
         return std::nullopt;
-    if (!readPod(in, version) || version != kSnapshotVersion)
+    if (!readPod(in, version) ||
+        (version != 1 && version != kSnapshotVersion)) {
         return std::nullopt;
+    }
     if (!readPod(in, n) || !readPod(in, m) || n != g.numVertices() ||
         m != g.numEdges()) {
         return std::nullopt; // built for a different graph
+    }
+    if (version >= 2) {
+        // v1 files predate the content checksum: only the counts guard
+        // them (accepted for back-compat).
+        std::uint64_t checksum = 0;
+        if (!readPod(in, checksum) || checksum != graphChecksum(g))
+            return std::nullopt; // same shape, different graph
     }
 
     FlatPaths flat;

@@ -9,7 +9,10 @@
  *
  * The snapshot stores the paths, the per-path metadata, the DAG sketch
  * and the partition boundaries, together with a fingerprint of the graph
- * (vertex/edge counts) so a stale snapshot is rejected.
+ * — vertex/edge counts plus (since format v2) an FNV-1a checksum over
+ * the edge arrays — so a stale snapshot, or one built for a different
+ * graph of the same shape, is rejected. v1 files are still readable
+ * (counts-only guard).
  */
 
 #pragma once

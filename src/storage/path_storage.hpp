@@ -148,12 +148,22 @@ class PathStorage
 
     /** Mirror state at slot @p slot (hot-loop accessor). */
     Value &sVal(std::uint64_t slot) { return s_val_[slot]; }
+    Value sVal(std::uint64_t slot) const { return s_val_[slot]; }
 
     /** Partition-load snapshot at slot @p slot (hot-loop accessor). */
     Value &loadedVal(std::uint64_t slot) { return loaded_val_[slot]; }
+    Value loadedVal(std::uint64_t slot) const { return loaded_val_[slot]; }
 
     /** Raw E_val array. */
     std::span<const Value> eVal() const { return e_val_; }
+
+    /** Mutable E_val array (checkpoint capture/restore). E_val slices
+     *  align with path edges: path p's edges occupy indexes
+     *  [pathOffset(p) - p, pathOffset(p + 1) - p - 1). */
+    std::span<Value> eVals() { return e_val_; }
+
+    /** Original graph edge id stored at E_val index @p i. */
+    EdgeId edgeIdAt(std::uint64_t i) const { return edge_ids_[i]; }
 
     /** Fill every S_val and loaded-state slot of path @p p from V_val
      *  (the partition-load pull). */

@@ -136,6 +136,52 @@ TEST_F(IoTest, UnweightedTextRoundTripKeepsWeightOne)
         EXPECT_EQ(h.edgeWeight(e), 1.0);
 }
 
+TEST_F(IoTest, NegativeVertexIdIsFatal)
+{
+    std::ofstream out(path("neg.txt"));
+    out << "0 1\n";
+    out << "-3 2\n";
+    out.close();
+    EXPECT_EXIT(loadEdgeListText(path("neg.txt")),
+                ::testing::ExitedWithCode(1), "negative vertex id");
+}
+
+TEST_F(IoTest, OverflowingVertexIdIsFatal)
+{
+    // 5e9 wraps to a small positive id through a blind 32-bit cast; the
+    // loader must reject it instead.
+    std::ofstream out(path("big.txt"));
+    out << "0 5000000000\n";
+    out.close();
+    EXPECT_EXIT(loadEdgeListText(path("big.txt")),
+                ::testing::ExitedWithCode(1), "overflows 32-bit");
+}
+
+TEST_F(IoTest, SelfLoopAndDuplicateFloodCollapses)
+{
+    std::ofstream out(path("flood.txt"));
+    out << "1 1\n"; // self loop: dropped
+    for (int i = 0; i < 50; ++i)
+        out << "0 1 " << i << ".0\n"; // duplicates keep the first weight
+    out.close();
+    const auto g = loadEdgeListText(path("flood.txt"));
+    ASSERT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.edgeSource(0), 0u);
+    EXPECT_EQ(g.edgeTarget(0), 1u);
+    EXPECT_EQ(g.edgeWeight(0), 0.0);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedHeader)
+{
+    // A file that dies inside the 32-byte header, not the edge records.
+    std::ofstream out(path("hdr.bin"), std::ios::binary);
+    const std::uint64_t magic = 0x44694772'61424947ULL;
+    out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    out.close();
+    EXPECT_EXIT(loadBinary(path("hdr.bin")),
+                ::testing::ExitedWithCode(1), "not a DiGraph binary");
+}
+
 TEST_F(IoTest, BinaryRejectsVersionMismatch)
 {
     GeneratorConfig c;

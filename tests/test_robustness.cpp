@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Robustness: option validation across every engine entry point,
+ * fail-fast diagnostics, and degenerate inputs (empty graph, single
+ * vertex) through every engine family.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/factory.hpp"
+#include "baselines/async_engine.hpp"
+#include "baselines/bsp_engine.hpp"
+#include "baselines/sequential.hpp"
+#include "engine/digraph_engine.hpp"
+#include "graph/builder.hpp"
+#include "test_util.hpp"
+
+namespace digraph {
+namespace {
+
+// --- option validation ---
+
+TEST(EngineOptionsValidate, DefaultsAreValid)
+{
+    EXPECT_EQ(engine::EngineOptions{}.validate(), "");
+}
+
+TEST(EngineOptionsValidate, RejectsBrokenPlatforms)
+{
+    engine::EngineOptions opts;
+    opts.platform.num_devices = 0;
+    EXPECT_NE(opts.validate().find("num_devices"), std::string::npos);
+
+    opts = {};
+    opts.platform.smx_per_device = 0;
+    EXPECT_NE(opts.validate().find("smx_per_device"), std::string::npos);
+
+    opts = {};
+    opts.platform.host_link_bytes_per_cycle = 0.0;
+    EXPECT_NE(opts.validate().find("host_link"), std::string::npos);
+
+    opts = {};
+    opts.platform.transfer_latency_cycles = -1.0;
+    EXPECT_NE(opts.validate().find("transfer_latency"), std::string::npos);
+}
+
+TEST(EngineOptionsValidate, RejectsBrokenEngineKnobs)
+{
+    engine::EngineOptions opts;
+    opts.max_local_rounds = 0;
+    EXPECT_NE(opts.validate().find("max_local_rounds"), std::string::npos);
+
+    opts = {};
+    opts.use_proxy = true;
+    opts.proxy_indegree_threshold = 0;
+    EXPECT_NE(opts.validate().find("proxy_indegree_threshold"),
+              std::string::npos);
+}
+
+TEST(EngineOptionsValidate, FaultKnobsOnlyCheckedWhenFaultsAreOn)
+{
+    engine::EngineOptions opts;
+    opts.checkpoint_interval = 0; // harmless: no faults planned
+    EXPECT_EQ(opts.validate(), "");
+
+    opts.faults.transfer_drop_p = 0.1;
+    EXPECT_NE(opts.validate().find("checkpoint_interval"),
+              std::string::npos);
+
+    opts.checkpoint_interval = 4;
+    EXPECT_EQ(opts.validate(), "");
+
+    // Plan is validated against the platform geometry.
+    opts.faults.device_loss.push_back({99, 100.0});
+    EXPECT_NE(opts.validate(), "");
+}
+
+TEST(BaselineOptionsValidate, DefaultsValidAndBrokenKnobsRejected)
+{
+    baselines::BaselineOptions opts;
+    EXPECT_EQ(opts.validate(), "");
+
+    opts.max_rounds = 0;
+    EXPECT_NE(opts.validate().find("max_rounds"), std::string::npos);
+
+    opts = {};
+    opts.platform.ring_bytes_per_cycle = -2.0;
+    EXPECT_NE(opts.validate().find("ring_bytes_per_cycle"),
+              std::string::npos);
+}
+
+// --- every entry point fails fast, loudly, with a nonzero exit ---
+
+TEST(RobustnessDeath, EngineConstructorRejectsInvalidOptions)
+{
+    const auto g = graph::makeChain(8, 1.0);
+    engine::EngineOptions opts;
+    opts.platform.num_devices = 0;
+    EXPECT_EXIT((void)engine::DiGraphEngine(g, opts),
+                ::testing::ExitedWithCode(1), "invalid options");
+}
+
+TEST(RobustnessDeath, BspEngineRejectsInvalidOptions)
+{
+    const auto g = graph::makeChain(8, 1.0);
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    baselines::BaselineOptions opts;
+    opts.max_rounds = 0;
+    EXPECT_EXIT((void)baselines::runBsp(g, *algo, opts),
+                ::testing::ExitedWithCode(1), "invalid options");
+}
+
+TEST(RobustnessDeath, AsyncEngineRejectsInvalidOptions)
+{
+    const auto g = graph::makeChain(8, 1.0);
+    const auto algo = algorithms::makeAlgorithm("pagerank", g);
+    baselines::BaselineOptions opts;
+    opts.platform.num_streams = 0;
+    EXPECT_EXIT((void)baselines::runAsync(g, *algo, opts),
+                ::testing::ExitedWithCode(1), "invalid options");
+}
+
+TEST(RobustnessDeath, UnknownAlgorithmNameIsFatal)
+{
+    const auto g = graph::makeChain(8, 1.0);
+    EXPECT_EXIT((void)algorithms::makeAlgorithm("does-not-exist", g),
+                ::testing::ExitedWithCode(1), "unknown algorithm");
+}
+
+// --- degenerate graphs through every engine family ---
+
+TEST(DegenerateInputs, EmptyGraphRunsEverywhere)
+{
+    const auto g = graph::GraphBuilder().build();
+    ASSERT_EQ(g.numVertices(), 0u);
+    ASSERT_EQ(g.numEdges(), 0u);
+
+    for (const char *name : {"pagerank", "sssp", "wcc"}) {
+        const auto algo = algorithms::makeAlgorithm(name, g);
+
+        const auto seq = baselines::runSequential(g, *algo);
+        EXPECT_TRUE(seq.state.empty()) << name;
+
+        engine::DiGraphEngine eng(g, {});
+        const auto digraph_report = eng.run(*algo);
+        EXPECT_TRUE(digraph_report.final_state.empty()) << name;
+        EXPECT_EQ(digraph_report.edge_processings, 0u) << name;
+
+        const auto bsp = baselines::runBsp(g, *algo, {});
+        EXPECT_TRUE(bsp.final_state.empty()) << name;
+
+        const auto async = baselines::runAsync(g, *algo, {});
+        EXPECT_TRUE(async.report.final_state.empty()) << name;
+    }
+}
+
+TEST(DegenerateInputs, SingleVertexGraphConvergesImmediately)
+{
+    // One vertex, zero edges (the builder drops the self-loop).
+    graph::GraphBuilder b(1);
+    b.addEdge(0, 0, 1.0);
+    const auto g = b.build();
+    ASSERT_EQ(g.numVertices(), 1u);
+    ASSERT_EQ(g.numEdges(), 0u);
+
+    for (const char *name : {"pagerank", "sssp", "wcc"}) {
+        const auto algo = algorithms::makeAlgorithm(name, g);
+        const auto seq = baselines::runSequential(g, *algo);
+        ASSERT_EQ(seq.state.size(), 1u) << name;
+
+        engine::DiGraphEngine eng(g, {});
+        const auto report = eng.run(*algo);
+        ASSERT_EQ(report.final_state.size(), 1u) << name;
+        EXPECT_EQ(report.final_state[0], seq.state[0]) << name;
+        EXPECT_EQ(report.edge_processings, 0u) << name;
+
+        const auto bsp = baselines::runBsp(g, *algo, {});
+        ASSERT_EQ(bsp.final_state.size(), 1u) << name;
+        EXPECT_EQ(bsp.final_state[0], seq.state[0]) << name;
+
+        const auto async = baselines::runAsync(g, *algo, {});
+        ASSERT_EQ(async.report.final_state.size(), 1u) << name;
+        EXPECT_EQ(async.report.final_state[0], seq.state[0]) << name;
+    }
+}
+
+TEST(DegenerateInputs, IsolatedVerticesKeepTheirInitialState)
+{
+    // Edges only among 0..3; vertices 4..9 are isolated.
+    graph::GraphBuilder b(10);
+    b.addEdge(0, 1, 1.0);
+    b.addEdge(1, 2, 1.0);
+    b.addEdge(2, 3, 1.0);
+    const auto g = b.build();
+    ASSERT_EQ(g.numVertices(), 10u);
+
+    const auto algo = algorithms::makeAlgorithm("sssp", g);
+    const auto seq = baselines::runSequential(g, *algo);
+    engine::DiGraphEngine eng(g, {});
+    const auto report = eng.run(*algo);
+    ASSERT_EQ(report.final_state.size(), seq.state.size());
+    for (std::size_t v = 0; v < seq.state.size(); ++v)
+        EXPECT_EQ(report.final_state[v], seq.state[v]) << "vertex " << v;
+}
+
+} // namespace
+} // namespace digraph

@@ -5,11 +5,15 @@
  * pipeline result.
  */
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "partition/snapshot.hpp"
 
@@ -87,6 +91,55 @@ TEST_F(SnapshotTest, RejectsMissingAndCorruptFiles)
     out << "not a snapshot at all";
     out.close();
     EXPECT_FALSE(loadSnapshot(g_, path("junk.snap")).has_value());
+}
+
+TEST_F(SnapshotTest, RejectsSameShapeDifferentGraph)
+{
+    // Same vertex and edge counts, one edge weight changed: the v1
+    // count fingerprint accepted this, the v2 content checksum must not.
+    const auto pre = preprocess(g_, {});
+    saveSnapshot(pre, g_, path("p.snap"));
+
+    graph::GraphBuilder b(g_.numVertices());
+    b.setDeduplicate(false);
+    b.setRemoveSelfLoops(false);
+    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+        const Value w = e == 0 ? g_.edgeWeight(e) + 1.0 : g_.edgeWeight(e);
+        b.addEdge(g_.edgeSource(e), g_.edgeTarget(e), w);
+    }
+    const auto twin = b.build();
+    ASSERT_EQ(twin.numVertices(), g_.numVertices());
+    ASSERT_EQ(twin.numEdges(), g_.numEdges());
+    EXPECT_FALSE(loadSnapshot(twin, path("p.snap")).has_value());
+}
+
+TEST_F(SnapshotTest, VersionOneSnapshotStillLoads)
+{
+    // Back-compat: surgically rewrite a v2 file into the v1 layout
+    // (no checksum field, version u32 = 1 at byte offset 8) and load it.
+    const auto pre = preprocess(g_, {});
+    saveSnapshot(pre, g_, path("p.snap"));
+
+    std::ifstream in(path("p.snap"), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    // Header: magic u64 | version u32 | n u64 | m u64 | checksum u64.
+    const std::size_t checksum_at = 8 + 4 + 8 + 8;
+    ASSERT_GT(bytes.size(), checksum_at + 8);
+    bytes.erase(checksum_at, 8);
+    const std::uint32_t v1 = 1;
+    bytes.replace(8, sizeof(v1),
+                  reinterpret_cast<const char *>(&v1), sizeof(v1));
+    std::ofstream out(path("p1.snap"), std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    const auto loaded = loadSnapshot(g_, path("p1.snap"));
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->paths.numPaths(), pre.paths.numPaths());
+    EXPECT_TRUE(loaded->paths.validate(g_));
 }
 
 TEST_F(SnapshotTest, RejectsTruncatedFile)

@@ -8,6 +8,11 @@
  *               (--dataset cnr [--scale 0.4] | --graph FILE)
  *               [--source V] [--k K] [--verbose]
  *               [--trace out.json] [--trace-csv out.csv]
+ *               [--faults SPEC] [--verify]
+ *
+ * --faults takes a deterministic injection plan (digraph systems only),
+ * e.g. "seed=7,device=1@50000,xfer=0.01,smx=0.3@20000x16"; --verify runs
+ * the post-run invariant checker and aborts on violation.
  *
  * Systems: digraph (default), digraph-t, digraph-w, gunrock, groute,
  *          sequential.
@@ -18,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "algorithms/factory.hpp"
@@ -51,6 +57,8 @@ struct Options
     bool verbose = false;
     std::string trace_json;
     std::string trace_csv;
+    std::string faults;
+    bool verify = false;
 };
 
 [[noreturn]] void
@@ -62,6 +70,7 @@ usage(const char *argv0)
         "          (--dataset NAME [--scale S] | --graph FILE)\n"
         "          [--source V] [--k K] [--verbose]\n"
         "          [--trace out.json] [--trace-csv out.csv]\n"
+        "          [--faults SPEC] [--verify]\n"
         "algorithms: pagerank adsorption sssp kcore katz bfs wcc\n"
         "systems:    digraph digraph-t digraph-w gunrock groute "
         "sequential\n"
@@ -103,6 +112,10 @@ parse(int argc, char **argv)
             opts.trace_json = need(i);
         else if (arg == "--trace-csv")
             opts.trace_csv = need(i);
+        else if (arg == "--faults")
+            opts.faults = need(i);
+        else if (arg == "--verify")
+            opts.verify = true;
         else
             usage(argv[0]);
     }
@@ -155,6 +168,29 @@ printReport(const metrics::RunReport &r, double preprocess_s)
                 r.loadedDataUtilization());
     std::printf("preprocess    %.3f s\n", preprocess_s);
     std::printf("wall          %.3f s\n", r.wall_seconds);
+    if (r.faults_injected || r.transfer_retries || r.checkpoints ||
+        r.recoveries) {
+        std::printf("faults        %llu injected\n",
+                    static_cast<unsigned long long>(r.faults_injected));
+        std::printf("xfer retries  %llu\n",
+                    static_cast<unsigned long long>(r.transfer_retries));
+        std::printf("checkpoints   %llu\n",
+                    static_cast<unsigned long long>(r.checkpoints));
+        std::printf("recoveries    %llu\n",
+                    static_cast<unsigned long long>(r.recoveries));
+    }
+}
+
+/** Fail fast on an unwritable trace path: probe it before the run so a
+ *  typo'd directory costs seconds, not a full simulation. */
+void
+probeWritable(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe)
+        fatal("digraph_cli: cannot write trace output '", path, "'");
 }
 
 /** Write the requested trace exports; no-op when neither was asked. */
@@ -175,6 +211,25 @@ main(int argc, char **argv)
     const Options opts = parse(argc, argv);
     const bool want_trace =
         !opts.trace_json.empty() || !opts.trace_csv.empty();
+    probeWritable(opts.trace_json);
+    probeWritable(opts.trace_csv);
+
+    gpusim::FaultPlan fault_plan;
+    if (!opts.faults.empty()) {
+        const bool digraph_system = opts.system == "digraph" ||
+                                    opts.system == "digraph-t" ||
+                                    opts.system == "digraph-w";
+        if (!digraph_system) {
+            fatal("digraph_cli: --faults requires a digraph system "
+                  "(fault tolerance is not implemented for '",
+                  opts.system, "')");
+        }
+        std::string err;
+        fault_plan = gpusim::FaultPlan::parse(opts.faults, err);
+        if (!err.empty())
+            fatal("digraph_cli: --faults: ", err);
+    }
+
     const graph::DirectedGraph g = loadInput(opts);
     if (opts.verbose) {
         std::printf("graph: %s\n",
@@ -212,6 +267,8 @@ main(int argc, char **argv)
         baselines::BaselineOptions bopts;
         bopts.platform = platform;
         bopts.trace = want_trace ? &sink : nullptr;
+        if (const std::string err = bopts.validate(); !err.empty())
+            fatal("digraph_cli: ", err);
         const auto report = baselines::runBsp(g, *algo, bopts);
         if (want_trace)
             writeTraces(sink, opts);
@@ -222,6 +279,8 @@ main(int argc, char **argv)
         baselines::BaselineOptions bopts;
         bopts.platform = platform;
         bopts.trace = want_trace ? &sink : nullptr;
+        if (const std::string err = bopts.validate(); !err.empty())
+            fatal("digraph_cli: ", err);
         const auto result = baselines::runAsync(g, *algo, bopts);
         if (want_trace)
             writeTraces(sink, opts);
@@ -232,12 +291,18 @@ main(int argc, char **argv)
     engine::EngineOptions eopts;
     eopts.platform = platform;
     eopts.trace = want_trace ? &sink : nullptr;
+    eopts.faults = fault_plan;
+    eopts.verify_invariants = opts.verify;
     if (opts.system == "digraph-t")
         eopts.mode = engine::ExecutionMode::VertexAsync;
     else if (opts.system == "digraph-w")
         eopts.mode = engine::ExecutionMode::PathNoSched;
     else if (opts.system != "digraph")
         usage(argv[0]);
+    if (const std::string err = eopts.validate(); !err.empty())
+        fatal("digraph_cli: ", err);
+    if (opts.verbose && !fault_plan.empty())
+        std::printf("faults: %s\n", fault_plan.describe().c_str());
     engine::DiGraphEngine eng(g, eopts);
     if (opts.verbose) {
         std::printf("paths: %u (avg length %.2f), partitions: %u, "
