@@ -18,11 +18,11 @@ cmake -B build-tsan -S . -DDIGRAPH_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j \
     --target test_engine_parallel test_engine_features \
-    test_engine_convergence
+    test_engine_convergence test_evolving_incremental
 
 if [ "$#" -gt 0 ]; then
     ctest --test-dir build-tsan --output-on-failure "$@"
 else
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_engine_(parallel|features|convergence)'
+        -R 'test_engine_(parallel|features|convergence)|test_evolving_incremental'
 fi

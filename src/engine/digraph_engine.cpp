@@ -41,18 +41,30 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
       pre_([&] {
           if (const std::string err = options_.validate(); !err.empty())
               fatal("DiGraphEngine: invalid options: ", err);
-          if (options_.auto_partition_budget) {
-              // The budget is independent of the device count so that
-              // scaling studies compare identical partitionings.
-              const auto &pc = options_.platform;
-              const std::size_t units = static_cast<std::size_t>(
-                  std::max(1u, 16 * pc.smx_per_device));
-              options_.preprocess.partition.edges_per_partition =
-                  std::max<std::size_t>(
-                      256, g.numEdges() / std::max<std::size_t>(
-                                              1, units));
-          }
+          options_.resolvePartitionBudget(g.numEdges());
           return partition::preprocess(g, options_.preprocess);
+      }()),
+      storage_(pre_.paths, g), platform_(options_.platform)
+{
+    ft_enabled_ = !options_.faults.empty();
+    if (ft_enabled_)
+        injector_ = gpusim::FaultInjector(options_.faults);
+    buildIndexes();
+}
+
+DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
+                             partition::Preprocessed pre,
+                             EngineOptions options)
+    : g_(g), options_(std::move(options)),
+      pre_([&] {
+          if (const std::string err = options_.validate(); !err.empty())
+              fatal("DiGraphEngine: invalid options: ", err);
+          if (pre.paths.numEdges() != g.numEdges()) {
+              fatal("DiGraphEngine: prebuilt preprocessing covers ",
+                    pre.paths.numEdges(), " edges but the graph has ",
+                    g.numEdges());
+          }
+          return std::move(pre);
       }()),
       storage_(pre_.paths, g), platform_(options_.platform)
 {

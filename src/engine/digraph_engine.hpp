@@ -77,6 +77,16 @@ class DiGraphEngine
     explicit DiGraphEngine(const graph::DirectedGraph &g,
                            EngineOptions options = {});
 
+    /**
+     * Adopt a prebuilt preprocessing result for @p g instead of running
+     * the pipeline (evolving-graph incremental ingestion: the caller
+     * produced @p pre via preprocess() or appendPreprocess()). Only the
+     * storage arrays and dispatch indexes are built here.
+     * @pre pre covers exactly g's edge set (checked).
+     */
+    DiGraphEngine(const graph::DirectedGraph &g,
+                  partition::Preprocessed pre, EngineOptions options);
+
     /** Execute @p algo to convergence; returns the full report.
      *  @param warm Optional warm start (evolving-graph reruns): vertex
      *  states resume from the given vector, edge caches are initialized

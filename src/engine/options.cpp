@@ -1,6 +1,19 @@
 #include "engine/options.hpp"
 
+#include <algorithm>
+
 namespace digraph::engine {
+
+void
+EngineOptions::resolvePartitionBudget(EdgeId num_edges)
+{
+    if (!auto_partition_budget)
+        return;
+    const std::size_t units = static_cast<std::size_t>(
+        std::max(1u, 16 * platform.smx_per_device));
+    preprocess.partition.edges_per_partition = std::max<std::size_t>(
+        256, static_cast<std::size_t>(num_edges) / units);
+}
 
 std::string
 EngineOptions::validate() const

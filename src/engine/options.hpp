@@ -102,6 +102,17 @@ struct EngineOptions
      * @return a diagnostic, or "" when the options are usable.
      */
     std::string validate() const;
+
+    /**
+     * Resolve auto_partition_budget against a graph with @p num_edges
+     * edges: derives preprocess.partition.edges_per_partition from the
+     * platform geometry (no-op when auto_partition_budget is off). The
+     * budget is independent of the device count so scaling studies
+     * compare identical partitionings. The engine constructor and the
+     * evolving engine share this, so full and incremental preprocessing
+     * cut partitions with the same budget.
+     */
+    void resolvePartitionBudget(EdgeId num_edges);
 };
 
 } // namespace digraph::engine

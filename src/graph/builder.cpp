@@ -1,6 +1,7 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace digraph::graph {
 
@@ -55,6 +56,87 @@ GraphBuilder::build()
     edges_.shrink_to_fit();
     return DirectedGraph(std::move(offsets), std::move(targets),
                          std::move(weights));
+}
+
+GraphDelta
+GraphBuilder::append(const DirectedGraph &base,
+                     const std::vector<Edge> &batch)
+{
+    GraphDelta delta;
+    delta.old_num_vertices = base.numVertices();
+
+    // Normalize the batch: first-occurrence dedupe via a hash set keyed
+    // on (src, dst), then drop self-loops and pairs base already has.
+    delta.fresh.reserve(batch.size());
+    std::unordered_set<std::uint64_t> seen(batch.size() * 2);
+    for (const Edge &e : batch) {
+        if (e.src == e.dst)
+            continue;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+        if (!seen.insert(key).second)
+            continue;
+        if (e.src < base.numVertices() && base.hasEdge(e.src, e.dst))
+            continue;
+        delta.fresh.push_back(e);
+    }
+    std::sort(delta.fresh.begin(), delta.fresh.end(),
+              [](const Edge &a, const Edge &b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+
+    VertexId n = base.numVertices();
+    for (const Edge &e : delta.fresh) {
+        n = std::max(n, static_cast<VertexId>(
+                            std::max(e.src, e.dst) + 1));
+    }
+
+    const EdgeId old_m = base.numEdges();
+    const EdgeId new_m = old_m + delta.fresh.size();
+    std::vector<EdgeId> offsets(n + 1, 0);
+    std::vector<VertexId> targets(new_m);
+    std::vector<Value> weights(new_m);
+    delta.old_to_new.resize(old_m);
+    delta.fresh_ids.resize(delta.fresh.size());
+
+    // Row-merge: both the old adjacency row and the batch slice of each
+    // source are (dst)-sorted, so one linear pass interleaves them while
+    // journaling where every edge lands.
+    std::size_t bi = 0; // cursor into delta.fresh
+    EdgeId out = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        offsets[v] = out;
+        const auto nbrs = v < base.numVertices()
+                              ? base.outNeighbors(v)
+                              : std::span<const VertexId>{};
+        const EdgeId row_base =
+            v < base.numVertices() ? base.outOffset(v) : 0;
+        std::size_t k = 0;
+        while (k < nbrs.size() || (bi < delta.fresh.size() &&
+                                   delta.fresh[bi].src == v)) {
+            const bool take_fresh =
+                bi < delta.fresh.size() && delta.fresh[bi].src == v &&
+                (k >= nbrs.size() || delta.fresh[bi].dst < nbrs[k]);
+            if (take_fresh) {
+                targets[out] = delta.fresh[bi].dst;
+                weights[out] = delta.fresh[bi].weight;
+                delta.fresh_ids[bi] = out;
+                ++bi;
+            } else {
+                const EdgeId old_id = row_base + k;
+                targets[out] = nbrs[k];
+                weights[out] = base.edgeWeight(old_id);
+                delta.old_to_new[old_id] = out;
+                ++k;
+            }
+            ++out;
+        }
+    }
+    offsets[n] = out;
+
+    delta.graph = DirectedGraph(std::move(offsets), std::move(targets),
+                                std::move(weights));
+    return delta;
 }
 
 } // namespace digraph::graph

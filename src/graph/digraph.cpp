@@ -60,6 +60,18 @@ DirectedGraph::hasEdge(VertexId src, VertexId dst) const
     return std::binary_search(nbrs.begin(), nbrs.end(), dst);
 }
 
+EdgeId
+DirectedGraph::findEdge(VertexId src, VertexId dst) const
+{
+    if (src >= numVertices())
+        return kInvalidEdge;
+    const auto nbrs = outNeighbors(src);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), dst);
+    if (it == nbrs.end() || *it != dst)
+        return kInvalidEdge;
+    return out_offsets_[src] + static_cast<EdgeId>(it - nbrs.begin());
+}
+
 std::vector<Edge>
 DirectedGraph::edgeList() const
 {

@@ -129,6 +129,10 @@ class DirectedGraph
     /** True if a directed edge src->dst exists (binary search). */
     bool hasEdge(VertexId src, VertexId dst) const;
 
+    /** Edge id of src->dst, or kInvalidEdge when absent (binary
+     *  search; @p src may be >= numVertices(), which returns absent). */
+    EdgeId findEdge(VertexId src, VertexId dst) const;
+
     /** All edges in out-CSR order. */
     std::vector<Edge> edgeList() const;
 

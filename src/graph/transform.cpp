@@ -102,4 +102,21 @@ relabel(const DirectedGraph &g, const std::vector<VertexId> &perm)
     return builder.build();
 }
 
+DirectedGraph
+withIsolatedVertices(const DirectedGraph &g, VertexId num_vertices)
+{
+    const VertexId n = std::max(g.numVertices(), num_vertices);
+    std::vector<EdgeId> offsets(n + 1, g.numEdges());
+    std::vector<VertexId> targets(g.numEdges());
+    std::vector<Value> weights(g.numEdges());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        offsets[v] = g.outOffset(v);
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        targets[e] = g.edgeTarget(e);
+        weights[e] = g.edgeWeight(e);
+    }
+    return DirectedGraph(std::move(offsets), std::move(targets),
+                        std::move(weights));
+}
+
 } // namespace digraph::graph

@@ -40,4 +40,14 @@ DirectedGraph inducedSubgraph(const DirectedGraph &g,
 DirectedGraph relabel(const DirectedGraph &g,
                       const std::vector<VertexId> &perm);
 
+/**
+ * Copy of @p g grown to @p num_vertices by appending isolated vertices
+ * (no-op when num_vertices <= g.numVertices()). Edge ids are preserved.
+ * Used by the incremental preprocessing to extend the DAG sketch with
+ * the SCC-vertices of freshly decomposed paths without re-sorting the
+ * sketch's edge set.
+ */
+DirectedGraph withIsolatedVertices(const DirectedGraph &g,
+                                   VertexId num_vertices);
+
 } // namespace digraph::graph

@@ -4,19 +4,76 @@
 #include <numeric>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/scc.hpp"
 
 namespace digraph::partition {
 
-namespace {
-
-/** Per-vertex adjacency entry with a pre-resolved edge id. */
-struct Adj
+void
+SortedAdjacency::rebuildRow(const graph::DirectedGraph &g, VertexId v)
 {
-    VertexId target;
-    EdgeId edge;
-};
+    const auto nbrs = g.outNeighbors(v);
+    auto &list = rows_[v];
+    list.clear();
+    list.reserve(nbrs.size());
+    for (std::size_t k = 0; k < nbrs.size(); ++k)
+        list.push_back({nbrs[k], g.outEdgeId(v, k)});
+    if (degree_sorted_) {
+        std::stable_sort(list.begin(), list.end(),
+                         [&g](const AdjacencyEntry &a,
+                              const AdjacencyEntry &b) {
+                             return g.degree(a.target) >
+                                    g.degree(b.target);
+                         });
+    }
+}
+
+void
+SortedAdjacency::build(const graph::DirectedGraph &g, bool degree_sorted)
+{
+    degree_sorted_ = degree_sorted;
+    num_edges_ = g.numEdges();
+    rows_.assign(g.numVertices(), {});
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        rebuildRow(g, v);
+}
+
+void
+SortedAdjacency::applyDelta(const graph::DirectedGraph &g,
+                            const graph::GraphDelta &delta)
+{
+    if (rows_.size() != delta.old_num_vertices ||
+        num_edges_ != delta.old_to_new.size()) {
+        panic("SortedAdjacency::applyDelta: cache does not match the "
+              "pre-append graph");
+    }
+    rows_.resize(g.numVertices());
+
+    // Exactly the rows whose hottest-first order may have moved: a row
+    // is stale when it gained an edge or when it points at a vertex
+    // whose degree changed — and degrees change only at batch endpoints.
+    std::vector<std::uint8_t> dirty(g.numVertices(), 0);
+    for (const graph::Edge &e : delta.fresh) {
+        dirty[e.src] = 1;
+        for (const VertexId u : g.inNeighbors(e.src))
+            dirty[u] = 1;
+        for (const VertexId u : g.inNeighbors(e.dst))
+            dirty[u] = 1;
+    }
+
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (dirty[v]) {
+            rebuildRow(g, v);
+        } else {
+            for (AdjacencyEntry &a : rows_[v])
+                a.edge = delta.old_to_new[a.edge];
+        }
+    }
+    num_edges_ = g.numEdges();
+}
+
+namespace {
 
 /**
  * Decompose the subgraph whose *sources* lie in [lo, hi).
@@ -30,7 +87,7 @@ class RangeDecomposer
 {
   public:
     RangeDecomposer(const graph::DirectedGraph &g,
-                    const std::vector<std::vector<Adj>> &sorted_adj,
+                    const SortedAdjacency &sorted_adj,
                     std::vector<std::uint8_t> &edge_visited,
                     const SccRegions *regions,
                     const DecomposeOptions &options, VertexId lo,
@@ -72,7 +129,7 @@ class RangeDecomposer
     bool
     hasUnvisitedLocalEdge(VertexId v) const
     {
-        for (const Adj &a : sorted_adj_[v]) {
+        for (const AdjacencyEntry &a : sorted_adj_.row(v)) {
             if (!edge_visited_[a.edge])
                 return true;
         }
@@ -115,10 +172,10 @@ class RangeDecomposer
                 continue;
             }
 
-            const auto &adj = sorted_adj_[v];
+            const auto &adj = sorted_adj_.row(v);
             bool descended = false;
             while (frame.child < adj.size()) {
-                const Adj a = adj[frame.child++];
+                const AdjacencyEntry a = adj[frame.child++];
                 if (edge_visited_[a.edge])
                     continue;
                 edge_visited_[a.edge] = 1;
@@ -152,7 +209,7 @@ class RangeDecomposer
     }
 
     const graph::DirectedGraph &g_;
-    const std::vector<std::vector<Adj>> &sorted_adj_;
+    const SortedAdjacency &sorted_adj_;
     std::vector<std::uint8_t> &edge_visited_;
     const SccRegions *regions_;
     const DecomposeOptions &options_;
@@ -168,28 +225,20 @@ class RangeDecomposer
 
 PathSet
 decompose(const graph::DirectedGraph &g, const DecomposeOptions &options,
-          ThreadPool *pool, const SccRegions *regions)
+          ThreadPool *pool, const SccRegions *regions,
+          const SortedAdjacency *adjacency)
 {
     const VertexId n = g.numVertices();
     if (n == 0 || g.numEdges() == 0)
         return PathSet{};
 
-    // Pre-sort each adjacency list by target degree (descending) once, so
-    // every DFS frame picks the hottest successor first in O(1).
-    std::vector<std::vector<Adj>> sorted_adj(n);
-    for (VertexId v = 0; v < n; ++v) {
-        const auto nbrs = g.outNeighbors(v);
-        auto &list = sorted_adj[v];
-        list.reserve(nbrs.size());
-        for (std::size_t k = 0; k < nbrs.size(); ++k)
-            list.push_back({nbrs[k], g.outEdgeId(v, k)});
-        if (options.degree_sorted) {
-            std::stable_sort(list.begin(), list.end(),
-                             [&g](const Adj &a, const Adj &b) {
-                                 return g.degree(a.target) >
-                                        g.degree(b.target);
-                             });
-        }
+    // Reuse the caller's degree-sorted adjacency when it fits; building
+    // one here pays the O(m log d) row sorts the cache exists to avoid.
+    SortedAdjacency local_adj;
+    if (!adjacency || !adjacency->matches(g) ||
+        adjacency->degreeSorted() != options.degree_sorted) {
+        local_adj.build(g, options.degree_sorted);
+        adjacency = &local_adj;
     }
 
     std::vector<std::uint8_t> edge_visited(g.numEdges(), 0);
@@ -212,7 +261,7 @@ decompose(const graph::DirectedGraph &g, const DecomposeOptions &options,
         const VertexId hi = std::min<VertexId>(n, lo + chunk);
         if (lo >= hi)
             return;
-        RangeDecomposer dec(g, sorted_adj, edge_visited, regions,
+        RangeDecomposer dec(g, *adjacency, edge_visited, regions,
                             options, lo, hi);
         locals[t] = dec.run();
     };

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
+#include "graph/builder.hpp"
 #include "graph/digraph.hpp"
 #include "partition/path_set.hpp"
 #include "partition/scc_regions.hpp"
@@ -23,6 +25,68 @@ class ThreadPool;
 }
 
 namespace digraph::partition {
+
+/** Per-vertex adjacency entry with a pre-resolved edge id. */
+struct AdjacencyEntry
+{
+    VertexId target;
+    EdgeId edge;
+};
+
+/**
+ * The decomposer's degree-sorted adjacency scratch, hoisted into a
+ * reusable structure: building it costs O(m log d) row sorts, which used
+ * to be paid on *every* decompose() call. Callers (the preprocess
+ * pipeline, the evolving engine) build it once per graph and thread it
+ * through repeated decompositions; after a GraphBuilder::append it is
+ * patched in O(m + dirty rows) instead of rebuilt.
+ */
+class SortedAdjacency
+{
+  public:
+    SortedAdjacency() = default;
+
+    /** Build all rows for @p g (row k of vertex v holds its k-th
+     *  successor, stable-sorted hottest-first when @p degree_sorted). */
+    void build(const graph::DirectedGraph &g, bool degree_sorted);
+
+    /**
+     * Patch the rows after a GraphBuilder::append that produced @p g:
+     * surviving entries get their edge ids remapped through the delta
+     * journal, and exactly the rows whose hottest-first order may have
+     * changed (rows adjacent to a batch endpoint, whose degree changed)
+     * are rebuilt. The result is bit-identical to build(g).
+     * @pre matches() held for the pre-append graph.
+     */
+    void applyDelta(const graph::DirectedGraph &g,
+                    const graph::GraphDelta &delta);
+
+    /** True when the cache was built for a graph of @p g's shape. */
+    bool
+    matches(const graph::DirectedGraph &g) const
+    {
+        return !rows_.empty() ? (rows_.size() == g.numVertices() &&
+                                 num_edges_ == g.numEdges())
+                              : g.numVertices() == 0;
+    }
+
+    /** Sort flavor the rows were built with. */
+    bool degreeSorted() const { return degree_sorted_; }
+
+    /** Successors of @p v, hottest-first. */
+    const std::vector<AdjacencyEntry> &
+    row(VertexId v) const
+    {
+        return rows_[v];
+    }
+
+  private:
+    void rebuildRow(const graph::DirectedGraph &g, VertexId v);
+
+    std::vector<std::vector<AdjacencyEntry>> rows_;
+    EdgeId num_edges_ = 0;
+    bool degree_sorted_ = true;
+};
 
 /** Options for the path decomposition. */
 struct DecomposeOptions
@@ -55,10 +119,14 @@ struct DecomposeOptions
  *             num_threads > 1 a temporary pool is created.
  * @param regions Optional precomputed SCC regions (recomputed internally
  *                when null and scc_confined is set).
+ * @param adjacency Optional prebuilt degree-sorted adjacency; used when
+ *                  it matches (g, options.degree_sorted), otherwise a
+ *                  local one is built (and the result is identical).
  */
 PathSet decompose(const graph::DirectedGraph &g,
                   const DecomposeOptions &options = {},
                   ThreadPool *pool = nullptr,
-                  const SccRegions *regions = nullptr);
+                  const SccRegions *regions = nullptr,
+                  const SortedAdjacency *adjacency = nullptr);
 
 } // namespace digraph::partition

@@ -69,6 +69,16 @@ PathSet::reordered(const std::vector<PathId> &order) const
     return out;
 }
 
+void
+PathSet::remapEdgeIds(const std::vector<EdgeId> &old_to_new)
+{
+    for (EdgeId &e : edge_ids_) {
+        if (e >= old_to_new.size())
+            panic("PathSet::remapEdgeIds: edge id out of journal range");
+        e = old_to_new[e];
+    }
+}
+
 bool
 PathSet::validate(const graph::DirectedGraph &g) const
 {

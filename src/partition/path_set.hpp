@@ -111,6 +111,14 @@ class PathSet
     PathSet reordered(const std::vector<PathId> &order) const;
 
     /**
+     * Rewrite every stored edge id through @p old_to_new (the journal a
+     * GraphBuilder::append produces): edge ids are positional in the
+     * CSR, so extending the graph shifts them. O(total path edges).
+     * @pre every stored id is < old_to_new.size().
+     */
+    void remapEdgeIds(const std::vector<EdgeId> &old_to_new);
+
+    /**
      * Validate the structural invariants against the source graph: every
      * graph edge appears exactly once, consecutive path vertices are
      * connected by their recorded edge. @return true when consistent.

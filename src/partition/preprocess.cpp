@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "graph/transform.hpp"
 
 namespace digraph::partition {
 
@@ -16,21 +18,32 @@ Preprocessed::partitionOfPath(PathId p) const
 }
 
 Preprocessed
-preprocess(const graph::DirectedGraph &g, const PreprocessOptions &options)
+preprocess(const graph::DirectedGraph &g, const PreprocessOptions &options,
+           std::shared_ptr<SortedAdjacency> adjacency)
 {
     Preprocessed out;
     WallTimer timer;
 
     ThreadPool pool(std::max(1u, options.decompose.num_threads));
 
-    // 1. Path decomposition (Algorithm 1), region-guided.
+    // 1. Path decomposition (Algorithm 1), region-guided. The
+    // degree-sorted adjacency is the expensive scratch (O(m log d) row
+    // sorts); reuse the caller's cache when it fits and hand whichever
+    // one was used back through the result.
     timer.reset();
+    if (!adjacency || !adjacency->matches(g) ||
+        adjacency->degreeSorted() != options.decompose.degree_sorted) {
+        adjacency = std::make_shared<SortedAdjacency>();
+        adjacency->build(g, options.decompose.degree_sorted);
+    }
     SccRegions regions;
     if (options.decompose.scc_confined)
         regions = SccRegions(g);
     PathSet raw = decompose(g, options.decompose, &pool,
-                            regions.valid() ? &regions : nullptr);
+                            regions.valid() ? &regions : nullptr,
+                            adjacency.get());
     out.timings.decompose_s = timer.seconds();
+    out.sorted_adjacency = std::move(adjacency);
 
     // 2. Head-to-tail merge of short paths.
     timer.reset();
@@ -90,6 +103,139 @@ preprocess(const graph::DirectedGraph &g, const PreprocessOptions &options)
 
     out.partition_offsets = std::move(plan.partition_offsets);
     out.partition_layer = std::move(plan.partition_layer);
+    out.timings.partition_s = timer.seconds();
+    return out;
+}
+
+Preprocessed
+appendPreprocess(Preprocessed prev, const graph::DirectedGraph &g,
+                 const graph::GraphDelta &delta,
+                 const PreprocessOptions &options)
+{
+    Preprocessed out = std::move(prev);
+    WallTimer timer;
+    out.timings = {};
+    out.incremental = true;
+    out.incremental_stats = {};
+
+    const PathId np_old = out.paths.numPaths();
+    out.incremental_stats.reused_paths = np_old;
+
+    // 1. Reuse every previous path verbatim. The append shifted the CSR
+    // edge ids, so chase the stored ids through the journal (O(m) linear
+    // pass — no sorts, no DFS), and patch the adjacency cache the same
+    // way instead of rebuilding it.
+    timer.reset();
+    out.paths.remapEdgeIds(delta.old_to_new);
+    if (out.sorted_adjacency)
+        out.sorted_adjacency->applyDelta(g, delta);
+
+    // 2. Decompose only the batch edges: run the standard Algorithm 1 on
+    // a batch-only graph over the same vertex-id space. Its edge k is
+    // delta.fresh[k] (both are (src, dst)-sorted and duplicate-free), so
+    // path edge ids translate through fresh_ids.
+    if (!delta.fresh.empty()) {
+        graph::GraphBuilder bb(g.numVertices());
+        for (const graph::Edge &e : delta.fresh)
+            bb.addEdge(e.src, e.dst, e.weight);
+        const graph::DirectedGraph batch_g = bb.build();
+        if (batch_g.numEdges() != delta.fresh.size())
+            panic("appendPreprocess: delta batch is not normalized");
+
+        DecomposeOptions dopts = options.decompose;
+        // The batch is tiny: single-threaded keeps the result independent
+        // of any thread knob; region confinement adds nothing because
+        // appended paths become isolated SCC-vertices regardless.
+        dopts.num_threads = 1;
+        dopts.scc_confined = false;
+        const PathSet fresh = decompose(batch_g, dopts);
+        for (PathId p = 0; p < fresh.numPaths(); ++p) {
+            const auto verts = fresh.pathVertices(p);
+            const auto edges = fresh.pathEdges(p);
+            out.paths.beginPath(verts[0]);
+            for (std::size_t i = 0; i < edges.size(); ++i)
+                out.paths.extend(verts[i + 1], delta.fresh_ids[edges[i]]);
+        }
+    }
+    out.timings.decompose_s = timer.seconds();
+
+    // 3. Metadata + sketch: every new path becomes its own layer-0
+    // SCC-vertex. Its dependencies are under-approximated (no sketch
+    // edges), which only affects dispatch priority — activation flows
+    // through the master version clocks (see header).
+    timer.reset();
+    const PathId np_total = out.paths.numPaths();
+    out.incremental_stats.new_paths = np_total - np_old;
+
+    const double avg_deg =
+        g.numVertices()
+            ? static_cast<double>(g.numEdges()) / g.numVertices()
+            : 0.0;
+    const double hot_cut = options.partition.hot_degree_factor * 2.0 *
+                           avg_deg;
+    // (x2: path avgDegree counts in+out degree, avg_deg counts out only —
+    //  same rule as makePartitions.)
+    for (PathId p = np_old; p < np_total; ++p) {
+        const SccId s = out.dag.num_sccs++;
+        out.scc_of_path.push_back(s);
+        out.dag.scc_of_path.push_back(s);
+        out.dag.paths_in_scc.push_back({p});
+        out.dag.layer.push_back(0);
+        out.path_layer.push_back(0);
+        const double deg = out.paths.avgDegree(p, g);
+        out.path_avg_degree.push_back(deg);
+        out.path_hot.push_back(deg >= hot_cut ? 1 : 0);
+        if (out.dag.giant_scc == kInvalidScc)
+            out.dag.giant_scc = s;
+    }
+    out.dag.sketch =
+        graph::withIsolatedVertices(out.dag.sketch, out.dag.num_sccs);
+    out.timings.sketch_s = timer.seconds();
+
+    // 4. Existing partition boundaries are kept verbatim; new paths fill
+    // appended partitions cut at the usual edge budget.
+    timer.reset();
+    if (out.partition_offsets.empty())
+        out.partition_offsets.push_back(0);
+    if (np_total > np_old) {
+        const std::size_t budget = std::max<std::size_t>(
+            1, options.partition.edges_per_partition);
+        std::size_t filled = 0;
+        for (PathId p = np_old; p < np_total; ++p) {
+            const std::size_t len = out.paths.pathLength(p);
+            if (filled > 0 && filled + len > budget) {
+                out.partition_offsets.push_back(p);
+                out.partition_layer.push_back(0);
+                ++out.incremental_stats.new_partitions;
+                filled = 0;
+            }
+            filled += len;
+        }
+        out.partition_offsets.push_back(np_total);
+        out.partition_layer.push_back(0);
+        ++out.incremental_stats.new_partitions;
+    }
+
+    // Dirty-region ledger: the pre-existing partitions holding a replica
+    // of a batch endpoint (what a warm start re-activates).
+    std::vector<std::uint8_t> endpoint(g.numVertices(), 0);
+    for (const graph::Edge &e : delta.fresh) {
+        endpoint[e.src] = 1;
+        endpoint[e.dst] = 1;
+    }
+    std::vector<std::uint8_t> dirty(out.numPartitions(), 0);
+    for (PathId p = 0; p < np_old; ++p) {
+        for (const VertexId v : out.paths.pathVertices(p)) {
+            if (endpoint[v]) {
+                dirty[out.partitionOfPath(p)] = 1;
+                break;
+            }
+        }
+    }
+    for (PartitionId q = 0; q < dirty.size(); ++q) {
+        if (dirty[q])
+            out.incremental_stats.dirty_partitions.push_back(q);
+    }
     out.timings.partition_s = timer.seconds();
     return out;
 }

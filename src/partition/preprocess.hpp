@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "graph/builder.hpp"
 #include "graph/digraph.hpp"
 #include "partition/dag_sketch.hpp"
 #include "partition/decomposer.hpp"
@@ -52,6 +54,25 @@ struct PreprocessTimings
     }
 };
 
+/**
+ * What one appendPreprocess() call reused versus recomputed — the
+ * dirty-region ledger of the incremental ingestion pipeline (exported
+ * for tests, traces and the evolving CLI/bench reporting).
+ */
+struct IncrementalStats
+{
+    /** Paths of the previous result reused verbatim (edge ids remapped,
+     *  order, metadata, partition assignment untouched). */
+    PathId reused_paths = 0;
+    /** Paths freshly decomposed from the batch edges. */
+    PathId new_paths = 0;
+    /** Partitions appended for the new paths. */
+    PartitionId new_partitions = 0;
+    /** Pre-existing partitions containing a replica of a batch endpoint
+     *  (the dirty region the warm start re-activates; sorted). */
+    std::vector<PartitionId> dirty_partitions;
+};
+
 /** Preprocessing output; all per-path arrays use the final path order. */
 struct Preprocessed
 {
@@ -75,6 +96,17 @@ struct Preprocessed
     PreprocessTimings timings;
     /** Number of merges performed. */
     std::size_t merges = 0;
+    /** Degree-sorted adjacency the decomposition used, kept so repeated
+     *  preprocess() calls and evolving rebuilds skip the O(m log m)
+     *  row-sort scratch rebuild. Shared across Preprocessed copies;
+     *  mutated only by appendPreprocess() on the owning (master) copy.
+     *  Never serialized (derivable). */
+    std::shared_ptr<SortedAdjacency> sorted_adjacency;
+    /** True when this result came out of appendPreprocess(). */
+    bool incremental = false;
+    /** Reuse ledger of the last appendPreprocess() (empty when the
+     *  result came from a full preprocess()). */
+    IncrementalStats incremental_stats;
 
     /** Number of partitions. */
     PartitionId
@@ -89,8 +121,41 @@ struct Preprocessed
     PartitionId partitionOfPath(PathId p) const;
 };
 
-/** Run the pipeline on @p g. */
+/**
+ * Run the pipeline on @p g.
+ * @param adjacency Optional degree-sorted adjacency cache to reuse for
+ *        the decomposition (must match g and options.decompose; built
+ *        fresh otherwise). The result's sorted_adjacency field holds
+ *        whichever cache was used, so back-to-back preprocessing of the
+ *        same graph pays the O(m log m) row sorts once.
+ */
 Preprocessed preprocess(const graph::DirectedGraph &g,
-                        const PreprocessOptions &options = {});
+                        const PreprocessOptions &options = {},
+                        std::shared_ptr<SortedAdjacency> adjacency = {});
+
+/**
+ * Incrementally extend @p prev — computed for the graph a
+ * GraphBuilder::append grew into @p g — instead of re-running the whole
+ * pipeline (Section 3.2.1's "only re-partition changed regions"):
+ *
+ *  - every previous path is reused verbatim (edge ids remapped through
+ *    the delta journal, O(m) pointer chasing, no sorts, no DFS);
+ *  - only the batch edges are decomposed (into paths confined to the
+ *    delta subgraph, depth-bounded as usual) — the affected subrange;
+ *  - previous DAG-sketch layers, SCC-vertices and partition boundaries
+ *    are kept; each new path becomes a fresh layer-0 SCC-vertex and new
+ *    paths fill appended partitions, so existing dispatch structure is
+ *    untouched;
+ *  - the degree-sorted adjacency cache is patched, not rebuilt.
+ *
+ * The under-approximated dependencies of the appended SCC-vertices only
+ * affect dispatch priority, never convergence or results: activation
+ * still flows through master version clocks. Deterministic for a given
+ * (prev, delta, options) — independent of engine_threads.
+ */
+Preprocessed appendPreprocess(Preprocessed prev,
+                              const graph::DirectedGraph &g,
+                              const graph::GraphDelta &delta,
+                              const PreprocessOptions &options);
 
 } // namespace digraph::partition

@@ -9,10 +9,19 @@
  *               [--source V] [--k K] [--verbose]
  *               [--trace out.json] [--trace-csv out.csv]
  *               [--faults SPEC] [--verify]
+ *               [--evolve-batches N] [--evolve-batch-size M]
+ *               [--evolve-full-rebuild] [--evolve-seed S]
  *
  * --faults takes a deterministic injection plan (digraph systems only),
  * e.g. "seed=7,device=1@50000,xfer=0.01,smx=0.3@20000x16"; --verify runs
  * the post-run invariant checker and aborts on violation.
+ *
+ * --evolve-batches drives the evolving engine (digraph systems only):
+ * after a cold run, N batches of random edge insertions are applied,
+ * each followed by a warm re-run; per-batch ingestion timings (graph
+ * extension, preprocessing, engine build) are printed. Incremental
+ * ingestion is the default; --evolve-full-rebuild switches to the full
+ * per-batch rebuild baseline.
  *
  * Systems: digraph (default), digraph-t, digraph-w, gunrock, groute,
  *          sequential.
@@ -33,8 +42,10 @@
 #include "baselines/bsp_engine.hpp"
 #include "baselines/sequential.hpp"
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "engine/digraph_engine.hpp"
+#include "engine/evolving.hpp"
 #include "graph/formats.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
@@ -59,6 +70,10 @@ struct Options
     std::string trace_csv;
     std::string faults;
     bool verify = false;
+    std::size_t evolve_batches = 0;
+    std::size_t evolve_batch_size = 512;
+    bool evolve_full_rebuild = false;
+    std::uint64_t evolve_seed = 4242;
 };
 
 [[noreturn]] void
@@ -71,6 +86,8 @@ usage(const char *argv0)
         "          [--source V] [--k K] [--verbose]\n"
         "          [--trace out.json] [--trace-csv out.csv]\n"
         "          [--faults SPEC] [--verify]\n"
+        "          [--evolve-batches N] [--evolve-batch-size M]\n"
+        "          [--evolve-full-rebuild] [--evolve-seed S]\n"
         "algorithms: pagerank adsorption sssp kcore katz bfs wcc\n"
         "systems:    digraph digraph-t digraph-w gunrock groute "
         "sequential\n"
@@ -116,6 +133,17 @@ parse(int argc, char **argv)
             opts.faults = need(i);
         else if (arg == "--verify")
             opts.verify = true;
+        else if (arg == "--evolve-batches")
+            opts.evolve_batches =
+                static_cast<std::size_t>(std::atol(need(i)));
+        else if (arg == "--evolve-batch-size")
+            opts.evolve_batch_size =
+                static_cast<std::size_t>(std::atol(need(i)));
+        else if (arg == "--evolve-full-rebuild")
+            opts.evolve_full_rebuild = true;
+        else if (arg == "--evolve-seed")
+            opts.evolve_seed =
+                static_cast<std::uint64_t>(std::atoll(need(i)));
         else
             usage(argv[0]);
     }
@@ -303,6 +331,52 @@ main(int argc, char **argv)
         fatal("digraph_cli: ", err);
     if (opts.verbose && !fault_plan.empty())
         std::printf("faults: %s\n", fault_plan.describe().c_str());
+    if (opts.evolve_batches > 0) {
+        if (opts.algo == "adsorption") {
+            fatal("digraph_cli: --evolve-batches does not support "
+                  "adsorption (its per-edge weights are bound to the "
+                  "construction-time graph)");
+        }
+        engine::EvolvingOptions evolve;
+        evolve.incremental = !opts.evolve_full_rebuild;
+        engine::EvolvingEngine evolving(g, eopts, evolve);
+        evolving.run(*algo);
+        SplitMix64 rng(opts.evolve_seed);
+        double total_ingest = 0.0;
+        metrics::RunReport last;
+        for (std::size_t b = 0; b < opts.evolve_batches; ++b) {
+            std::vector<graph::Edge> batch;
+            batch.reserve(opts.evolve_batch_size);
+            const VertexId n = evolving.graph().numVertices();
+            while (batch.size() < opts.evolve_batch_size) {
+                const auto s =
+                    static_cast<VertexId>(rng.nextBounded(n));
+                const auto d =
+                    static_cast<VertexId>(rng.nextBounded(n));
+                if (s != d)
+                    batch.push_back(
+                        {s, d, 1.0 + rng.nextDouble() * 9.0});
+            }
+            const auto step = evolving.insertAndRun(*algo, batch);
+            total_ingest += step.ingestSeconds();
+            std::printf(
+                "batch %zu: +%zu edges, %s, %s, graph %.4fs, "
+                "preprocess %.4fs, engine %.4fs (paths %u reused / "
+                "%u new)\n",
+                b, step.inserted_edges,
+                step.incremental ? "incremental" : "full rebuild",
+                step.warm ? "warm" : "cold", step.graph_seconds,
+                step.preprocess_seconds, step.engine_seconds,
+                step.reused_paths, step.new_paths);
+            last = step.run;
+        }
+        std::printf("total ingestion  %.3f s over %zu batches\n",
+                    total_ingest, opts.evolve_batches);
+        if (want_trace)
+            writeTraces(sink, opts);
+        printReport(last, total_ingest);
+        return 0;
+    }
     engine::DiGraphEngine eng(g, eopts);
     if (opts.verbose) {
         std::printf("paths: %u (avg length %.2f), partitions: %u, "
