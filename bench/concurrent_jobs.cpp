@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Concurrent-job study over the layered execution substrate: N jobs
+ * (different algorithms) on ONE shared immutable EngineSubstrate vs the
+ * naive alternative of giving every job its own engine with a private
+ * copy of the preprocessing result.
+ *
+ * What the layering buys is memory: the topology (Preprocessed +
+ * PathLayout + ReplicaSync + Dispatcher indexes) is paid once for any
+ * number of jobs, while each job only adds its private ValuePlane +
+ * transport bookkeeping. The study records both the topology bytes and
+ * the end-to-end wall time of draining all jobs, and verifies that
+ * shared-substrate results are bit-identical to single-job runs.
+ *
+ * Output: a table on stdout plus BENCH_jobs.json in the working
+ * directory. Regenerate the committed snapshot from the repo root with:
+ *
+ *     cmake --build build -j --target concurrent_jobs
+ *     ./build/bench/concurrent_jobs
+ *
+ * (see EXPERIMENTS.md). Scale via DIGRAPH_BENCH_SCALE if needed.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "engine/job_manager.hpp"
+
+namespace {
+
+using namespace digraph;
+
+graph::DirectedGraph
+jobsWorkload()
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = static_cast<VertexId>(120000 * bench::benchScale());
+    c.num_edges = static_cast<EdgeId>(600000 * bench::benchScale());
+    c.degree_skew = 1.6;
+    c.locality = 0.9;
+    c.scc_core_fraction = 0.3;
+    c.seed = 31;
+    return graph::generate(c);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto g = jobsWorkload();
+    const std::vector<std::string> job_specs = {"sssp:0", "pagerank",
+                                                "wcc"};
+
+    engine::EngineOptions opts;
+    opts.platform = bench::benchPlatform(bench::benchGpus());
+
+    // --- shared substrate: preprocess once, run all jobs on it. ---
+    engine::JobManager manager(g, opts);
+    for (const auto &spec : job_specs)
+        manager.addJob(spec);
+    WallTimer shared_timer;
+    const auto shared_results = manager.runAll();
+    const double shared_wall = shared_timer.seconds();
+
+    const std::size_t topo_single = manager.sharedBytes();
+    const std::size_t topo_shared = manager.sharedBytes(); // paid once
+    std::size_t shared_job_bytes = 0;
+    for (const auto &job : shared_results)
+        shared_job_bytes += job.job_state_bytes;
+
+    // --- naive: every job owns a full engine with its own copy of the
+    // preprocessing result (topology duplicated per job). ---
+    std::size_t topo_naive = 0;
+    std::size_t naive_job_bytes = 0;
+    WallTimer naive_timer;
+    std::vector<metrics::RunReport> naive_reports;
+    for (const auto &spec : job_specs) {
+        partition::Preprocessed copy = manager.substrate()->pre;
+        engine::DiGraphEngine eng(g, std::move(copy), opts);
+        const auto algo = algorithms::makeAlgorithmSpec(spec, g);
+        naive_reports.push_back(eng.run(*algo));
+        topo_naive += eng.substrate()->memoryBytes();
+        naive_job_bytes += eng.jobStateBytes();
+    }
+    const double naive_wall = naive_timer.seconds();
+
+    // --- bit-identity: shared-substrate jobs match dedicated engines. ---
+    bool identical = true;
+    for (std::size_t i = 0; i < job_specs.size(); ++i) {
+        const auto &a = shared_results[i].report;
+        const auto &b = naive_reports[i];
+        if (a.final_state != b.final_state ||
+            a.sim_cycles != b.sim_cycles ||
+            a.edge_processings != b.edge_processings) {
+            identical = false;
+        }
+    }
+
+    const auto mb = [](std::size_t bytes) {
+        return static_cast<double>(bytes) / 1e6;
+    };
+    const double ratio_shared =
+        static_cast<double>(topo_shared) / static_cast<double>(topo_single);
+    const double ratio_naive =
+        static_cast<double>(topo_naive) / static_cast<double>(topo_single);
+
+    bench::Table table("Concurrent jobs: shared substrate vs per-job "
+                       "copies (3 jobs)",
+                       {"variant", "topology_MB", "topo_ratio", "job_MB",
+                        "wall_s", "jobs_per_s"});
+    table.addRow({"single-job", bench::Table::num(mb(topo_single)), "1.00",
+                  bench::Table::num(
+                      mb(shared_results[0].job_state_bytes)),
+                  "-", "-"});
+    table.addRow({"shared3", bench::Table::num(mb(topo_shared)),
+                  bench::Table::num(ratio_shared),
+                  bench::Table::num(mb(shared_job_bytes)),
+                  bench::Table::num(shared_wall),
+                  bench::Table::num(shared_wall > 0.0
+                                        ? 3.0 / shared_wall
+                                        : 0.0)});
+    table.addRow({"naive3", bench::Table::num(mb(topo_naive)),
+                  bench::Table::num(ratio_naive),
+                  bench::Table::num(mb(naive_job_bytes)),
+                  bench::Table::num(naive_wall),
+                  bench::Table::num(naive_wall > 0.0 ? 3.0 / naive_wall
+                                                     : 0.0)});
+    table.print();
+    std::printf("bit-identical to dedicated engines: %s\n",
+                identical ? "yes" : "NO");
+
+    std::FILE *out = std::fopen("BENCH_jobs.json", "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write BENCH_jobs.json\n");
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"benchmark\": \"concurrent_jobs\",\n");
+    std::fprintf(out, "  \"jobs\": [");
+    for (std::size_t i = 0; i < job_specs.size(); ++i) {
+        std::fprintf(out, "\"%s\"%s", job_specs[i].c_str(),
+                     i + 1 < job_specs.size() ? ", " : "");
+    }
+    std::fprintf(out, "],\n");
+    std::fprintf(out, "  \"workload\": {\"vertices\": %llu, \"edges\": "
+                      "%llu, \"partitions\": %llu},\n",
+                 static_cast<unsigned long long>(g.numVertices()),
+                 static_cast<unsigned long long>(g.numEdges()),
+                 static_cast<unsigned long long>(
+                     manager.substrate()->pre.numPartitions()));
+    std::fprintf(out,
+                 "  \"topology_bytes\": {\"single\": %zu, \"shared3\": "
+                 "%zu, \"naive3\": %zu},\n",
+                 topo_single, topo_shared, topo_naive);
+    std::fprintf(out, "  \"topology_ratio_shared_vs_single\": %.3f,\n",
+                 ratio_shared);
+    std::fprintf(out, "  \"topology_ratio_naive_vs_single\": %.3f,\n",
+                 ratio_naive);
+    std::fprintf(out,
+                 "  \"job_state_bytes\": {\"shared3\": %zu, \"naive3\": "
+                 "%zu},\n",
+                 shared_job_bytes, naive_job_bytes);
+    std::fprintf(out,
+                 "  \"total_bytes\": {\"shared3\": %zu, \"naive3\": "
+                 "%zu},\n",
+                 topo_shared + shared_job_bytes,
+                 topo_naive + naive_job_bytes);
+    std::fprintf(out,
+                 "  \"wall_seconds\": {\"shared3\": %.6f, \"naive3\": "
+                 "%.6f},\n",
+                 shared_wall, naive_wall);
+    std::fprintf(out,
+                 "  \"throughput_jobs_per_second\": {\"shared3\": %.3f, "
+                 "\"naive3\": %.3f},\n",
+                 shared_wall > 0.0 ? 3.0 / shared_wall : 0.0,
+                 naive_wall > 0.0 ? 3.0 / naive_wall : 0.0);
+    std::fprintf(out, "  \"bit_identical_to_single_job\": %s\n",
+                 identical ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_jobs.json\n");
+    return identical ? 0 : 1;
+}

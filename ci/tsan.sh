@@ -4,13 +4,24 @@
 # Builds the repo in a dedicated tree (build-tsan/) with
 # -DDIGRAPH_SANITIZE=thread and runs the engine test binaries — the
 # parallel suite already exercises engine_threads in {2, 4} and the
-# hardware-concurrency path, so any data race in computeDispatch /
-# the barrier replay shows up here.
+# hardware-concurrency path, and test_job_manager races N whole jobs
+# against each other over one shared substrate, so any data race in
+# computeDispatch / the barrier replay / the job pool shows up here.
 #
 # Usage (from the repo root):
-#     ci/tsan.sh            # configure + build + run
-#     ci/tsan.sh -R Waves   # extra args are passed through to ctest
+#     ci/tsan.sh               # configure + build + run
+#     ci/tsan.sh -R Waves      # extra args are passed through to ctest
+#     ci/tsan.sh --if-enabled  # ctest entry point: exit 77 (skip)
+#                              # unless DIGRAPH_CI_SANITIZE=1
 set -eu
+
+if [ "${1:-}" = "--if-enabled" ]; then
+    shift
+    if [ "${DIGRAPH_CI_SANITIZE:-0}" != "1" ]; then
+        echo "tsan: DIGRAPH_CI_SANITIZE!=1, skipping" >&2
+        exit 77
+    fi
+fi
 
 cd "$(dirname "$0")/.."
 
@@ -18,11 +29,12 @@ cmake -B build-tsan -S . -DDIGRAPH_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j \
     --target test_engine_parallel test_engine_features \
-    test_engine_convergence test_evolving_incremental
+    test_engine_convergence test_evolving_incremental \
+    test_job_manager concurrent_jobs
 
 if [ "$#" -gt 0 ]; then
     ctest --test-dir build-tsan --output-on-failure "$@"
 else
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_engine_(parallel|features|convergence)|test_evolving_incremental'
+        -R 'test_engine_(parallel|features|convergence)|test_evolving_incremental|test_job_manager|bench_jobs_smoke'
 fi

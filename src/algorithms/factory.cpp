@@ -18,6 +18,14 @@ benchmarkNames()
     return names;
 }
 
+const std::vector<std::string> &
+allAlgorithmNames()
+{
+    static const std::vector<std::string> names = {
+        "pagerank", "adsorption", "sssp", "kcore", "katz", "bfs", "wcc"};
+    return names;
+}
+
 AlgorithmPtr
 makeAlgorithm(const std::string &name, const graph::DirectedGraph &g)
 {
@@ -36,6 +44,46 @@ makeAlgorithm(const std::string &name, const graph::DirectedGraph &g)
     if (name == "wcc")
         return std::make_shared<Wcc>();
     fatal("makeAlgorithm: unknown algorithm '", name, "'");
+}
+
+AlgorithmPtr
+makeAlgorithmSpec(const std::string &spec, const graph::DirectedGraph &g)
+{
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        return makeAlgorithm(spec, g);
+
+    const std::string name = spec.substr(0, colon);
+    const std::string param = spec.substr(colon + 1);
+    std::uint64_t value = 0;
+    std::size_t consumed = 0;
+    try {
+        value = std::stoull(param, &consumed);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    if (param.empty() || consumed != param.size()) {
+        fatal("makeAlgorithmSpec: bad parameter '", param,
+              "' in spec '", spec, "' (expected an unsigned integer)");
+    }
+    if (name == "sssp") {
+        if (value >= g.numVertices())
+            fatal("makeAlgorithmSpec: sssp source ", value,
+                  " out of range (graph has ", g.numVertices(),
+                  " vertices)");
+        return std::make_shared<Sssp>(static_cast<VertexId>(value));
+    }
+    if (name == "bfs") {
+        if (value >= g.numVertices())
+            fatal("makeAlgorithmSpec: bfs source ", value,
+                  " out of range (graph has ", g.numVertices(),
+                  " vertices)");
+        return std::make_shared<Bfs>(static_cast<VertexId>(value));
+    }
+    if (name == "kcore")
+        return std::make_shared<KCore>(static_cast<std::uint32_t>(value));
+    fatal("makeAlgorithmSpec: algorithm '", name,
+          "' takes no parameter (spec '", spec, "')");
 }
 
 } // namespace digraph::algorithms

@@ -15,6 +15,9 @@ namespace digraph::algorithms {
 /** Names of the paper's four benchmark algorithms, in paper order. */
 const std::vector<std::string> &benchmarkNames();
 
+/** Every algorithm name makeAlgorithm() accepts, in registry order. */
+const std::vector<std::string> &allAlgorithmNames();
+
 /**
  * Create an algorithm by name: "pagerank", "adsorption", "sssp", "kcore",
  * "katz", "bfs", or "wcc". Calls fatal() on an unknown name.
@@ -22,5 +25,14 @@ const std::vector<std::string> &benchmarkNames();
  */
 AlgorithmPtr makeAlgorithm(const std::string &name,
                            const graph::DirectedGraph &g);
+
+/**
+ * Create an algorithm from a "name[:param]" spec (the CLI --jobs
+ * syntax): "sssp:5" / "bfs:5" select the source vertex, "kcore:4"
+ * selects k; the parameterless names reject a param. Calls fatal() on
+ * an unknown name, a non-numeric param, or a param where none applies.
+ */
+AlgorithmPtr makeAlgorithmSpec(const std::string &spec,
+                               const graph::DirectedGraph &g);
 
 } // namespace digraph::algorithms

@@ -6,6 +6,8 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "engine/convergence.hpp"
+#include "engine/value_plane.hpp"
 #include "gpusim/platform.hpp"
 #include "metrics/counter_registry.hpp"
 #include "metrics/trace.hpp"
@@ -67,14 +69,13 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
                         edges * (sizeof(VertexId) + sizeof(Value));
     }
 
-    // State.
-    std::vector<Value> state(n), edge_state(g.numEdges());
-    for (VertexId v = 0; v < n; ++v)
-        state[v] = algo.initVertex(g, v);
-    for (EdgeId e = 0; e < g.numEdges(); ++e)
-        edge_state[e] = algo.initEdge(g, e);
-
-    std::vector<std::uint8_t> active(n, 0);
+    // State: the shared per-job value plane in flat mode (async reads
+    // the latest values in place; no double buffer).
+    engine::ValuePlane plane;
+    plane.initFlat(g, algo, /*double_buffer=*/false);
+    auto &state = plane.vertex_values;
+    auto &edge_state = plane.edge_values;
+    auto &active = plane.vertex_active;
     std::vector<std::uint8_t> part_active(nparts, 0);
     for (VertexId v = 0; v < n; ++v) {
         if (options.force_all_active || algo.initActive(g, v)) {
@@ -119,10 +120,7 @@ runAsync(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
             }
         }
         if (pick == kInvalidPartition) {
-            bool any = false;
-            for (PartitionId q = 0; q < nparts; ++q)
-                any = any || part_active[q];
-            if (!any)
+            if (!engine::anyActive(part_active))
                 break;
             ++wave;
             continue;

@@ -5,6 +5,8 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "engine/convergence.hpp"
+#include "engine/value_plane.hpp"
 #include "gpusim/platform.hpp"
 #include "metrics/counter_registry.hpp"
 #include "metrics/trace.hpp"
@@ -80,21 +82,20 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
         barrier = std::max(barrier, done);
     }
 
-    // State.
-    std::vector<Value> prev(n), next(n), edge_state(g.numEdges());
-    for (VertexId v = 0; v < n; ++v)
-        prev[v] = algo.initVertex(g, v);
-    next = prev;
-    for (EdgeId e = 0; e < g.numEdges(); ++e)
-        edge_state[e] = algo.initEdge(g, e);
-
-    std::vector<std::uint8_t> active(n, 0), next_active(n, 0);
-    bool any = false;
+    // State: the shared per-job value plane in flat mode (double
+    // buffered — BSP reads round-start values).
+    engine::ValuePlane plane;
+    plane.initFlat(g, algo, /*double_buffer=*/true);
+    auto &prev = plane.vertex_values;
+    auto &next = plane.vertex_values_next;
+    auto &edge_state = plane.edge_values;
+    auto &active = plane.vertex_active;
+    auto &next_active = plane.vertex_active_next;
     for (VertexId v = 0; v < n; ++v) {
         active[v] =
             options.force_all_active || algo.initActive(g, v) ? 1 : 0;
-        any |= active[v] != 0;
     }
+    bool any = engine::anyActive(active);
 
     const unsigned lanes = options.platform.lanesPerSmx();
     const double per_edge_cycles =
@@ -226,12 +227,7 @@ runBsp(const graph::DirectedGraph &g, const algorithms::Algorithm &algo,
         prev = next;
         active.swap(next_active);
         std::fill(next_active.begin(), next_active.end(), 0);
-        for (VertexId v = 0; v < n; ++v) {
-            if (active[v]) {
-                any = true;
-                break;
-            }
-        }
+        any = engine::anyActive(active);
     }
 
     counters.set(metrics::Counter::Waves,

@@ -4,6 +4,9 @@
 #include <deque>
 #include <numeric>
 
+#include "common/timer.hpp"
+#include "engine/convergence.hpp"
+#include "engine/value_plane.hpp"
 #include "graph/scc.hpp"
 #include "graph/traversal.hpp"
 #include "metrics/counter_registry.hpp"
@@ -23,18 +26,27 @@ SequentialResult::singleUpdateFraction() const
 
 namespace {
 
-/** Initialize vertex/edge state arrays from the algorithm. */
+/** Export counters and final state into the result's RunReport, the
+ *  same way the simulated engines end a run. */
 void
-initState(const graph::DirectedGraph &g,
-          const algorithms::Algorithm &algo, std::vector<Value> &state,
-          std::vector<Value> &edge_state)
+finishReport(SequentialResult &result, const std::string &system,
+             const algorithms::Algorithm &algo,
+             metrics::CounterRegistry &counters, double wall_seconds,
+             metrics::TraceSink *trace)
 {
-    state.resize(g.numVertices());
-    for (VertexId v = 0; v < g.numVertices(); ++v)
-        state[v] = algo.initVertex(g, v);
-    edge_state.resize(g.numEdges());
-    for (EdgeId e = 0; e < g.numEdges(); ++e)
-        edge_state[e] = algo.initEdge(g, e);
+    result.edge_processings =
+        counters.get(metrics::Counter::EdgeProcessings);
+    result.vertex_updates = counters.get(metrics::Counter::VertexUpdates);
+    result.rounds = counters.get(metrics::Counter::Rounds);
+    counters.set(metrics::Counter::UsedVertices,
+                 counters.get(metrics::Counter::VertexUpdates));
+    result.report.system = system;
+    result.report.algorithm = algo.name();
+    counters.exportTo(result.report);
+    result.report.final_state = result.state;
+    result.report.wall_seconds = wall_seconds;
+    if (trace)
+        trace->setCounters(counters);
 }
 
 /** Process all out-edges of @p v; activate changed targets via @p sink. */
@@ -62,11 +74,13 @@ processVertex(const graph::DirectedGraph &g,
 
 SequentialResult
 runSequential(const graph::DirectedGraph &g,
-              const algorithms::Algorithm &algo)
+              const algorithms::Algorithm &algo, metrics::TraceSink *trace)
 {
+    WallTimer wall;
     SequentialResult result;
-    std::vector<Value> edge_state;
-    initState(g, algo, result.state, edge_state);
+    engine::ValuePlane plane;
+    plane.initFlat(g, algo, /*double_buffer=*/false);
+    std::vector<Value> &edge_state = plane.edge_values;
     result.updates_per_vertex.assign(g.numVertices(), 0);
 
     std::deque<VertexId> worklist;
@@ -87,7 +101,7 @@ runSequential(const graph::DirectedGraph &g,
         ++result.updates_per_vertex[v];
         counters.add(
             metrics::Counter::EdgeProcessings,
-            processVertex(g, algo, v, result.state, edge_state,
+            processVertex(g, algo, v, plane.vertex_values, edge_state,
                           [&](VertexId w) {
                               if (!queued[w]) {
                                   queued[w] = 1;
@@ -95,19 +109,21 @@ runSequential(const graph::DirectedGraph &g,
                               }
                           }));
     }
-    result.edge_processings =
-        counters.get(metrics::Counter::EdgeProcessings);
-    result.vertex_updates = counters.get(metrics::Counter::VertexUpdates);
+    result.state = std::move(plane.vertex_values);
+    finishReport(result, "sequential", algo, counters, wall.seconds(),
+                 trace);
     return result;
 }
 
 SequentialResult
 runTopological(const graph::DirectedGraph &g,
-               const algorithms::Algorithm &algo)
+               const algorithms::Algorithm &algo, metrics::TraceSink *trace)
 {
+    WallTimer wall;
     SequentialResult result;
-    std::vector<Value> edge_state;
-    initState(g, algo, result.state, edge_state);
+    engine::ValuePlane plane;
+    plane.initFlat(g, algo, /*double_buffer=*/false);
+    std::vector<Value> &edge_state = plane.edge_values;
     result.updates_per_vertex.assign(g.numVertices(), 0);
 
     // Vertex order: topological over the SCC condensation, vertices of one
@@ -133,7 +149,8 @@ runTopological(const graph::DirectedGraph &g,
     // iterating each SCC to convergence before moving on (Observation 2:
     // a vertex is handled only after all its precursors converged).
     // Vertices outside any cycle are then updated exactly once.
-    std::vector<std::uint8_t> active(g.numVertices(), 1);
+    std::vector<std::uint8_t> &active = plane.vertex_active;
+    active.assign(g.numVertices(), 1);
     metrics::CounterRegistry counters;
     std::size_t begin = 0;
     while (begin < order.size()) {
@@ -156,22 +173,17 @@ runTopological(const graph::DirectedGraph &g,
                 ++result.updates_per_vertex[v];
                 counters.add(
                     metrics::Counter::EdgeProcessings,
-                    processVertex(g, algo, v, result.state, edge_state,
+                    processVertex(g, algo, v, plane.vertex_values,
+                                  edge_state,
                                   [&](VertexId w) { active[w] = 1; }));
             }
-            for (std::size_t i = begin; i < end; ++i) {
-                if (active[order[i]]) {
-                    any = true;
-                    break;
-                }
-            }
+            any = engine::anyActiveAmong(active, order, begin, end);
         }
         begin = end;
     }
-    result.edge_processings =
-        counters.get(metrics::Counter::EdgeProcessings);
-    result.vertex_updates = counters.get(metrics::Counter::VertexUpdates);
-    result.rounds = counters.get(metrics::Counter::Rounds);
+    result.state = std::move(plane.vertex_values);
+    finishReport(result, "sequential-topo", algo, counters,
+                 wall.seconds(), trace);
     return result;
 }
 

@@ -19,6 +19,8 @@
 
 #include "algorithms/algorithm.hpp"
 #include "graph/digraph.hpp"
+#include "metrics/run_report.hpp"
+#include "metrics/trace.hpp"
 
 namespace digraph::baselines {
 
@@ -35,20 +37,26 @@ struct SequentialResult
     std::uint64_t rounds = 0;
     /** Per-vertex update counts. */
     std::vector<std::uint32_t> updates_per_vertex;
+    /** Full report, exported through CounterRegistry::exportTo like the
+     *  other engine families (no simulated timeline: sim_cycles is 0). */
+    metrics::RunReport report;
 
     /** Fraction of vertices updated exactly once (Fig 2d metric). */
     double singleUpdateFraction() const;
 };
 
-/** Exact fixed point via FIFO worklist. */
+/** Exact fixed point via FIFO worklist. @p trace (optional) receives
+ *  the run's counter totals. */
 SequentialResult runSequential(const graph::DirectedGraph &g,
-                               const algorithms::Algorithm &algo);
+                               const algorithms::Algorithm &algo,
+                               metrics::TraceSink *trace = nullptr);
 
 /**
  * Sequential asynchronous sweeps along the topological order of the SCC
  * condensation (Fig 2d). Every vertex starts active.
  */
 SequentialResult runTopological(const graph::DirectedGraph &g,
-                                const algorithms::Algorithm &algo);
+                                const algorithms::Algorithm &algo,
+                                metrics::TraceSink *trace = nullptr);
 
 } // namespace digraph::baselines

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared convergence sweeps (DESIGN.md §12): every engine family ends a
+ * round by asking "is any activation flag still set?". The three
+ * baselines used to carry private copies of this loop; they and the
+ * path engine now share these helpers so the convergence semantics can
+ * only diverge in one place.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace digraph::engine {
+
+/** True when any flag in @p flags is set (vertex- or partition-level
+ *  activation sweep). */
+inline bool
+anyActive(const std::vector<std::uint8_t> &flags)
+{
+    return std::any_of(flags.begin(), flags.end(),
+                       [](std::uint8_t f) { return f != 0; });
+}
+
+/** Subset-over-order variant: true when any flags[order[i]] is set for
+ *  i in [begin, end) — the sequential-topological engine sweeps one
+ *  SCC's contiguous slice of its vertex order. */
+inline bool
+anyActiveAmong(const std::vector<std::uint8_t> &flags,
+               const std::vector<VertexId> &order, std::size_t begin,
+               std::size_t end)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        if (flags[order[i]])
+            return true;
+    }
+    return false;
+}
+
+} // namespace digraph::engine

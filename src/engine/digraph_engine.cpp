@@ -1,28 +1,12 @@
 #include "engine/digraph_engine.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <thread>
-#include <unordered_map>
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
-#include "graph/builder.hpp"
-#include "graph/scc.hpp"
-#include "graph/traversal.hpp"
 
 namespace digraph::engine {
-
-namespace {
-
-/** Bytes per mirror-sync message (vertex id + value). */
-constexpr std::size_t kMessageBytes = sizeof(VertexId) + sizeof(Value);
-
-/** Words touched in global memory per processed edge
- *  (E_idx pair read, S_val read+write, E_val read/write). */
-constexpr double kWordsPerEdge = 3.0;
-
-} // namespace
 
 std::string
 modeName(ExecutionMode mode)
@@ -38,25 +22,26 @@ modeName(ExecutionMode mode)
 DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
                              EngineOptions options)
     : g_(g), options_(std::move(options)),
-      pre_([&] {
+      sub_([&] {
           if (const std::string err = options_.validate(); !err.empty())
               fatal("DiGraphEngine: invalid options: ", err);
           options_.resolvePartitionBudget(g.numEdges());
-          return partition::preprocess(g, options_.preprocess);
+          return EngineSubstrate::build(
+              g, partition::preprocess(g, options_.preprocess));
       }()),
-      storage_(pre_.paths, g), platform_(options_.platform)
+      pre_(sub_->pre), sync_(sub_->sync), sched_(sub_->dispatcher),
+      transport_(options_.platform)
 {
     ft_enabled_ = !options_.faults.empty();
-    if (ft_enabled_)
-        injector_ = gpusim::FaultInjector(options_.faults);
-    buildIndexes();
+    plane_.bindLayout(sub_->layout, g_.numVertices());
+    plane_.attach(&sync_);
 }
 
 DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
                              partition::Preprocessed pre,
                              EngineOptions options)
     : g_(g), options_(std::move(options)),
-      pre_([&] {
+      sub_([&] {
           if (const std::string err = options_.validate(); !err.empty())
               fatal("DiGraphEngine: invalid options: ", err);
           if (pre.paths.numEdges() != g.numEdges()) {
@@ -64,14 +49,38 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
                     pre.paths.numEdges(), " edges but the graph has ",
                     g.numEdges());
           }
-          return std::move(pre);
+          return EngineSubstrate::build(g, std::move(pre));
       }()),
-      storage_(pre_.paths, g), platform_(options_.platform)
+      pre_(sub_->pre), sync_(sub_->sync), sched_(sub_->dispatcher),
+      transport_(options_.platform)
 {
     ft_enabled_ = !options_.faults.empty();
-    if (ft_enabled_)
-        injector_ = gpusim::FaultInjector(options_.faults);
-    buildIndexes();
+    plane_.bindLayout(sub_->layout, g_.numVertices());
+    plane_.attach(&sync_);
+}
+
+DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
+                             std::shared_ptr<const EngineSubstrate> sub,
+                             EngineOptions options)
+    : g_(g), options_(std::move(options)),
+      sub_([&] {
+          if (const std::string err = options_.validate(); !err.empty())
+              fatal("DiGraphEngine: invalid options: ", err);
+          if (!sub)
+              fatal("DiGraphEngine: null shared substrate");
+          if (sub->pre.paths.numEdges() != g.numEdges()) {
+              fatal("DiGraphEngine: shared substrate covers ",
+                    sub->pre.paths.numEdges(),
+                    " edges but the graph has ", g.numEdges());
+          }
+          return std::move(sub);
+      }()),
+      pre_(sub_->pre), sync_(sub_->sync), sched_(sub_->dispatcher),
+      transport_(options_.platform)
+{
+    ft_enabled_ = !options_.faults.empty();
+    plane_.bindLayout(sub_->layout, g_.numVertices());
+    plane_.attach(&sync_);
 }
 
 std::size_t
@@ -82,348 +91,20 @@ DiGraphEngine::engineThreads() const
     return std::max(1u, std::thread::hardware_concurrency());
 }
 
-void
-DiGraphEngine::buildIndexes()
+std::size_t
+DiGraphEngine::jobStateBytes() const
 {
-    const PathId np = pre_.paths.numPaths();
-    const PartitionId nparts = pre_.numPartitions();
-
-    // Path of each slot, partition of each path.
-    path_of_slot_.resize(storage_.eIdx().size());
-    is_src_slot_.assign(storage_.eIdx().size(), 0);
-    for (PathId p = 0; p < np; ++p) {
-        for (std::uint64_t s = storage_.pathOffset(p);
-             s < storage_.pathOffset(p + 1); ++s) {
-            path_of_slot_[s] = p;
-            is_src_slot_[s] = s + 1 < storage_.pathOffset(p + 1);
-        }
-    }
-    partition_of_path_.resize(np);
-    for (PartitionId q = 0; q < nparts; ++q) {
-        for (std::uint32_t p = pre_.partition_offsets[q];
-             p < pre_.partition_offsets[q + 1]; ++p) {
-            partition_of_path_[p] = q;
-        }
-    }
-
-    // Occurrence CSR: vertex -> slots.
-    const auto e_idx = storage_.eIdx();
-    occur_offsets_.assign(g_.numVertices() + 1, 0);
-    for (const VertexId v : e_idx)
-        ++occur_offsets_[v + 1];
-    for (VertexId v = 0; v < g_.numVertices(); ++v)
-        occur_offsets_[v + 1] += occur_offsets_[v];
-    occur_slots_.resize(e_idx.size());
-    {
-        std::vector<std::uint64_t> cursor(occur_offsets_.begin(),
-                                          occur_offsets_.end() - 1);
-        for (std::uint64_t s = 0; s < e_idx.size(); ++s)
-            occur_slots_[cursor[e_idx[s]]++] = s;
-    }
-
-    // Consumer-partition CSR (vertex -> partitions with a source
-    // occurrence) and mirror-partition CSR (vertex -> partitions with any
-    // occurrence), both deduplicated. A vertex's occurrence slots are
-    // ascending and partitions own contiguous path (hence slot) ranges,
-    // so the partition sequence along the occurrence list is already
-    // non-decreasing: one streaming pass with a last-seen compare replaces
-    // the former per-vertex sort/unique scratch loop.
-    consumer_offsets_.assign(g_.numVertices() + 1, 0);
-    consumer_parts_.clear();
-    mirror_offsets_.assign(g_.numVertices() + 1, 0);
-    mirror_parts_.clear();
-    for (VertexId v = 0; v < g_.numVertices(); ++v) {
-        PartitionId last_consumer = kInvalidPartition;
-        PartitionId last_mirror = kInvalidPartition;
-        for (std::uint64_t k = occur_offsets_[v];
-             k < occur_offsets_[v + 1]; ++k) {
-            const std::uint64_t slot = occur_slots_[k];
-            const PartitionId part =
-                partition_of_path_[path_of_slot_[slot]];
-            if (part != last_mirror) {
-                mirror_parts_.push_back(part);
-                last_mirror = part;
-            }
-            if (is_src_slot_[slot] && part != last_consumer) {
-                consumer_parts_.push_back(part);
-                last_consumer = part;
-            }
-        }
-        consumer_offsets_[v + 1] = consumer_parts_.size();
-        mirror_offsets_[v + 1] = mirror_parts_.size();
-    }
-
-    // Partition-interference matrix: partitions sharing any vertex must
-    // not run concurrently (a dispatch could consume the other's stale
-    // master and redo the propagation after the merge). Vertices
-    // mirrored by more partitions than the cap are hubs: their
-    // partitions are flagged as interfering with everything, which
-    // bounds the build at kHubFanoutCap * mirror entries.
-    constexpr std::uint64_t kHubFanoutCap = 32;
-    interference_.assign(static_cast<std::size_t>(nparts) * nparts, 0);
-    interferes_all_.assign(nparts, 0);
-    for (VertexId v = 0; v < g_.numVertices(); ++v) {
-        const std::uint64_t lo = mirror_offsets_[v];
-        const std::uint64_t hi = mirror_offsets_[v + 1];
-        const std::uint64_t fanout = hi - lo;
-        if (fanout < 2)
-            continue;
-        if (fanout > kHubFanoutCap) {
-            for (std::uint64_t k = lo; k < hi; ++k)
-                interferes_all_[mirror_parts_[k]] = 1;
-            continue;
-        }
-        for (std::uint64_t i = lo; i < hi; ++i) {
-            for (std::uint64_t j = i + 1; j < hi; ++j) {
-                const PartitionId a = mirror_parts_[i];
-                const PartitionId b = mirror_parts_[j];
-                interference_[static_cast<std::size_t>(a) * nparts + b] =
-                    1;
-                interference_[static_cast<std::size_t>(b) * nparts + a] =
-                    1;
-            }
-        }
-    }
-
-    // Partition precursors via the DAG sketch: partitions holding paths
-    // of precursor SCC-vertices. SCC-vertices consisting only of
-    // auxiliary star hubs (see buildDependencyGraph) carry no paths, so
-    // dependencies are resolved *through* them to the nearest
-    // path-bearing ancestors.
-    std::vector<std::vector<PartitionId>> parts_of_scc(pre_.dag.num_sccs);
-    for (PathId p = 0; p < np; ++p)
-        parts_of_scc[pre_.scc_of_path[p]].push_back(partition_of_path_[p]);
-    for (auto &v : parts_of_scc) {
-        std::sort(v.begin(), v.end());
-        v.erase(std::unique(v.begin(), v.end()), v.end());
-    }
-
-    // eff_parts[s]: partitions holding paths of the nearest path-bearing
-    // ancestor SCC-vertices of s, resolved *through* path-less (aux-only)
-    // SCC-vertices in topological order. Partition sets stay small
-    // (bounded by the partition count), so relaying through the
-    // dependency graph's star hubs cannot re-expand the quadratic
-    // producer x consumer structure the stars compressed.
-    std::vector<std::vector<PartitionId>> eff_parts(pre_.dag.num_sccs);
-    for (const VertexId s : graph::topologicalOrder(pre_.dag.sketch)) {
-        auto &mine = eff_parts[s];
-        for (const VertexId t : pre_.dag.sketch.inNeighbors(s)) {
-            const auto &src = pre_.dag.paths_in_scc[t].empty()
-                                  ? eff_parts[t]
-                                  : parts_of_scc[t];
-            mine.insert(mine.end(), src.begin(), src.end());
-        }
-        std::sort(mine.begin(), mine.end());
-        mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
-    }
-
-    precursor_parts_.assign(nparts, {});
-    for (PartitionId q = 0; q < nparts; ++q) {
-        std::vector<PartitionId> pre_parts;
-        SccId last = kInvalidScc;
-        for (std::uint32_t p = pre_.partition_offsets[q];
-             p < pre_.partition_offsets[q + 1]; ++p) {
-            const SccId sv = pre_.scc_of_path[p];
-            if (sv == last)
-                continue; // partition paths are SCC-sorted
-            last = sv;
-            pre_parts.insert(pre_parts.end(), eff_parts[sv].begin(),
-                             eff_parts[sv].end());
-        }
-        std::sort(pre_parts.begin(), pre_parts.end());
-        pre_parts.erase(std::unique(pre_parts.begin(), pre_parts.end()),
-                        pre_parts.end());
-        std::erase(pre_parts, q);
-        precursor_parts_[q] = std::move(pre_parts);
-    }
-
-    // Partition-level dependency SCC groups (cyclically dependent
-    // partitions must iterate together) and their condensed DAG, used
-    // for the transitive upstream-quiescence readiness test. Besides the
-    // inter-SCC precursor edges, partitions sharing one SCC-vertex are
-    // mutually dependent (intra-SCC path dependencies are invisible in
-    // the sketch), so a cycle is threaded through each such partition
-    // set.
-    {
-        graph::GraphBuilder builder(nparts);
-        for (PartitionId q = 0; q < nparts; ++q) {
-            for (const PartitionId t : precursor_parts_[q])
-                builder.addEdge(t, q);
-        }
-        for (SccId s = 0; s < pre_.dag.num_sccs; ++s) {
-            const auto &parts = parts_of_scc[s];
-            if (parts.size() < 2)
-                continue;
-            for (std::size_t i = 0; i < parts.size(); ++i) {
-                builder.addEdge(parts[i],
-                                parts[(i + 1) % parts.size()]);
-            }
-        }
-        const auto part_graph = builder.build();
-        const auto scc = graph::computeScc(part_graph);
-        partition_group_ = scc.component;
-        group_dag_ = graph::condense(part_graph, scc);
-        group_topo_ = graph::topologicalOrder(group_dag_);
-    }
-
-    // Partition byte footprints.
-    partition_bytes_.resize(nparts);
-    for (PartitionId q = 0; q < nparts; ++q) {
-        partition_bytes_[q] = storage_.rangeBytes(
-            pre_.partition_offsets[q], pre_.partition_offsets[q + 1]);
-    }
-
-    // Pri(p) scale: alpha = 1 / (maxAvgDeg * maxN).
-    double max_deg = 1.0;
-    std::size_t max_n = 1;
-    for (PathId p = 0; p < np; ++p) {
-        max_deg = std::max(max_deg, pre_.path_avg_degree[p]);
-        max_n = std::max(max_n, pre_.paths.pathLength(p) + 1);
-    }
-    pri_alpha_ = 1.0 / (max_deg * static_cast<double>(max_n));
-}
-
-std::vector<std::uint8_t>
-DiGraphEngine::blockedGroups() const
-{
-    // A group is blocked while any group transitively upstream of it has
-    // an active partition — the paper's "dispatch when the precursors are
-    // inactive", evaluated against full upstream convergence rather than
-    // the momentary worklist flags.
-    std::vector<std::uint8_t> active(group_dag_.numVertices(), 0);
-    for (PartitionId q = 0; q < pre_.numPartitions(); ++q) {
-        if (partition_active_[q])
-            active[partition_group_[q]] = 1;
-    }
-    std::vector<std::uint8_t> blocked(group_dag_.numVertices(), 0);
-    for (const VertexId gid : group_topo_) {
-        for (const VertexId succ : group_dag_.outNeighbors(gid)) {
-            if (active[gid] || blocked[gid])
-                blocked[succ] = 1;
-        }
-    }
-    return blocked;
-}
-
-PartitionId
-DiGraphEngine::choosePartition(const std::vector<std::uint64_t> &stamp,
-                               std::uint64_t wave,
-                               const std::vector<std::uint8_t> *blocked)
-{
-    // Among active, unblocked partitions not yet dispatched in this wave
-    // pick (lowest layer, id) — topological dispatch order. With blocked
-    // == nullptr the call realizes the paper's "in advance" execution:
-    // the active partition with the fewest active direct precursors runs
-    // even though upstream work remains.
-    const PartitionId nparts = pre_.numPartitions();
-    PartitionId best = kInvalidPartition;
-    std::size_t best_pre = SIZE_MAX;
-    std::uint32_t best_layer = UINT32_MAX;
-    for (PartitionId q = 0; q < nparts; ++q) {
-        if (!partition_active_[q] || stamp[q] >= wave)
-            continue;
-        if (blocked && options_.dag_dispatch &&
-            (*blocked)[partition_group_[q]]) {
-            continue;
-        }
-        std::size_t active_pre = 0;
-        if (!blocked && options_.dag_dispatch) {
-            for (const PartitionId t : precursor_parts_[q]) {
-                if (partition_active_[t] &&
-                    partition_group_[t] != partition_group_[q]) {
-                    ++active_pre;
-                }
-            }
-        }
-        const std::uint32_t layer = pre_.partition_layer[q];
-        if (active_pre < best_pre ||
-            (active_pre == best_pre && layer < best_layer)) {
-            best = q;
-            best_pre = active_pre;
-            best_layer = layer;
-        }
-    }
-    return best;
-}
-
-DeviceId
-DiGraphEngine::chooseDevice(PartitionId p) const
-{
-    // Estimated-start-time dispatch: a device already holding the
-    // partition (or many of its precursors' buffered results) skips the
-    // host transfer, but a busy device must not hoard work — pick the
-    // device minimizing (least-loaded SMX clock + required transfer
-    // cost). This realizes both the paper's precursor affinity and the
-    // multi-GPU spreading of the giant SCC-vertex.
-    const double xfer_cost =
-        options_.platform.transfer_latency_cycles +
-        static_cast<double>(partition_bytes_[p]) /
-            options_.platform.host_link_bytes_per_cycle;
-    DeviceId best = kInvalidVertex;
-    double best_start = 0.0;
-    for (DeviceId d = 0; d < platform_.numDevices(); ++d) {
-        const auto &device = platform_.device(d);
-        if (device.failed())
-            continue; // degrade: survivors absorb the dead device's share
-        double start = device.smx(device.leastLoadedSmx()).clock();
-        if (partition_device_[p] != d)
-            start += xfer_cost;
-        // Small bonus per resident precursor: remote results are local.
-        for (const PartitionId t : precursor_parts_[p]) {
-            if (partition_device_[t] == d)
-                start -= options_.platform.transfer_latency_cycles * 0.05;
-        }
-        if (best == kInvalidVertex || start < best_start) {
-            best = d;
-            best_start = start;
-        }
-    }
-    if (best == kInvalidVertex)
-        panic("DiGraphEngine::chooseDevice: no alive device");
-    return best;
-}
-
-double
-DiGraphEngine::ensureResident(PartitionId p, DeviceId dev,
-                              double issue_time,
-                              metrics::RunReport &report)
-{
-    auto &resident = device_resident_[dev];
-    const auto it = std::find(resident.begin(), resident.end(), p);
-    if (it != resident.end()) {
-        // LRU touch.
-        resident.erase(it);
-        resident.push_back(p);
-        return issue_time;
-    }
-
-    // Evict least-recently-used partitions until the batch fits.
-    auto &used = device_resident_bytes_[dev];
-    const std::size_t bytes = partition_bytes_[p];
-    auto &device = platform_.device(dev);
-    while (!resident.empty() &&
-           used + bytes > options_.platform.global_mem_bytes) {
-        const PartitionId victim = resident.front();
-        resident.erase(resident.begin());
-        used -= partition_bytes_[victim];
-        if (partition_device_[victim] == dev)
-            partition_device_[victim] = kInvalidVertex;
-        // Buffered results written back to host memory.
-        device.hostLink().transfer(
-            issue_time +
-                transferFaultPenalty(partition_bytes_[victim], report),
-            partition_bytes_[victim]);
-        report.comm_cycles +=
-            device.hostLink().cost(partition_bytes_[victim]);
-    }
-    resident.push_back(p);
-    used += bytes;
-
-    const double done = device.hostLink().transfer(
-        issue_time + transferFaultPenalty(bytes, report), bytes);
-    report.comm_cycles += device.hostLink().cost(bytes);
-    counters_.add(metrics::Counter::HostTransferBytes, bytes);
-    return done;
+    std::size_t bytes = plane_.memoryBytes();
+    bytes += partition_process_count_.size() * sizeof(std::uint32_t);
+    bytes += transport_.partition_device.size() * sizeof(DeviceId);
+    bytes += transport_.partition_done.size() * sizeof(double);
+    bytes += transport_.partition_msg_ready.size() * sizeof(double);
+    bytes += transport_.master_writer.size() * sizeof(DeviceId);
+    for (const auto &resident : transport_.device_resident)
+        bytes += resident.capacity() * sizeof(PartitionId);
+    bytes += transport_.device_resident_bytes.size() * sizeof(std::size_t);
+    bytes += transport_.smx_stall_factor.size() * sizeof(double);
+    return bytes;
 }
 
 metrics::RunReport
@@ -437,7 +118,7 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     metrics::RunReport report;
     report.system = modeName(options_.mode);
     report.algorithm = algo.name();
-    report.num_gpus = platform_.numDevices();
+    report.num_gpus = transport_.platform().numDevices();
     report.num_partitions = pre_.numPartitions();
     report.preprocess_seconds = preprocessSeconds();
 
@@ -446,57 +127,16 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     if (nthreads > 1 && (!pool_ || pool_->size() != nthreads))
         pool_ = std::make_unique<ThreadPool>(nthreads);
 
-    platform_.reset();
     counters_.reset();
     trace_ = options_.trace;
 
-    // Initialize storage from the algorithm (or from the warm start).
-    std::vector<Value> vinit(g_.numVertices());
-    if (warm && warm->vertex_state) {
-        if (warm->vertex_state->size() != g_.numVertices())
-            panic("DiGraphEngine::run: warm state size mismatch");
-        vinit = *warm->vertex_state;
-    } else {
-        for (VertexId v = 0; v < g_.numVertices(); ++v)
-            vinit[v] = algo.initVertex(g_, v);
-    }
-    std::vector<Value> einit(g_.numEdges());
-    if (warm && warm->edge_state) {
-        if (warm->edge_state->size() != g_.numEdges())
-            panic("DiGraphEngine::run: warm edge-state size mismatch");
-        einit = *warm->edge_state;
-    } else {
-        for (EdgeId e = 0; e < g_.numEdges(); ++e) {
-            einit[e] = warm ? algo.warmEdgeState(
-                                  g_, e, vinit[g_.edgeSource(e)])
-                            : algo.initEdge(g_, e);
-        }
-    }
-    storage_.initialize(vinit, einit);
-
     const PartitionId nparts = pre_.numPartitions();
-    const PathId npaths = pre_.paths.numPaths();
-    slot_active_.assign(storage_.eIdx().size(), 0);
-    master_version_.assign(g_.numVertices(), 0);
-    slot_seen_version_.assign(storage_.eIdx().size(), 0);
-    partition_active_.assign(nparts, 0);
+    transport_.beginRun(options_, nparts, g_.numVertices(), &counters_);
+    transport_.setTraceContext(trace_, trace_wave_, trace_wave_sim_);
+
+    plane_.initializeState(g_, algo, warm);
+    plane_.beginRun(pre_);
     partition_process_count_.assign(nparts, 0);
-    partition_device_.assign(nparts, kInvalidVertex);
-    partition_done_.assign(nparts, 0.0);
-    partition_msg_ready_.assign(nparts, 0.0);
-    master_writer_.assign(g_.numVertices(), kInvalidVertex);
-    device_resident_.assign(platform_.numDevices(), {});
-    device_resident_bytes_.assign(platform_.numDevices(), 0);
-    path_active_count_.assign(npaths, 0);
-    path_in_worklist_.assign(npaths, 0);
-    partition_worklist_.assign(nparts, {});
-    stale_queue_.assign(nparts, {});
-    partition_dirty_.resize(nparts);
-    for (PartitionId q = 0; q < nparts; ++q) {
-        partition_dirty_[q].bind(
-            storage_.pathOffset(pre_.partition_offsets[q]),
-            storage_.pathOffset(pre_.partition_offsets[q + 1]));
-    }
     if (ft_enabled_)
         initFaultTolerance();
 
@@ -504,55 +144,17 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     // front, streamed via the copy queues (Hyper-Q) so kernels can start
     // without waiting on host memory (Section 3.2.2's advance transfer
     // of successive paths). Placement is balanced by bytes.
-    {
-        // Contiguous blocks keep SCC-affine neighbor partitions on the
-        // same device (the partition order is already dependency-sorted).
-        std::size_t total_bytes = 0;
-        for (PartitionId q = 0; q < nparts; ++q)
-            total_bytes += partition_bytes_[q];
-        const std::size_t per_dev =
-            total_bytes / platform_.numDevices() + 1;
-        std::size_t filled = 0;
-        for (PartitionId q = 0; q < nparts; ++q) {
-            const auto dev = static_cast<DeviceId>(
-                std::min<std::size_t>(platform_.numDevices() - 1,
-                                      filled / per_dev));
-            filled += partition_bytes_[q];
-            auto &device = platform_.device(dev);
-            const double done = device.hostLink().transfer(
-                transferFaultPenalty(partition_bytes_[q], report),
-                partition_bytes_[q]);
-            report.comm_cycles +=
-                device.hostLink().cost(partition_bytes_[q]);
-            counters_.add(metrics::Counter::HostTransferBytes,
-                          partition_bytes_[q]);
-            partition_device_[q] = dev;
-            partition_done_[q] = done;
-            device_resident_[dev].push_back(q);
-            device_resident_bytes_[dev] += partition_bytes_[q];
-        }
-    }
+    transport_.prefetchAll(nparts, sched_, report);
 
     // Initial activation: the algorithm's initActive() set, or — on a
     // warm start — only the supplied seed vertices.
-    auto activate = [&](VertexId v) {
-        for (std::uint64_t k = occur_offsets_[v];
-             k < occur_offsets_[v + 1]; ++k) {
-            const std::uint64_t slot = occur_slots_[k];
-            if (isSrcSlot(slot)) {
-                activateSlot(slot);
-                partition_active_[partition_of_path_[path_of_slot_[slot]]] =
-                    1;
-            }
-        }
-    };
     if (warm && warm->active_vertices && !options_.force_all_active) {
         for (const VertexId v : *warm->active_vertices)
-            activate(v);
+            sync_.activateVertex(plane_, v);
     } else {
         for (VertexId v = 0; v < g_.numVertices(); ++v) {
             if (options_.force_all_active || algo.initActive(g_, v))
-                activate(v);
+                sync_.activateVertex(plane_, v);
         }
     }
 
@@ -587,11 +189,12 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
         // group is dispatchable only when everything transitively
         // upstream of it has converged, and partitions activated during
         // the wave wait for the next one.
-        const auto blocked = blockedGroups();
+        const auto blocked = sched_.blockedGroups(plane_.partition_active);
         batch.clear();
         for (;;) {
-            const PartitionId p =
-                choosePartition(wave_stamp, wave, &blocked);
+            const PartitionId p = sched_.choosePartition(
+                wave_stamp, wave, &blocked, plane_.partition_active,
+                options_.dag_dispatch);
             if (p == kInvalidPartition)
                 break;
             wave_stamp[p] = wave;
@@ -601,8 +204,9 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
             // Nothing ready: either converged, or an (unlikely) blocked
             // cycle remains — run one partition "in advance" to make
             // progress (and keep otherwise idle SMXs busy).
-            const PartitionId p =
-                choosePartition(wave_stamp, wave, nullptr);
+            const PartitionId p = sched_.choosePartition(
+                wave_stamp, wave, nullptr, plane_.partition_active,
+                options_.dag_dispatch);
             if (p != kInvalidPartition) {
                 wave_stamp[p] = wave;
                 batch.push_back(p);
@@ -616,7 +220,9 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
             // Wave context for the compute-phase events: written here by
             // the serial scheduler, read-only while workers run.
             trace_wave_ = wave;
-            trace_wave_sim_ = platform_.makespan();
+            trace_wave_sim_ = transport_.platform().makespan();
+            transport_.setTraceContext(trace_, trace_wave_,
+                                       trace_wave_sim_);
             trace_->event(metrics::TraceEventType::WaveStart, wave,
                           metrics::kTraceNoPartition, trace_wave_sim_,
                           0.0, batch.size(), batch.front());
@@ -626,32 +232,8 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
         std::vector<PartitionId> chunk;
         std::size_t done = 0;
         while (done < batch.size()) {
-            // Greedy independent-set chunk in batch (priority) order:
-            // the first remaining partition always enters, later ones
-            // only if vertex-disjoint from every current member.
             schedule_timer.begin();
-            chunk.clear();
-            for (std::size_t i = 0; i < batch.size(); ++i) {
-                if (taken[i])
-                    continue;
-                const PartitionId p = batch[i];
-                bool compatible =
-                    chunk.empty() ||
-                    (!interferes_all_[p] &&
-                     std::none_of(
-                         chunk.begin(), chunk.end(),
-                         [&](PartitionId m) {
-                             return interferes_all_[m] ||
-                                    interference_[static_cast<std::size_t>(
-                                                      p) *
-                                                      nparts +
-                                                  m];
-                         }));
-                if (!compatible)
-                    continue;
-                chunk.push_back(p);
-                taken[i] = 1;
-            }
+            sched_.nextChunk(batch, taken, chunk);
             done += chunk.size();
             if (ft_enabled_) {
                 // Journal the E_val slices this chunk may mutate —
@@ -659,7 +241,7 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                 // them (copy-on-write at the granularity the dispatch
                 // hands to a device).
                 for (const PartitionId cp : chunk)
-                    markPartitionDirty(cp);
+                    plane_.markPartitionDirty(cp);
             }
             schedule_timer.end();
 
@@ -685,7 +267,8 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
         if (trace_) {
             trace_->event(metrics::TraceEventType::WaveEnd, wave,
                           metrics::kTraceNoPartition,
-                          platform_.makespan(), 0.0, batch.size());
+                          transport_.platform().makespan(), 0.0,
+                          batch.size());
         }
     }
     if (options_.verify_invariants) {
@@ -701,623 +284,24 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                   wave - 1); // the last wave dispatched nothing
     counters_.set(metrics::Counter::NumPartitions, nparts);
     counters_.set(metrics::Counter::RingTransferBytes,
-                  platform_.ring().totalBytes());
+                  transport_.platform().ring().totalBytes());
     counters_.set(metrics::Counter::GlobalLoadBytes,
-                  platform_.globalLoadBytes());
+                  transport_.platform().globalLoadBytes());
     counters_.set(metrics::Counter::UsedVertices,
                   counters_.get(metrics::Counter::VertexUpdates));
     counters_.exportTo(report);
     if (trace_)
         trace_->setCounters(counters_);
 
-    report.final_state.assign(storage_.vVals().begin(),
-                              storage_.vVals().end());
-    report.sim_cycles = platform_.makespan();
-    report.utilization = platform_.utilization();
+    report.final_state.assign(plane_.storage.vVals().begin(),
+                              plane_.storage.vVals().end());
+    report.sim_cycles = transport_.platform().makespan();
+    report.utilization = transport_.platform().utilization();
     report.wall_seconds = wall.seconds();
     report.wall_compute_seconds = compute_timer.seconds();
     report.wall_barrier_seconds = barrier_timer.seconds();
     report.wall_schedule_seconds = schedule_timer.seconds();
     return report;
-}
-
-DiGraphEngine::DispatchOutcome
-DiGraphEngine::computeDispatch(PartitionId p,
-                               const algorithms::Algorithm &algo)
-{
-    DispatchOutcome out;
-    out.partition = p;
-    // Clearing here (not at batch selection) absorbs re-activations from
-    // earlier chunks of the same wave: their stale-queue entries are
-    // consumed by the conversion below, so the flag need not survive.
-    // Re-activations by *this* chunk's barrier happen after every
-    // compute returns and do survive. Distinct bytes per partition, so
-    // concurrent dispatches clearing their own flags do not race.
-    partition_active_[p] = 0;
-
-    const std::uint32_t path_lo = pre_.partition_offsets[p];
-    const std::uint32_t path_hi = pre_.partition_offsets[p + 1];
-    const std::uint64_t slot_lo = storage_.pathOffset(path_lo);
-    const std::uint64_t slot_hi = storage_.pathOffset(path_hi);
-    const std::uint64_t partition_slots = slot_hi - slot_lo;
-
-    // Private master overlay: wave-start master + this dispatch's own
-    // merges. Global V_val is frozen for the whole wave, so concurrent
-    // dispatches may read it freely.
-    auto &overlay = out.overlay;
-    const auto masterOf = [&](VertexId v) -> Value {
-        const auto it = overlay.find(v);
-        return it != overlay.end() ? it->second : storage_.vVal(v);
-    };
-
-    // Stale-queue conversion (replaces the dispatch-start full version
-    // scan): only vertices whose master version bumped since this
-    // partition last absorbed them are examined. Activating their source
-    // slots folds cross-partition staleness into the one slot_active_
-    // worklist the local rounds run on.
-    {
-        auto &queue = stale_queue_[p];
-        std::sort(queue.begin(), queue.end());
-        queue.erase(std::unique(queue.begin(), queue.end()), queue.end());
-        for (const VertexId v : queue) {
-            bool any_stale = false;
-            const auto occ_begin = occur_slots_.begin() +
-                                   static_cast<std::ptrdiff_t>(
-                                       occur_offsets_[v]);
-            const auto occ_end = occur_slots_.begin() +
-                                 static_cast<std::ptrdiff_t>(
-                                     occur_offsets_[v + 1]);
-            for (auto it = std::lower_bound(occ_begin, occ_end, slot_lo);
-                 it != occ_end && *it < slot_hi; ++it) {
-                const std::uint64_t slot = *it;
-                if (slot_seen_version_[slot] != master_version_[v]) {
-                    any_stale = true;
-                    slot_seen_version_[slot] = master_version_[v];
-                    if (isSrcSlot(slot))
-                        activateSlot(slot);
-                }
-            }
-            if (any_stale)
-                out.stale_vertices.push_back(v);
-        }
-        queue.clear();
-    }
-
-    // Lazy partition pull: only paths with active work are streamed from
-    // global memory (and their mirrors refreshed), on their first
-    // activation within this dispatch. Cold paths co-located in the
-    // partition are not loaded at all — the loaded-data-utilization
-    // advantage of hot/cold path grouping.
-    std::vector<std::uint8_t> pulled(path_hi - path_lo, 0);
-
-    const unsigned lanes = options_.platform.lanesPerSmx();
-    const bool coalesced = options_.mode != ExecutionMode::VertexAsync;
-    const double per_edge_cycles =
-        options_.platform.cycles_per_edge +
-        kWordsPerEdge * options_.platform.cycles_per_global_access *
-            (coalesced ? options_.platform.coalesced_factor : 1.0);
-
-    std::vector<PathId> active_paths;
-    std::vector<std::uint32_t> active_counts;
-    std::vector<std::uint64_t> pending; // VertexAsync deferred flags
-    std::vector<Value> snapshot;
-    std::vector<VertexId> changed;
-    auto &worklist = partition_worklist_[p];
-    auto &dirty = partition_dirty_[p];
-
-    std::size_t local_rounds = 0;
-    for (;;) {
-        // Collect paths with at least one active source slot from the
-        // incremental worklist — O(active paths), not O(partition
-        // slots). Sorting restores storage order (what the former full
-        // sweep produced), which PathNoSched relies on.
-        active_paths.clear();
-        active_counts.clear();
-        std::sort(worklist.begin(), worklist.end());
-        std::size_t keep = 0;
-        for (const PathId q : worklist) {
-            if (path_active_count_[q] > 0) {
-                worklist[keep++] = q;
-                active_paths.push_back(q);
-                active_counts.push_back(path_active_count_[q]);
-            } else {
-                path_in_worklist_[q] = 0;
-            }
-        }
-        worklist.resize(keep);
-        if (active_paths.empty())
-            break;
-        if (local_rounds >= options_.max_local_rounds) {
-            out.reactivate_self = true; // reschedule the remainder
-            break;
-        }
-        ++local_rounds;
-
-        // First-touch pull of newly active paths (through the overlay so
-        // the pull sees this dispatch's own pending merges).
-        for (const PathId q : active_paths) {
-            if (pulled[q - path_lo])
-                continue;
-            pulled[q - path_lo] = 1;
-            if (overlay.empty())
-                storage_.pullPath(q);
-            else
-                storage_.pullPathWith(q, masterOf);
-            const std::size_t bytes = storage_.pathBytes(q);
-            out.loaded_vertices +=
-                storage_.pathOffset(q + 1) - storage_.pathOffset(q);
-            out.global_load_bytes += bytes;
-        }
-
-        // Path scheduling (Section 3.2.3): the warp scheduler runs paths
-        // in Pri(p) order; DiGraph-w keeps plain storage order.
-        if (options_.mode == ExecutionMode::PathAsync) {
-            std::vector<std::size_t> idx(active_paths.size());
-            std::iota(idx.begin(), idx.end(), 0);
-            std::stable_sort(
-                idx.begin(), idx.end(),
-                [&](std::size_t a, std::size_t b) {
-                    const PathId pa = active_paths[a];
-                    const PathId pb = active_paths[b];
-                    const double pri_a =
-                        pri_alpha_ * pre_.path_avg_degree[pa] *
-                            active_counts[a] -
-                        static_cast<double>(pre_.path_layer[pa]);
-                    const double pri_b =
-                        pri_alpha_ * pre_.path_avg_degree[pb] *
-                            active_counts[b] -
-                        static_cast<double>(pre_.path_layer[pb]);
-                    return pri_a > pri_b;
-                });
-            std::vector<PathId> ordered(active_paths.size());
-            for (std::size_t i = 0; i < idx.size(); ++i)
-                ordered[i] = active_paths[idx[i]];
-            active_paths.swap(ordered);
-            if (trace_) {
-                trace_->event(metrics::TraceEventType::PathSchedule,
-                              trace_wave_, p, trace_wave_sim_, 0.0,
-                              active_paths.size(), active_paths.front());
-            }
-        }
-
-        // Warp-scheduler capacity: one GPU thread processes one path per
-        // round, so at most lanes x (stealable SMXs) paths run; the rest
-        // keep their activation flags and wait. The Pri(p) order decides
-        // who runs first (Section 3.2.3) — DiGraph-w's FIFO order defers
-        // important paths, which is exactly what Fig 7 measures.
-        {
-            // Stealing lends at most one extra SMX's lanes in the
-            // common case (idle SMXs are scarce in steady state).
-            const std::size_t capacity =
-                static_cast<std::size_t>(lanes) *
-                (options_.work_stealing ? 2 : 1);
-            if (active_paths.size() > capacity)
-                active_paths.resize(capacity);
-        }
-
-        // VertexAsync (DiGraph-t): snapshot source reads so that new
-        // states cross one hop per round.
-        const bool vertex_async =
-            options_.mode == ExecutionMode::VertexAsync;
-        if (vertex_async) {
-            snapshot.assign(partition_slots, 0.0);
-            for (std::uint64_t s = slot_lo; s < slot_hi; ++s)
-                snapshot[s - slot_lo] = storage_.sVal(s);
-            pending.clear();
-        }
-
-        // Walk each active path sequentially (one simulated GPU thread
-        // per path). Inactive positions are skip-scanned: the thread
-        // still streams E_idx but performs no compute there.
-        std::vector<std::uint64_t> processed_edges(active_paths.size(), 0);
-        for (std::size_t ap = 0; ap < active_paths.size(); ++ap) {
-            const PathId q = active_paths[ap];
-            auto view = storage_.path(q);
-            const std::uint64_t base = storage_.pathOffset(q);
-            const auto n_edges = view.length();
-            for (std::size_t i = 0; i < n_edges; ++i) {
-                const std::uint64_t src_slot = base + i;
-                const VertexId src_v = view.vertex_ids[i];
-                if (!slot_active_[src_slot])
-                    continue;
-                slot_active_[src_slot] = 0;
-                --path_active_count_[q];
-                slot_seen_version_[src_slot] = master_version_[src_v];
-                const Value src_val =
-                    vertex_async ? snapshot[src_slot - slot_lo]
-                                 : view.mirror_states[i];
-                const EdgeId eid = view.edge_ids[i];
-                const bool changed_dst = algo.processEdge(
-                    src_val, view.edge_states[i], eid, g_.edgeWeight(eid),
-                    static_cast<std::uint32_t>(g_.outDegree(src_v)),
-                    view.mirror_states[i + 1]);
-                ++out.edge_processings;
-                ++processed_edges[ap];
-                // The destination mirror may have been written even on a
-                // sub-threshold update — it joins the dirty worklist the
-                // mirror-push phase examines.
-                dirty.mark(base + i + 1);
-                if (changed_dst) {
-                    ++out.vertex_updates;
-                    const std::uint64_t dst_slot = base + i + 1;
-                    if (isSrcSlot(dst_slot)) {
-                        if (vertex_async)
-                            pending.push_back(dst_slot);
-                        else
-                            activateSlot(dst_slot);
-                    }
-                }
-            }
-        }
-
-        if (vertex_async) {
-            for (const std::uint64_t slot : pending)
-                activateSlot(slot);
-        }
-
-        // --- mirror -> master sync (batched, Section 3.2.2) ---
-        // Phase 1: every dirty mirror pushes its pending value/delta to
-        // the (privately overlaid) master. Only slots written this round
-        // are examined — the incremental replacement of the former full
-        // slot-range sweep. Ascending slot order keeps the merge order
-        // of the sweep. Refreshes are deferred to phase 2 so that a
-        // refresh of one replica can never clobber another replica's
-        // un-pushed work.
-        std::uint64_t proxy_pushes = 0;
-        std::uint64_t atomic_pushes = 0;
-        changed.clear();
-        auto &dirty_slots = dirty.slots();
-        std::sort(dirty_slots.begin(), dirty_slots.end());
-        for (const std::uint64_t s : dirty_slots) {
-            Value &mirror = storage_.sVal(s);
-            Value &loaded = storage_.loadedVal(s);
-            if (!algo.hasPush(mirror, loaded))
-                continue;
-            const VertexId v = storage_.vertexAt(s);
-            const Value push = algo.pushValue(mirror, loaded);
-            const auto [it, inserted] =
-                overlay.try_emplace(v, storage_.vVal(v));
-            const bool master_changed = algo.mergeMaster(it->second, push);
-            loaded = mirror;
-            out.pushes.emplace_back(v, push);
-            if (options_.use_proxy &&
-                g_.inDegree(v) >= options_.proxy_indegree_threshold) {
-                ++proxy_pushes;
-            } else {
-                ++atomic_pushes;
-            }
-            if (master_changed)
-                changed.push_back(v);
-        }
-        dirty.reset();
-        std::sort(changed.begin(), changed.end());
-        changed.erase(std::unique(changed.begin(), changed.end()),
-                      changed.end());
-        if (trace_ && proxy_pushes + atomic_pushes > 0) {
-            trace_->event(metrics::TraceEventType::MirrorPush,
-                          trace_wave_, p, trace_wave_sim_, 0.0,
-                          proxy_pushes + atomic_pushes, local_rounds);
-        }
-
-        // Phase 2: refresh and re-activate this partition's own mirrors
-        // of each changed vertex (the proxy-vertex effect: accumulated
-        // results are reusable on this SMX within the next local round).
-        // The occurrence list is slot-sorted, so the local slice is found
-        // by binary search; remote occurrences are handled at the wave
-        // barrier.
-        for (const VertexId v : changed) {
-            const Value master = overlay.find(v)->second;
-            const auto occ_begin = occur_slots_.begin() +
-                                   static_cast<std::ptrdiff_t>(
-                                       occur_offsets_[v]);
-            const auto occ_end = occur_slots_.begin() +
-                                 static_cast<std::ptrdiff_t>(
-                                     occur_offsets_[v + 1]);
-            for (auto it = std::lower_bound(occ_begin, occ_end, slot_lo);
-                 it != occ_end && *it < slot_hi; ++it) {
-                const std::uint64_t slot = *it;
-                Value &mirror = storage_.sVal(slot);
-                mirror = algo.pull(master, mirror);
-                storage_.loadedVal(slot) = mirror;
-                if (isSrcSlot(slot))
-                    activateSlot(slot);
-            }
-        }
-
-        // --- simulated cost of this round (recorded; charged to real
-        //     SMX clocks at the wave barrier) ---
-        // Per-thread load balancing: paths are packed into lane bins by
-        // work units (longest first); work stealing spreads bins over
-        // several SMXs of the device. A path's work is its processed
-        // edges at full cost plus a cheap coalesced skip-scan of its
-        // inactive positions.
-        const double skip_frac =
-            options_.platform.cycles_per_global_access *
-            options_.platform.coalesced_factor / per_edge_cycles;
-        std::vector<std::uint64_t> path_work(active_paths.size());
-        for (std::size_t ap = 0; ap < active_paths.size(); ++ap) {
-            const std::uint64_t len =
-                pre_.paths.pathLength(active_paths[ap]);
-            path_work[ap] =
-                processed_edges[ap] +
-                static_cast<std::uint64_t>(
-                    static_cast<double>(len - processed_edges[ap]) *
-                    skip_frac);
-        }
-        std::stable_sort(path_work.begin(), path_work.end(),
-                         std::greater<>());
-        const unsigned max_groups =
-            options_.work_stealing ? options_.platform.smx_per_device : 1;
-        const unsigned n_bins = static_cast<unsigned>(std::min<std::size_t>(
-            path_work.size(),
-            static_cast<std::size_t>(lanes) * max_groups));
-        std::vector<std::uint64_t> bins(std::max(1u, n_bins), 0);
-        for (std::size_t i = 0; i < path_work.size(); ++i)
-            bins[i % bins.size()] += path_work[i];
-        // Pushes are issued by all participating threads in parallel;
-        // per-lane sync cost is the per-thread share.
-        const double sync_cycles =
-            (static_cast<double>(proxy_pushes) *
-                 options_.platform.cycles_per_shared_access +
-             static_cast<double>(atomic_pushes) *
-                 options_.platform.cycles_per_atomic) /
-            std::max(1u, n_bins);
-        // Work-stealing groups start together on different SMXs; the
-        // round ends when the slowest group finishes.
-        const unsigned groups = (n_bins + lanes - 1) / lanes;
-        std::vector<double> group_cycles;
-        group_cycles.reserve(std::max(1u, groups));
-        for (unsigned k = 0; k < std::max(1u, groups); ++k) {
-            std::vector<std::uint64_t> group(
-                bins.begin() + std::min<std::size_t>(bins.size(),
-                                                     k * lanes),
-                bins.begin() +
-                    std::min<std::size_t>(bins.size(), (k + 1) * lanes));
-            if (group.empty())
-                group.push_back(0);
-            group_cycles.push_back(
-                gpusim::warpCost(group, per_edge_cycles) + sync_cycles);
-        }
-        out.round_group_cycles.push_back(std::move(group_cycles));
-    }
-    out.local_rounds = local_rounds;
-
-    // Global-load accounting: charged to the wave-start resident device
-    // (thread-safe atomic counter); deferred to the barrier when the
-    // partition was evicted and has no residence.
-    if (out.global_load_bytes) {
-        const DeviceId dev = partition_device_[p];
-        if (dev != kInvalidVertex)
-            platform_.device(dev).addGlobalLoad(out.global_load_bytes);
-        else
-            out.deferred_load_bytes = out.global_load_bytes;
-    }
-    return out;
-}
-
-void
-DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
-                              const algorithms::Algorithm &algo,
-                              metrics::RunReport &report)
-{
-    const PartitionId p = outcome.partition;
-    ++partition_process_count_[p];
-    counters_.add(metrics::Counter::PartitionProcessings);
-    counters_.add(metrics::Counter::Rounds, outcome.local_rounds);
-    counters_.add(metrics::Counter::EdgeProcessings,
-                  outcome.edge_processings);
-    counters_.add(metrics::Counter::VertexUpdates,
-                  outcome.vertex_updates);
-    counters_.add(metrics::Counter::LoadedVertices,
-                  outcome.loaded_vertices);
-    counters_.add(metrics::Counter::GlobalLoadBytes,
-                  outcome.global_load_bytes);
-
-    const DeviceId dev = chooseDevice(p);
-    partition_device_[p] = dev;
-    auto &device = platform_.device(dev);
-    // One SMX owns this dispatch's serial round chain; other SMXs are
-    // touched only by work-stealing surplus, so concurrent partitions on
-    // the device keep their own SMXs.
-    const SmxId home_smx = device.leastLoadedSmx();
-    if (outcome.deferred_load_bytes)
-        device.addGlobalLoad(outcome.deferred_load_bytes);
-
-    double ready = ensureResident(
-        p, dev,
-        std::max({device.smx(home_smx).clock(), partition_done_[p],
-                  partition_msg_ready_[p]}),
-        report);
-
-    // Master refresh: path results are buffered in the global memory of
-    // the device that produced them (Section 3.2.2); masters written on
-    // another device are pulled over the ring, one batch per source
-    // device. Locally-written masters are free. The stale vertices were
-    // collected from the incremental stale queue at dispatch start.
-    {
-        std::vector<std::uint64_t> pull_bytes(platform_.numDevices(), 0);
-        for (const VertexId v : outcome.stale_vertices) {
-            const DeviceId home = master_writer_[v];
-            if (home != kInvalidVertex && home != dev)
-                pull_bytes[home] += kMessageBytes;
-        }
-        const double issue = ready;
-        for (DeviceId home = 0; home < platform_.numDevices(); ++home) {
-            if (pull_bytes[home] == 0)
-                continue;
-            ready = std::max(
-                ready,
-                platform_.ring().transfer(
-                    home, dev,
-                    issue + transferFaultPenalty(pull_bytes[home],
-                                                 report),
-                    pull_bytes[home]));
-            report.comm_cycles +=
-                options_.platform.transfer_latency_cycles +
-                static_cast<double>(pull_bytes[home]) /
-                    options_.platform.ring_bytes_per_cycle;
-        }
-    }
-
-    // Charge the recorded kernel rounds to the device clocks, exactly as
-    // the interleaved execution would have: group 0 chains on the home
-    // SMX, surplus groups steal the momentarily least-loaded SMX.
-    const double kernel_begin = ready;
-    for (const auto &group_cycles : outcome.round_group_cycles) {
-        const double round_start = ready;
-        double round_end = round_start;
-        for (std::size_t k = 0; k < group_cycles.size(); ++k) {
-            const SmxId sid =
-                k == 0 ? home_smx : device.leastLoadedSmx();
-            // An armed SMX stall slows this group's kernel down.
-            const double cycles =
-                group_cycles[k] * smxStallFactor(dev, sid);
-            if (trace_ && k > 0) {
-                trace_->event(metrics::TraceEventType::Steal,
-                              trace_wave_, p, round_start, cycles, k,
-                              sid);
-            }
-            round_end = std::max(round_end,
-                                 device.smx(sid).run(round_start,
-                                                     cycles));
-        }
-        ready = round_end;
-    }
-    if (trace_) {
-        trace_->event(metrics::TraceEventType::Dispatch, trace_wave_, p,
-                      kernel_begin, ready - kernel_begin,
-                      outcome.local_rounds, outcome.edge_processings);
-    }
-
-    // Commit the buffered master merges in push order against the true
-    // masters (earlier dispatches of this wave have already committed
-    // theirs — the deterministic dispatch-order merge).
-    std::vector<VertexId> changed;
-    for (const auto &[v, push] : outcome.pushes) {
-        // Journal before the merge: accumulative algorithms mutate the
-        // master even when mergeMaster reports no activation-worthy
-        // change, so every pushed vertex is checkpoint-dirty.
-        if (ft_enabled_)
-            markVertexDirty(v);
-        if (algo.mergeMaster(storage_.vVal(v), push))
-            changed.push_back(v);
-    }
-    std::sort(changed.begin(), changed.end());
-    changed.erase(std::unique(changed.begin(), changed.end()),
-                  changed.end());
-    if (trace_) {
-        trace_->event(metrics::TraceEventType::MergeBarrier, trace_wave_,
-                      p, ready, 0.0, outcome.pushes.size(),
-                      changed.size());
-    }
-    for (const VertexId v : changed) {
-        ++master_version_[v];
-        master_writer_[v] = dev;
-    }
-
-    // Activation fan-out: every changed master feeds the stale queues of
-    // the partitions mirroring it and re-enters its consumer partitions
-    // into the worklist. The dispatching partition itself is skipped
-    // only when its private overlay already equals the committed master
-    // (sole writer); when another wave member also pushed the vertex,
-    // its own mirrors went stale and it must be redispatched too.
-    std::vector<PartitionId> activated_parts;
-    for (const VertexId v : changed) {
-        const Value master = storage_.vVal(v);
-        const auto ov = outcome.overlay.find(v);
-        const bool self_current =
-            ov != outcome.overlay.end() && ov->second == master;
-        for (std::uint64_t k = mirror_offsets_[v];
-             k < mirror_offsets_[v + 1]; ++k) {
-            const PartitionId part = mirror_parts_[k];
-            if (part == p && self_current)
-                continue;
-            stale_queue_[part].push_back(v);
-        }
-        for (std::uint64_t k = consumer_offsets_[v];
-             k < consumer_offsets_[v + 1]; ++k) {
-            const PartitionId part = consumer_parts_[k];
-            if (part == p) {
-                if (!self_current)
-                    partition_active_[p] = 1;
-                continue;
-            }
-            if (!partition_active_[part]) {
-                // Gate only on the activation that wakes the partition
-                // up; later batches are picked up whenever it runs.
-                partition_active_[part] = 1;
-                activated_parts.push_back(part);
-            }
-        }
-    }
-    std::sort(activated_parts.begin(), activated_parts.end());
-    activated_parts.erase(
-        std::unique(activated_parts.begin(), activated_parts.end()),
-        activated_parts.end());
-    std::vector<std::uint64_t> notify_bytes(platform_.numDevices(), 0);
-    for (const PartitionId dest : activated_parts) {
-        const DeviceId dd = partition_device_[dest];
-        if (dd != kInvalidVertex && dd != dev)
-            notify_bytes[dd] += kMessageBytes;
-    }
-    std::vector<double> notify_arrive(platform_.numDevices(), ready);
-    for (DeviceId dd = 0; dd < platform_.numDevices(); ++dd) {
-        if (notify_bytes[dd] == 0)
-            continue;
-        notify_arrive[dd] = platform_.ring().transfer(
-            dev, dd,
-            ready + transferFaultPenalty(notify_bytes[dd], report),
-            notify_bytes[dd]);
-        report.comm_cycles +=
-            options_.platform.transfer_latency_cycles +
-            static_cast<double>(notify_bytes[dd]) /
-                options_.platform.ring_bytes_per_cycle;
-    }
-    for (const PartitionId dest : activated_parts) {
-        const DeviceId dd = partition_device_[dest];
-        const double arrive =
-            (dd == kInvalidVertex || dd == dev) ? ready
-                                                : notify_arrive[dd];
-        partition_msg_ready_[dest] =
-            std::max(partition_msg_ready_[dest], arrive);
-    }
-    partition_done_[p] = ready;
-    if (outcome.reactivate_self)
-        partition_active_[p] = 1;
-}
-
-bool
-DiGraphEngine::activationBookkeepingConsistent() const
-{
-    const PathId np = pre_.paths.numPaths();
-    if (path_active_count_.size() != np)
-        return slot_active_.empty(); // run() has not initialized yet
-    std::vector<std::uint32_t> recount(np, 0);
-    for (std::uint64_t s = 0; s < slot_active_.size(); ++s) {
-        if (slot_active_[s])
-            ++recount[path_of_slot_[s]];
-    }
-    for (PathId q = 0; q < np; ++q) {
-        if (recount[q] != path_active_count_[q])
-            return false;
-        if (recount[q] > 0 && !path_in_worklist_[q])
-            return false;
-    }
-    std::vector<std::uint8_t> listed(np, 0);
-    for (PartitionId q = 0; q < pre_.numPartitions(); ++q) {
-        for (const PathId path : partition_worklist_[q]) {
-            if (listed[path] || !path_in_worklist_[path] ||
-                partition_of_path_[path] != q) {
-                return false;
-            }
-            listed[path] = 1;
-        }
-    }
-    for (PathId q = 0; q < np; ++q) {
-        if (path_in_worklist_[q] && !listed[q])
-            return false;
-    }
-    return true;
 }
 
 } // namespace digraph::engine

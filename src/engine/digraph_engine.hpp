@@ -3,12 +3,20 @@
  * The DiGraph engine (Section 3): path-based asynchronous iterative
  * directed-graph processing over the simulated multi-GPU platform.
  *
- * Pipeline: the constructor runs the CPU preprocessing (path
- * decomposition, merge, dependency graph, DAG sketch, partitions) and
- * materializes the four-array storage; run() executes one algorithm to
- * convergence with dependency-aware dispatching, per-SMX path scheduling,
- * master/mirror batched synchronization, proxy vertices, and work
- * stealing, producing a full metrics::RunReport.
+ * Since the layered-substrate refactor (DESIGN.md §12) the engine is a
+ * thin coordinator over four layers:
+ *
+ *  - EngineSubstrate (shared, immutable): the preprocessing result, the
+ *    PathLayout topology, the ReplicaSync indexes, and the Dispatcher
+ *    dependency structures — shareable by concurrent jobs;
+ *  - ValuePlane (per job): all mutable value/activation/checkpoint
+ *    state;
+ *  - Transport (per job): the simulated platform, residency and every
+ *    byte-moving operation including the fault/retry path.
+ *
+ * run() wires them together: dependency-aware wave dispatching,
+ * per-SMX path scheduling, master/mirror batched synchronization, proxy
+ * vertices, and work stealing, producing a full metrics::RunReport.
  *
  * Activation is tracked per *mirror slot*: a set flag means "this replica
  * holds a state its on-path out-edge has not propagated yet". Within a
@@ -40,6 +48,9 @@
 
 #include "algorithms/algorithm.hpp"
 #include "engine/options.hpp"
+#include "engine/substrate.hpp"
+#include "engine/transport.hpp"
+#include "engine/value_plane.hpp"
 #include "gpusim/platform.hpp"
 #include "graph/digraph.hpp"
 #include "metrics/counter_registry.hpp"
@@ -49,19 +60,6 @@
 #include "storage/path_storage.hpp"
 
 namespace digraph::engine {
-
-/** Warm-start input for run(): converged states from a previous run
- *  plus the vertices whose neighborhood changed. */
-struct WarmStart
-{
-    /** Vertex states to resume from (size = numVertices). */
-    const std::vector<Value> *vertex_state = nullptr;
-    /** Explicit per-edge caches (size = numEdges); when null they are
-     *  derived via Algorithm::warmEdgeState(). */
-    const std::vector<Value> *edge_state = nullptr;
-    /** Activation seed (e.g. sources of inserted edges). */
-    const std::vector<VertexId> *active_vertices = nullptr;
-};
 
 /**
  * Path-based iterative directed-graph processing engine.
@@ -81,11 +79,21 @@ class DiGraphEngine
      * Adopt a prebuilt preprocessing result for @p g instead of running
      * the pipeline (evolving-graph incremental ingestion: the caller
      * produced @p pre via preprocess() or appendPreprocess()). Only the
-     * storage arrays and dispatch indexes are built here.
+     * substrate indexes and storage arrays are built here.
      * @pre pre covers exactly g's edge set (checked).
      */
     DiGraphEngine(const graph::DirectedGraph &g,
                   partition::Preprocessed pre, EngineOptions options);
+
+    /**
+     * Share a prebuilt substrate (concurrent jobs over one immutable
+     * Preprocessed — see JobManager): only this job's ValuePlane and
+     * Transport are allocated.
+     * @pre sub was built for @p g (edge count checked).
+     */
+    DiGraphEngine(const graph::DirectedGraph &g,
+                  std::shared_ptr<const EngineSubstrate> sub,
+                  EngineOptions options);
 
     /** Execute @p algo to convergence; returns the full report.
      *  @param warm Optional warm start (evolving-graph reruns): vertex
@@ -97,6 +105,12 @@ class DiGraphEngine
 
     /** The preprocessing result (paths, DAG sketch, partitions). */
     const partition::Preprocessed &preprocessed() const { return pre_; }
+
+    /** The shared substrate (pass to other engines to share it). */
+    const std::shared_ptr<const EngineSubstrate> &substrate() const
+    {
+        return sub_;
+    }
 
     /** Preprocessing wall-clock seconds. */
     double preprocessSeconds() const { return pre_.timings.total(); }
@@ -114,7 +128,10 @@ class DiGraphEngine
     const metrics::CounterRegistry &counters() const { return counters_; }
 
     /** The simulated platform state of the most recent run. */
-    const gpusim::Platform &platform() const { return platform_; }
+    const gpusim::Platform &platform() const
+    {
+        return transport_.platform();
+    }
 
     /** Per-partition dispatch counts of the most recent run. */
     const std::vector<std::uint32_t> &partitionProcessCounts() const
@@ -123,16 +140,13 @@ class DiGraphEngine
     }
 
     /** Dependency group of partition @p q (introspection / tests). */
-    SccId partitionGroup(PartitionId q) const
-    {
-        return partition_group_[q];
-    }
+    SccId partitionGroup(PartitionId q) const { return sched_.group(q); }
 
     /** Direct precursor partitions of @p q (introspection / tests). */
     const std::vector<PartitionId> &
     partitionPrecursors(PartitionId q) const
     {
-        return precursor_parts_[q];
+        return sched_.precursors(q);
     }
 
     /**
@@ -141,10 +155,18 @@ class DiGraphEngine
      * every path with a nonzero counter must sit in its partition's
      * worklist. O(total slots) — debug/tests only.
      */
-    bool activationBookkeepingConsistent() const;
+    bool activationBookkeepingConsistent() const
+    {
+        return plane_.bookkeepingConsistent(pre_);
+    }
 
     /** Worker threads run() will use (resolves engine_threads == 0). */
     std::size_t engineThreads() const;
+
+    /** Host bytes of this job's private state (ValuePlane + transport
+     *  bookkeeping) — what one extra concurrent job costs on a shared
+     *  substrate. */
+    std::size_t jobStateBytes() const;
 
     /** Result of the post-run invariant checker (see
      *  postRunInvariants()). */
@@ -220,81 +242,24 @@ class DiGraphEngine
         std::uint64_t global_load_bytes = 0;
     };
 
-    void buildIndexes();
-    std::vector<std::uint8_t> blockedGroups() const;
-    PartitionId choosePartition(const std::vector<std::uint64_t> &stamp,
-                                std::uint64_t wave,
-                                const std::vector<std::uint8_t> *blocked);
-    DeviceId chooseDevice(PartitionId p) const;
-    double ensureResident(PartitionId p, DeviceId dev, double issue_time,
-                          metrics::RunReport &report);
     DispatchOutcome computeDispatch(PartitionId p,
                                     const algorithms::Algorithm &algo);
     void replayDispatch(DispatchOutcome &outcome,
                         const algorithms::Algorithm &algo,
                         metrics::RunReport &report);
 
-    /** True when the slot is a source position (not a path tail). */
-    bool isSrcSlot(std::uint64_t slot) const { return is_src_slot_[slot]; }
-
-    /** Set a slot's activation flag, maintaining the per-path active
-     *  counter and the owning partition's path worklist. Only the
-     *  partition owning the slot may call this (partition-sliced
-     *  state, safe under concurrent wave dispatches). */
-    void
-    activateSlot(std::uint64_t slot)
-    {
-        if (slot_active_[slot])
-            return;
-        slot_active_[slot] = 1;
-        const PathId q = path_of_slot_[slot];
-        if (path_active_count_[q]++ == 0 && !path_in_worklist_[q]) {
-            path_in_worklist_[q] = 1;
-            partition_worklist_[partition_of_path_[q]].push_back(q);
-        }
-    }
-
-    /** Clear a processed slot's activation flag (counter bookkeeping). */
-    void
-    deactivateSlot(std::uint64_t slot)
-    {
-        if (slot_active_[slot]) {
-            slot_active_[slot] = 0;
-            --path_active_count_[path_of_slot_[slot]];
-        }
-    }
-
     // --- fault tolerance (implemented in fault_recovery.cpp; all
     // methods are serial-phase only — see DESIGN.md §10) ---
 
-    /** Reset the injector and take the epoch-0 checkpoint (full V_val +
-     *  E_val copy). Called from run() after storage initialization. */
+    /** Take the epoch-0 checkpoint (full V_val + E_val copy) and reset
+     *  the recovery budget. Called from run() after storage
+     *  initialization (the injector is armed by Transport::beginRun). */
     void initFaultTolerance();
 
     /** Fire discrete faults due at the current makespan: device losses
      *  trigger checkpoint-restore recovery, SMX stalls arm their cycle
      *  multiplier. Called at every wave start. */
     void pollFaults(std::uint64_t wave, metrics::RunReport &report);
-
-    /** Journal a master mutation since the last checkpoint epoch. */
-    void
-    markVertexDirty(VertexId v)
-    {
-        if (!ckpt_v_dirty_[v]) {
-            ckpt_v_dirty_[v] = 1;
-            ckpt_v_dirty_list_.push_back(v);
-        }
-    }
-
-    /** Journal a partition whose E_val slice a dispatch may mutate. */
-    void
-    markPartitionDirty(PartitionId p)
-    {
-        if (!ckpt_part_dirty_[p]) {
-            ckpt_part_dirty_[p] = 1;
-            ckpt_part_dirty_list_.push_back(p);
-        }
-    }
 
     /** Advance the checkpoint epoch when the interval elapsed: flush
      *  dirty masters/E_val slices into the shadow arrays, charging the
@@ -310,34 +275,18 @@ class DiGraphEngine
     void recoverFromDeviceLoss(DeviceId dead, std::uint64_t wave,
                                metrics::RunReport &report);
 
-    /** Issue-time penalty of the transfer-drop coin for one transfer of
-     *  @p bytes: 0 when delivered first try, the accumulated exponential
-     *  backoff otherwise; hard-aborts when the retry budget is
-     *  exhausted. Every simulated transfer issue passes through this. */
-    double transferFaultPenalty(std::uint64_t bytes,
-                                metrics::RunReport &report);
-
-    /** Kernel-cycle multiplier of (device, smx) under active stalls. */
-    double
-    smxStallFactor(DeviceId d, SmxId s) const
-    {
-        return ft_enabled_
-                   ? smx_stall_factor_[static_cast<std::size_t>(d) *
-                                           options_.platform
-                                               .smx_per_device +
-                                       s]
-                   : 1.0;
-    }
-
-    /** Copy partition @p p's E_val slice between live and shadow
-     *  arrays (@p to_checkpoint: live -> shadow, else shadow -> live). */
-    void copyPartitionEval(PartitionId p, bool to_checkpoint);
-
     const graph::DirectedGraph &g_;
     EngineOptions options_;
-    partition::Preprocessed pre_;
-    storage::PathStorage storage_;
-    gpusim::Platform platform_;
+    /** Shared immutable substrate (owned or adopted). */
+    std::shared_ptr<const EngineSubstrate> sub_;
+    /** Convenience references into the substrate layers. */
+    const partition::Preprocessed &pre_;
+    const ReplicaSync &sync_;
+    const Dispatcher &sched_;
+    /** This job's mutable state. */
+    ValuePlane plane_;
+    /** This job's platform/transfer state. */
+    Transport transport_;
     /** Typed counters of the current run (mutated only by the serial
      *  scheduler/barrier thread; exported into the RunReport at run
      *  end). */
@@ -350,110 +299,11 @@ class DiGraphEngine
      *  it). */
     std::uint64_t trace_wave_ = 0;
     double trace_wave_sim_ = 0.0;
-
-    // --- static indexes (built once) ---
-    /** Path owning each E_idx slot. */
-    std::vector<PathId> path_of_slot_;
-    /** Whether each slot is a source position (not a path tail). */
-    std::vector<std::uint8_t> is_src_slot_;
-    /** Partition of each path. */
-    std::vector<PartitionId> partition_of_path_;
-    /** CSR: vertex -> its occurrence slots across all paths. */
-    std::vector<std::uint64_t> occur_offsets_;
-    std::vector<std::uint64_t> occur_slots_;
-    /** CSR: vertex -> partitions holding one of its source occurrences
-     *  (deduplicated; used for activation fan-out). */
-    std::vector<std::uint64_t> consumer_offsets_;
-    std::vector<PartitionId> consumer_parts_;
-    /** CSR: vertex -> partitions holding ANY occurrence (deduplicated;
-     *  used for the stale-vertex queue fan-out at the wave barrier). */
-    std::vector<std::uint64_t> mirror_offsets_;
-    std::vector<PartitionId> mirror_parts_;
-    /** Per-partition precursor partitions (deduped, from the DAG). */
-    std::vector<std::vector<PartitionId>> precursor_parts_;
-    /** Symmetric partition-interference matrix (nparts x nparts, row
-     *  major): set when two partitions mirror a common vertex. Only
-     *  mutually non-interfering partitions are dispatched concurrently —
-     *  their dispatches are then exactly order-independent, so the
-     *  parallel wave does the same work the serial engine would. */
-    std::vector<std::uint8_t> interference_;
-    /** Partitions mirroring a very-high-fanout (hub) vertex; treated as
-     *  interfering with everything (keeps the matrix build O(fanout
-     *  cap * occurrences) instead of quadratic in the hub fanout). */
-    std::vector<std::uint8_t> interferes_all_;
-    /** SCC group of each partition in the partition dependency graph:
-     *  partitions of one group form a dependency cycle and iterate
-     *  together; a group is *ready* when no group transitively upstream
-     *  of it holds an active partition (checked at wave start). */
-    std::vector<SccId> partition_group_;
-    /** Condensed DAG over partition groups. */
-    graph::DirectedGraph group_dag_;
-    /** Topological order of the group DAG. */
-    std::vector<VertexId> group_topo_;
-    /** Per-partition byte footprint. */
-    std::vector<std::size_t> partition_bytes_;
-    /** Pri(p) scaling factor alpha = 1 / (maxAvgDeg * maxN). */
-    double pri_alpha_ = 1.0;
-
-    // --- per-run state ---
-    /** Chain activation within the current dispatch (set by processed
-     *  edges and local refreshes). */
-    std::vector<std::uint8_t> slot_active_;
-    /** Master change counter per vertex; a source slot whose seen
-     *  version lags must re-propagate (cross-partition activation
-     *  without per-slot broadcasts). */
-    std::vector<std::uint32_t> master_version_;
-    /** Last master version each source slot has propagated. */
-    std::vector<std::uint32_t> slot_seen_version_;
-    std::vector<std::uint8_t> partition_active_;
     std::vector<std::uint32_t> partition_process_count_;
-    std::vector<DeviceId> partition_device_; // last residence
-    std::vector<double> partition_done_;      // last dispatch completion
-    std::vector<double> partition_msg_ready_; // last activation arrival
-    /** Device that last wrote each vertex's master (buffered results stay
-     *  in that device's global memory; other devices fetch via host). */
-    std::vector<DeviceId> master_writer_;
-    std::vector<std::vector<PartitionId>> device_resident_; // LRU order
-    std::vector<std::size_t> device_resident_bytes_;
 
-    // --- incremental worklists (partition-sliced; each structure is
-    // touched only by the dispatch owning the partition during a wave's
-    // compute phase, and by the serial barrier otherwise) ---
-    /** Active source slots per path (incremental activation counter). */
-    std::vector<std::uint32_t> path_active_count_;
-    /** Whether the path currently sits in its partition's worklist. */
-    std::vector<std::uint8_t> path_in_worklist_;
-    /** Per partition: paths with (possibly) active slots; swept lazily
-     *  each local round, so active-path collection is O(active paths)
-     *  instead of O(partition slots). */
-    std::vector<std::vector<PathId>> partition_worklist_;
-    /** Per partition: vertices whose master version bumped since the
-     *  partition last absorbed them (fed at the wave barrier; consumed
-     *  at dispatch start instead of a full slot-range version scan). */
-    std::vector<std::vector<VertexId>> stale_queue_;
-    /** Per partition: dirty-slot worklist for the mirror-push phase. */
-    std::vector<storage::SlotDirtySet> partition_dirty_;
-
-    // --- fault tolerance state (allocated only when a FaultPlan is
-    // active; ft_enabled_ == false keeps every hot-path hook a single
-    // branch) ---
-    /** True when options_.faults is non-empty. */
+    /** True when options_.faults is non-empty (every hot-path fault
+     *  hook stays a single branch when false). */
     bool ft_enabled_ = false;
-    gpusim::FaultInjector injector_;
-    /** Per (device, smx) kernel-cycle multiplier (armed stalls). */
-    std::vector<double> smx_stall_factor_;
-    /** Shadow copy of V_val at the last checkpoint epoch. */
-    std::vector<Value> ckpt_v_;
-    /** Shadow copy of E_val at the last checkpoint epoch. */
-    std::vector<Value> ckpt_e_;
-    /** Masters mutated since the last epoch (flag + journal). */
-    std::vector<std::uint8_t> ckpt_v_dirty_;
-    std::vector<VertexId> ckpt_v_dirty_list_;
-    /** Partitions whose E_val slice was dispatched since the epoch. */
-    std::vector<std::uint8_t> ckpt_part_dirty_;
-    std::vector<PartitionId> ckpt_part_dirty_list_;
-    /** Wave of the last checkpoint epoch. */
-    std::uint64_t ckpt_wave_ = 0;
     /** Device-loss recoveries performed this run. */
     std::size_t recoveries_ = 0;
     /** pollFaults scratch. */

@@ -2,9 +2,9 @@
  * @file
  * Fault tolerance for the DiGraph engine (DESIGN.md "Fault model and
  * recovery"): barrier checkpointing with copy-on-write dirty journals,
- * transfer retry with exponential backoff, SMX-stall kernel multipliers,
- * degrade-and-redistribute recovery from device loss, and the post-run
- * invariant checker.
+ * SMX-stall kernel multipliers, degrade-and-redistribute recovery from
+ * device loss, and the post-run invariant checker. (The transfer
+ * retry/backoff path lives in the Transport layer.)
  *
  * Every method here runs in a *serial* engine phase (wave start, the
  * dispatch-replay barrier, or wave end): the injector's coin stream is
@@ -22,69 +22,27 @@
 
 namespace digraph::engine {
 
-namespace {
-
-/** Bytes per mirror-sync message (matches digraph_engine.cpp). */
-constexpr std::size_t kMessageBytes = sizeof(VertexId) + sizeof(Value);
-
-} // namespace
-
 void
 DiGraphEngine::initFaultTolerance()
 {
-    injector_ = gpusim::FaultInjector(options_.faults);
-    smx_stall_factor_.assign(
-        static_cast<std::size_t>(platform_.numDevices()) *
-            options_.platform.smx_per_device,
-        1.0);
-    // Epoch-0 checkpoint: the freshly-initialized state. Later epochs
-    // only copy journalled-dirty entries.
-    const auto vvals = storage_.vVals();
-    ckpt_v_.assign(vvals.begin(), vvals.end());
-    const auto evals = storage_.eVal();
-    ckpt_e_.assign(evals.begin(), evals.end());
-    ckpt_v_dirty_.assign(g_.numVertices(), 0);
-    ckpt_v_dirty_list_.clear();
-    ckpt_part_dirty_.assign(pre_.numPartitions(), 0);
-    ckpt_part_dirty_list_.clear();
-    ckpt_wave_ = 0;
+    // The injector and stall multipliers were armed by
+    // Transport::beginRun; only the checkpoint shadows remain.
+    plane_.initCheckpoint(g_, pre_);
     recoveries_ = 0;
-}
-
-void
-DiGraphEngine::copyPartitionEval(PartitionId p, bool to_checkpoint)
-{
-    // Path q's edges occupy E_val indexes
-    // [pathOffset(q) - q, pathOffset(q + 1) - q - 1); for the contiguous
-    // path range [path_lo, path_hi) of a partition the union telescopes
-    // to [pathOffset(path_lo) - path_lo, pathOffset(path_hi) - path_hi).
-    const std::uint32_t path_lo = pre_.partition_offsets[p];
-    const std::uint32_t path_hi = pre_.partition_offsets[p + 1];
-    const std::uint64_t lo = storage_.pathOffset(path_lo) - path_lo;
-    const std::uint64_t hi = storage_.pathOffset(path_hi) - path_hi;
-    auto live = storage_.eVals();
-    if (to_checkpoint) {
-        std::copy(live.begin() + static_cast<std::ptrdiff_t>(lo),
-                  live.begin() + static_cast<std::ptrdiff_t>(hi),
-                  ckpt_e_.begin() + static_cast<std::ptrdiff_t>(lo));
-    } else {
-        std::copy(ckpt_e_.begin() + static_cast<std::ptrdiff_t>(lo),
-                  ckpt_e_.begin() + static_cast<std::ptrdiff_t>(hi),
-                  live.begin() + static_cast<std::ptrdiff_t>(lo));
-    }
 }
 
 void
 DiGraphEngine::pollFaults(std::uint64_t wave, metrics::RunReport &report)
 {
-    const double now = platform_.makespan();
+    const double now = transport_.platform().makespan();
 
     due_stalls_.clear();
-    injector_.drainDueSmxStalls(now, due_stalls_);
+    transport_.injector.drainDueSmxStalls(now, due_stalls_);
     for (const auto &stall : due_stalls_) {
-        smx_stall_factor_[static_cast<std::size_t>(stall.device) *
-                              options_.platform.smx_per_device +
-                          stall.smx] = stall.factor;
+        transport_.smx_stall_factor[static_cast<std::size_t>(
+                                        stall.device) *
+                                        options_.platform.smx_per_device +
+                                    stall.smx] = stall.factor;
         counters_.add(metrics::Counter::FaultsInjected);
         if (trace_) {
             trace_->event(metrics::TraceEventType::FaultInjected, wave,
@@ -94,84 +52,56 @@ DiGraphEngine::pollFaults(std::uint64_t wave, metrics::RunReport &report)
     }
 
     due_loss_.clear();
-    injector_.drainDueDeviceLoss(now, due_loss_);
+    transport_.injector.drainDueDeviceLoss(now, due_loss_);
     for (const DeviceId dead : due_loss_) {
         counters_.add(metrics::Counter::FaultsInjected);
         if (trace_) {
             trace_->event(metrics::TraceEventType::FaultInjected, wave,
                           metrics::kTraceNoPartition, now, 0.0, dead, 0);
         }
-        if (platform_.device(dead).failed())
+        if (transport_.platform().device(dead).failed())
             continue; // duplicate plan entry: the device is already gone
         recoverFromDeviceLoss(dead, wave, report);
     }
-}
-
-double
-DiGraphEngine::transferFaultPenalty(std::uint64_t bytes,
-                                    metrics::RunReport &report)
-{
-    if (!ft_enabled_)
-        return 0.0;
-    const gpusim::TransferOutcome outcome = injector_.attemptTransfer(
-        static_cast<unsigned>(options_.max_transfer_retries),
-        options_.transfer_backoff_cycles);
-    if (outcome.attempts > 1) {
-        const std::uint64_t retries = outcome.attempts - 1;
-        counters_.add(metrics::Counter::TransferRetries, retries);
-        if (trace_) {
-            for (std::uint64_t k = 1; k <= retries; ++k) {
-                trace_->event(metrics::TraceEventType::TransferRetry,
-                              trace_wave_, metrics::kTraceNoPartition,
-                              platform_.makespan(), 0.0, k, bytes);
-            }
-        }
-        report.comm_cycles += outcome.delay_cycles;
-    }
-    if (!outcome.delivered) {
-        fatal("DiGraphEngine: transfer of ", bytes,
-              " bytes permanently failed after ", outcome.attempts,
-              " attempts (max_transfer_retries=",
-              options_.max_transfer_retries, ")");
-    }
-    return outcome.delay_cycles;
 }
 
 void
 DiGraphEngine::maybeCheckpoint(std::uint64_t wave,
                                metrics::RunReport &report)
 {
-    if (wave - ckpt_wave_ < options_.checkpoint_interval)
+    if (wave - plane_.ckpt_wave < options_.checkpoint_interval)
         return;
 
+    auto &platform = transport_.platform();
     // Simulated flush cost: each dirty master travels over its writer
     // device's host link, each dirty partition writes back its E_val
     // slice from its resident device. Entries without a live producer
     // (never written, or evicted) are already host-side and free.
-    std::vector<std::uint64_t> flush_bytes(platform_.numDevices(), 0);
-    for (const VertexId v : ckpt_v_dirty_list_) {
-        const DeviceId writer = master_writer_[v];
+    std::vector<std::uint64_t> flush_bytes(platform.numDevices(), 0);
+    for (const VertexId v : plane_.ckpt_v_dirty_list) {
+        const DeviceId writer = transport_.master_writer[v];
         if (writer != kInvalidVertex)
             flush_bytes[writer] += kMessageBytes;
     }
-    for (const PartitionId q : ckpt_part_dirty_list_) {
-        const DeviceId dev = partition_device_[q];
+    for (const PartitionId q : plane_.ckpt_part_dirty_list) {
+        const DeviceId dev = transport_.partition_device[q];
         if (dev == kInvalidVertex)
             continue;
         const std::uint32_t path_lo = pre_.partition_offsets[q];
         const std::uint32_t path_hi = pre_.partition_offsets[q + 1];
         const std::uint64_t edges =
-            (storage_.pathOffset(path_hi) - path_hi) -
-            (storage_.pathOffset(path_lo) - path_lo);
+            (plane_.storage.pathOffset(path_hi) - path_hi) -
+            (plane_.storage.pathOffset(path_lo) - path_lo);
         flush_bytes[dev] += edges * sizeof(Value);
     }
-    const double issue = platform_.makespan();
-    for (DeviceId d = 0; d < platform_.numDevices(); ++d) {
-        if (flush_bytes[d] == 0 || platform_.device(d).failed())
+    const double issue = platform.makespan();
+    for (DeviceId d = 0; d < platform.numDevices(); ++d) {
+        if (flush_bytes[d] == 0 || platform.device(d).failed())
             continue;
-        auto &device = platform_.device(d);
+        auto &device = platform.device(d);
         device.hostLink().transfer(
-            issue + transferFaultPenalty(flush_bytes[d], report),
+            issue +
+                transport_.transferFaultPenalty(flush_bytes[d], report),
             flush_bytes[d]);
         report.comm_cycles += device.hostLink().cost(flush_bytes[d]);
         counters_.add(metrics::Counter::HostTransferBytes,
@@ -179,24 +109,25 @@ DiGraphEngine::maybeCheckpoint(std::uint64_t wave,
     }
 
     // Advance the epoch: copy journalled-dirty entries live -> shadow.
-    const std::uint64_t dirty_vertices = ckpt_v_dirty_list_.size();
-    const std::uint64_t dirty_partitions = ckpt_part_dirty_list_.size();
-    for (const VertexId v : ckpt_v_dirty_list_) {
-        ckpt_v_[v] = storage_.vVal(v);
-        ckpt_v_dirty_[v] = 0;
+    const std::uint64_t dirty_vertices = plane_.ckpt_v_dirty_list.size();
+    const std::uint64_t dirty_partitions =
+        plane_.ckpt_part_dirty_list.size();
+    for (const VertexId v : plane_.ckpt_v_dirty_list) {
+        plane_.ckpt_v[v] = plane_.storage.vVal(v);
+        plane_.ckpt_v_dirty[v] = 0;
     }
-    ckpt_v_dirty_list_.clear();
-    for (const PartitionId q : ckpt_part_dirty_list_) {
-        copyPartitionEval(q, /*to_checkpoint=*/true);
-        ckpt_part_dirty_[q] = 0;
+    plane_.ckpt_v_dirty_list.clear();
+    for (const PartitionId q : plane_.ckpt_part_dirty_list) {
+        plane_.copyPartitionEval(pre_, q, /*to_checkpoint=*/true);
+        plane_.ckpt_part_dirty[q] = 0;
     }
-    ckpt_part_dirty_list_.clear();
-    ckpt_wave_ = wave;
+    plane_.ckpt_part_dirty_list.clear();
+    plane_.ckpt_wave = wave;
 
     counters_.add(metrics::Counter::Checkpoints);
     if (trace_) {
         trace_->event(metrics::TraceEventType::Checkpoint, wave,
-                      metrics::kTraceNoPartition, platform_.makespan(),
+                      metrics::kTraceNoPartition, platform.makespan(),
                       0.0, dirty_vertices, dirty_partitions);
     }
 }
@@ -212,79 +143,81 @@ DiGraphEngine::recoverFromDeviceLoss(DeviceId dead, std::uint64_t wave,
               "(max_recoveries=",
               options_.max_recoveries, ")");
     }
-    platform_.markFailed(dead);
-    if (platform_.numAlive() == 0) {
+    auto &platform = transport_.platform();
+    platform.markFailed(dead);
+    if (platform.numAlive() == 0) {
         fatal("DiGraphEngine: no device survives the loss of device ",
               dead);
     }
 
     // Roll journalled-dirty masters and E_val slices back to the last
     // checkpoint epoch (entries never dirtied already equal the shadow).
-    for (const VertexId v : ckpt_v_dirty_list_) {
-        storage_.vVal(v) = ckpt_v_[v];
-        ckpt_v_dirty_[v] = 0;
+    for (const VertexId v : plane_.ckpt_v_dirty_list) {
+        plane_.storage.vVal(v) = plane_.ckpt_v[v];
+        plane_.ckpt_v_dirty[v] = 0;
     }
-    ckpt_v_dirty_list_.clear();
-    for (const PartitionId q : ckpt_part_dirty_list_) {
-        copyPartitionEval(q, /*to_checkpoint=*/false);
-        ckpt_part_dirty_[q] = 0;
+    plane_.ckpt_v_dirty_list.clear();
+    for (const PartitionId q : plane_.ckpt_part_dirty_list) {
+        plane_.copyPartitionEval(pre_, q, /*to_checkpoint=*/false);
+        plane_.ckpt_part_dirty[q] = 0;
     }
-    ckpt_part_dirty_list_.clear();
-    ckpt_wave_ = wave; // live state equals the shadow again
+    plane_.ckpt_part_dirty_list.clear();
+    plane_.ckpt_wave = wave; // live state equals the shadow again
 
     // Clear the volatile run state the rollback invalidated. Mirrors
     // need no restore: every path is re-activated below, so the next
     // dispatch of its partition re-pulls it from the restored masters
     // before touching it.
-    std::fill(master_version_.begin(), master_version_.end(), 0u);
-    std::fill(slot_seen_version_.begin(), slot_seen_version_.end(), 0u);
-    std::fill(master_writer_.begin(), master_writer_.end(),
-              kInvalidVertex);
-    std::fill(slot_active_.begin(), slot_active_.end(),
+    std::fill(plane_.master_version.begin(), plane_.master_version.end(),
+              0u);
+    std::fill(plane_.slot_seen_version.begin(),
+              plane_.slot_seen_version.end(), 0u);
+    std::fill(transport_.master_writer.begin(),
+              transport_.master_writer.end(), kInvalidVertex);
+    std::fill(plane_.slot_active.begin(), plane_.slot_active.end(),
               static_cast<std::uint8_t>(0));
-    std::fill(path_active_count_.begin(), path_active_count_.end(), 0u);
-    std::fill(path_in_worklist_.begin(), path_in_worklist_.end(),
+    std::fill(plane_.path_active_count.begin(),
+              plane_.path_active_count.end(), 0u);
+    std::fill(plane_.path_in_worklist.begin(),
+              plane_.path_in_worklist.end(),
               static_cast<std::uint8_t>(0));
-    for (auto &wl : partition_worklist_)
+    for (auto &wl : plane_.partition_worklist)
         wl.clear();
-    for (auto &queue : stale_queue_)
+    for (auto &queue : plane_.stale_queue)
         queue.clear();
-    for (auto &dirty : partition_dirty_)
+    for (auto &dirty : plane_.partition_dirty)
         dirty.reset();
-    std::fill(partition_active_.begin(), partition_active_.end(),
+    std::fill(plane_.partition_active.begin(),
+              plane_.partition_active.end(),
               static_cast<std::uint8_t>(0));
 
     // Drop all device residency: the recovery restores from the host
     // checkpoint, so every partition re-uploads on its next dispatch —
     // and chooseDevice() skips failed devices, so the DAG dispatcher
     // restripes the dead device's share over the survivors.
-    for (DeviceId d = 0; d < platform_.numDevices(); ++d) {
-        device_resident_[d].clear();
-        device_resident_bytes_[d] = 0;
-    }
-    std::fill(partition_device_.begin(), partition_device_.end(),
-              kInvalidVertex);
+    transport_.dropResidency();
 
     // Degrade: re-activate every source slot. Restarting the whole
     // iteration from the checkpoint state re-converges to the same
     // fixed point (the Maiter-style self-correction argument — the
     // per-edge caches rolled back consistently with the masters).
-    for (std::uint64_t slot = 0; slot < slot_active_.size(); ++slot) {
-        if (!isSrcSlot(slot))
+    for (std::uint64_t slot = 0; slot < plane_.slot_active.size();
+         ++slot) {
+        if (!sync_.isSrcSlot(slot))
             continue;
-        activateSlot(slot);
-        partition_active_[partition_of_path_[path_of_slot_[slot]]] = 1;
+        plane_.activateSlot(slot);
+        plane_.partition_active[sync_.partitionOfSlot(slot)] = 1;
     }
 
     counters_.add(metrics::Counter::Recoveries);
     if (trace_) {
         trace_->event(metrics::TraceEventType::Recovery, wave,
-                      metrics::kTraceNoPartition, platform_.makespan(),
+                      metrics::kTraceNoPartition, platform.makespan(),
                       0.0, dead, recoveries_);
     }
     logInfo("DiGraphEngine: lost device ", dead, " at wave ", wave,
-            "; rolled back to the wave-", ckpt_wave_,
-            " checkpoint and redistributed over ", platform_.numAlive(),
+            "; rolled back to the wave-", plane_.ckpt_wave,
+            " checkpoint and redistributed over ", platform.numAlive(),
             " surviving device(s)");
     (void)report;
 }
@@ -297,22 +230,23 @@ DiGraphEngine::postRunInvariants(const algorithms::Algorithm &algo,
     const double slack =
         residual_slack * std::max(algo.epsilon(), 1e-300);
 
+    auto &storage = plane_.storage;
     // (a) Convergence residual: at a fixed point, re-running processEdge
     // against the committed masters must not move any destination enough
     // to re-activate it. Accumulative algorithms legitimately carry
     // sub-epsilon drift per edge (merges below the activation threshold
     // do mutate the master without fan-out), hence the slack multiple.
-    for (PathId q = 0; q < storage_.numPaths(); ++q) {
-        auto view = storage_.path(q);
+    for (PathId q = 0; q < storage.numPaths(); ++q) {
+        auto view = storage.path(q);
         for (std::size_t i = 0; i < view.length(); ++i) {
             const VertexId src_v = view.vertex_ids[i];
             const VertexId dst_v = view.vertex_ids[i + 1];
             const EdgeId eid = view.edge_ids[i];
             Value edge_copy = view.edge_states[i];
-            Value dst_copy = storage_.vVal(dst_v);
+            Value dst_copy = storage.vVal(dst_v);
             const Value dst_before = dst_copy;
             const bool would_activate = algo.processEdge(
-                storage_.vVal(src_v), edge_copy, eid, g_.edgeWeight(eid),
+                storage.vVal(src_v), edge_copy, eid, g_.edgeWeight(eid),
                 static_cast<std::uint32_t>(g_.outDegree(src_v)),
                 dst_copy);
             if (!would_activate)
@@ -338,17 +272,17 @@ DiGraphEngine::postRunInvariants(const algorithms::Algorithm &algo,
 
     // (b) Master/mirror coherence: no mirror slot may hold an un-pushed
     // value (the batched sync always leaves loaded == pushed state).
-    for (PathId q = 0; q < storage_.numPaths() && rep.coherence_ok;
+    for (PathId q = 0; q < storage.numPaths() && rep.coherence_ok;
          ++q) {
-        const std::uint64_t lo = storage_.pathOffset(q);
-        const std::uint64_t hi = storage_.pathOffset(q + 1);
+        const std::uint64_t lo = storage.pathOffset(q);
+        const std::uint64_t hi = storage.pathOffset(q + 1);
         for (std::uint64_t s = lo; s < hi; ++s) {
-            if (algo.hasPush(storage_.sVal(s), storage_.loadedVal(s))) {
+            if (algo.hasPush(storage.sVal(s), storage.loadedVal(s))) {
                 rep.coherence_ok = false;
                 if (rep.detail.empty()) {
                     rep.detail = detail::formatConcat(
                         "coherence: slot ", s, " (vertex ",
-                        storage_.vertexAt(s), ", path ", q,
+                        storage.vertexAt(s), ", path ", q,
                         ") holds an un-pushed mirror value");
                 }
                 break;
@@ -361,11 +295,12 @@ DiGraphEngine::postRunInvariants(const algorithms::Algorithm &algo,
     // dispatch loop drained every activation.
     rep.activation_ok = activationBookkeepingConsistent();
     if (rep.activation_ok) {
-        const bool slots_quiet =
-            std::none_of(slot_active_.begin(), slot_active_.end(),
-                         [](std::uint8_t f) { return f != 0; });
+        const bool slots_quiet = std::none_of(
+            plane_.slot_active.begin(), plane_.slot_active.end(),
+            [](std::uint8_t f) { return f != 0; });
         const bool parts_quiet = std::none_of(
-            partition_active_.begin(), partition_active_.end(),
+            plane_.partition_active.begin(),
+            plane_.partition_active.end(),
             [](std::uint8_t f) { return f != 0; });
         rep.activation_ok = slots_quiet && parts_quiet;
         if (!rep.activation_ok && rep.detail.empty())

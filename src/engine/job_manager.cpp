@@ -1,0 +1,105 @@
+#include "engine/job_manager.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "algorithms/factory.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "engine/digraph_engine.hpp"
+#include "partition/preprocess.hpp"
+
+namespace digraph::engine {
+
+JobManager::JobManager(const graph::DirectedGraph &g,
+                       EngineOptions options)
+    : g_(g), options_(std::move(options))
+{
+    if (const std::string err = options_.validate(); !err.empty())
+        fatal("JobManager: invalid options: ", err);
+    options_.resolvePartitionBudget(g.numEdges());
+    sub_ = EngineSubstrate::build(
+        g, partition::preprocess(g, options_.preprocess));
+}
+
+JobManager::JobManager(const graph::DirectedGraph &g,
+                       std::shared_ptr<const EngineSubstrate> sub,
+                       EngineOptions options)
+    : g_(g), options_(std::move(options)), sub_(std::move(sub))
+{
+    if (!sub_)
+        fatal("JobManager: null shared substrate");
+    if (sub_->pre.paths.numEdges() != g.numEdges()) {
+        fatal("JobManager: shared substrate covers ",
+              sub_->pre.paths.numEdges(), " edges but the graph has ",
+              g.numEdges());
+    }
+}
+
+void
+JobManager::addJobs(const std::string &comma_specs)
+{
+    std::size_t begin = 0;
+    while (begin <= comma_specs.size()) {
+        std::size_t end = comma_specs.find(',', begin);
+        if (end == std::string::npos)
+            end = comma_specs.size();
+        const std::string spec = comma_specs.substr(begin, end - begin);
+        if (spec.empty()) {
+            fatal("JobManager: empty job entry in spec '", comma_specs,
+                  "'");
+        }
+        addJob(spec);
+        begin = end + 1;
+    }
+}
+
+std::vector<JobResult>
+JobManager::runAll(bool with_traces)
+{
+    std::vector<JobResult> results(specs_.size());
+    if (specs_.empty())
+        return results;
+
+    // Engines are built serially (they only read the shared substrate,
+    // but algorithm construction may precompute per-graph tables), then
+    // run concurrently: one pool task per job, claimed round-robin by
+    // min(jobs, engineThreads()) workers. Each job parallelizes its own
+    // waves only when it has the threads to itself (a single job keeps
+    // the session's engine_threads; concurrent jobs run their waves
+    // serially so N jobs use N workers, not N * engine_threads).
+    std::vector<std::unique_ptr<DiGraphEngine>> engines;
+    std::vector<algorithms::AlgorithmPtr> algos;
+    engines.reserve(specs_.size());
+    algos.reserve(specs_.size());
+    EngineOptions job_options = options_;
+    if (specs_.size() > 1)
+        job_options.engine_threads = 1;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        algos.push_back(algorithms::makeAlgorithmSpec(specs_[i], g_));
+        engines.push_back(
+            std::make_unique<DiGraphEngine>(g_, sub_, job_options));
+        results[i].spec = specs_[i];
+        if (with_traces) {
+            results[i].trace = std::make_shared<metrics::TraceSink>();
+            engines[i]->setTrace(results[i].trace.get());
+        }
+    }
+
+    // Worker count comes from the SESSION's thread budget, not the
+    // per-job override above (which would always be 1 for >1 job).
+    const std::size_t session_threads =
+        options_.engine_threads
+            ? options_.engine_threads
+            : std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t workers = std::min(specs_.size(), session_threads);
+    ThreadPool pool(workers);
+    pool.forEachIndex(specs_.size(), [&](std::size_t i) {
+        results[i].report = engines[i]->run(*algos[i]);
+        results[i].counters = engines[i]->counters();
+        results[i].job_state_bytes = engines[i]->jobStateBytes();
+    });
+    return results;
+}
+
+} // namespace digraph::engine

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Concurrent-job manager over one shared execution substrate
+ * (DESIGN.md §12): N jobs — each an algorithm spec — run against a
+ * single immutable EngineSubstrate (Preprocessed + PathLayout +
+ * ReplicaSync + Dispatcher), each job owning only its private
+ * ValuePlane and Transport. The substrate is built once; what an extra
+ * job costs is DiGraphEngine::jobStateBytes(), not another copy of the
+ * topology.
+ *
+ * Jobs are mutually isolated (no shared mutable state), so running them
+ * concurrently over the thread pool produces results bit-identical to
+ * running them one at a time, in any order, at any thread count.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/options.hpp"
+#include "engine/substrate.hpp"
+#include "graph/digraph.hpp"
+#include "metrics/counter_registry.hpp"
+#include "metrics/run_report.hpp"
+#include "metrics/trace.hpp"
+
+namespace digraph::engine {
+
+/** One job's outputs after JobManager::runAll(). */
+struct JobResult
+{
+    /** The "name[:param]" spec the job was queued with. */
+    std::string spec;
+    /** The full run report (final state, counters, timings). */
+    metrics::RunReport report;
+    /** The job engine's counter totals (equal to the report
+     *  aggregates). */
+    metrics::CounterRegistry counters;
+    /** Per-job trace sink (null unless runAll(with_traces=true)). */
+    std::shared_ptr<metrics::TraceSink> trace;
+    /** Host bytes of the job's private state (ValuePlane + transport
+     *  bookkeeping). */
+    std::size_t job_state_bytes = 0;
+};
+
+/**
+ * Runs N algorithm jobs concurrently on one shared substrate.
+ */
+class JobManager
+{
+  public:
+    /** Preprocess @p g once and share the substrate across jobs. */
+    JobManager(const graph::DirectedGraph &g, EngineOptions options);
+
+    /** Adopt a prebuilt substrate (e.g. from another engine's
+     *  substrate()). @pre sub was built for @p g. */
+    JobManager(const graph::DirectedGraph &g,
+               std::shared_ptr<const EngineSubstrate> sub,
+               EngineOptions options);
+
+    /** Queue one job from a "name[:param]" algorithm spec (validated at
+     *  runAll() via makeAlgorithmSpec). */
+    void addJob(const std::string &spec) { specs_.push_back(spec); }
+
+    /** Queue jobs from a comma-separated spec list — the CLI --jobs
+     *  syntax, e.g. "sssp:0,pagerank,wcc". Fatal on an empty entry. */
+    void addJobs(const std::string &comma_specs);
+
+    std::size_t numJobs() const { return specs_.size(); }
+
+    /**
+     * Run every queued job to convergence, one engine per job over the
+     * shared substrate, distributed round-robin over a thread pool of
+     * min(jobs, engineThreads()). Results are in queue order and
+     * independent of the interleaving.
+     * @param with_traces Give each job a private TraceSink (returned in
+     *        its JobResult).
+     */
+    std::vector<JobResult> runAll(bool with_traces = false);
+
+    /** The shared immutable substrate. */
+    const std::shared_ptr<const EngineSubstrate> &substrate() const
+    {
+        return sub_;
+    }
+
+    /** Host bytes of the shared substrate (paid once, not per job). */
+    std::size_t sharedBytes() const { return sub_->memoryBytes(); }
+
+  private:
+    const graph::DirectedGraph &g_;
+    EngineOptions options_;
+    std::shared_ptr<const EngineSubstrate> sub_;
+    std::vector<std::string> specs_;
+};
+
+} // namespace digraph::engine

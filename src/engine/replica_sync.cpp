@@ -1,0 +1,254 @@
+#include "engine/replica_sync.hpp"
+
+#include <algorithm>
+
+#include "engine/value_plane.hpp"
+
+namespace digraph::engine {
+
+void
+ReplicaSync::build(const partition::Preprocessed &pre,
+                   const storage::PathLayout &layout,
+                   VertexId num_vertices)
+{
+    const PathId np = pre.paths.numPaths();
+    const PartitionId nparts = pre.numPartitions();
+
+    // Path of each slot, partition of each path.
+    path_of_slot_.resize(layout.numSlots());
+    is_src_slot_.assign(layout.numSlots(), 0);
+    for (PathId p = 0; p < np; ++p) {
+        for (std::uint64_t s = layout.pathOffset(p);
+             s < layout.pathOffset(p + 1); ++s) {
+            path_of_slot_[s] = p;
+            is_src_slot_[s] = s + 1 < layout.pathOffset(p + 1);
+        }
+    }
+    partition_of_path_.resize(np);
+    for (PartitionId q = 0; q < nparts; ++q) {
+        for (std::uint32_t p = pre.partition_offsets[q];
+             p < pre.partition_offsets[q + 1]; ++p) {
+            partition_of_path_[p] = q;
+        }
+    }
+
+    // Occurrence CSR: vertex -> slots.
+    const auto e_idx = layout.eIdx();
+    occur_offsets_.assign(num_vertices + 1, 0);
+    for (const VertexId v : e_idx)
+        ++occur_offsets_[v + 1];
+    for (VertexId v = 0; v < num_vertices; ++v)
+        occur_offsets_[v + 1] += occur_offsets_[v];
+    occur_slots_.resize(e_idx.size());
+    {
+        std::vector<std::uint64_t> cursor(occur_offsets_.begin(),
+                                          occur_offsets_.end() - 1);
+        for (std::uint64_t s = 0; s < e_idx.size(); ++s)
+            occur_slots_[cursor[e_idx[s]]++] = s;
+    }
+
+    // Consumer-partition CSR (vertex -> partitions with a source
+    // occurrence) and mirror-partition CSR (vertex -> partitions with any
+    // occurrence), both deduplicated. A vertex's occurrence slots are
+    // ascending and partitions own contiguous path (hence slot) ranges,
+    // so the partition sequence along the occurrence list is already
+    // non-decreasing: one streaming pass with a last-seen compare
+    // replaces a per-vertex sort/unique scratch loop.
+    consumer_offsets_.assign(num_vertices + 1, 0);
+    consumer_parts_.clear();
+    mirror_offsets_.assign(num_vertices + 1, 0);
+    mirror_parts_.clear();
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        PartitionId last_consumer = kInvalidPartition;
+        PartitionId last_mirror = kInvalidPartition;
+        for (std::uint64_t k = occur_offsets_[v];
+             k < occur_offsets_[v + 1]; ++k) {
+            const std::uint64_t slot = occur_slots_[k];
+            const PartitionId part =
+                partition_of_path_[path_of_slot_[slot]];
+            if (part != last_mirror) {
+                mirror_parts_.push_back(part);
+                last_mirror = part;
+            }
+            if (is_src_slot_[slot] && part != last_consumer) {
+                consumer_parts_.push_back(part);
+                last_consumer = part;
+            }
+        }
+        consumer_offsets_[v + 1] = consumer_parts_.size();
+        mirror_offsets_[v + 1] = mirror_parts_.size();
+    }
+}
+
+void
+ReplicaSync::activateVertex(ValuePlane &plane, VertexId v) const
+{
+    for (std::uint64_t k = occur_offsets_[v]; k < occur_offsets_[v + 1];
+         ++k) {
+        const std::uint64_t slot = occur_slots_[k];
+        if (is_src_slot_[slot]) {
+            plane.activateSlot(slot);
+            plane.partition_active[partitionOfSlot(slot)] = 1;
+        }
+    }
+}
+
+void
+ReplicaSync::convertStaleQueue(ValuePlane &plane, PartitionId p,
+                               std::uint64_t slot_lo,
+                               std::uint64_t slot_hi,
+                               std::vector<VertexId> &stale_vertices) const
+{
+    auto &queue = plane.stale_queue[p];
+    std::sort(queue.begin(), queue.end());
+    queue.erase(std::unique(queue.begin(), queue.end()), queue.end());
+    for (const VertexId v : queue) {
+        bool any_stale = false;
+        const auto occ_begin =
+            occur_slots_.begin() +
+            static_cast<std::ptrdiff_t>(occur_offsets_[v]);
+        const auto occ_end =
+            occur_slots_.begin() +
+            static_cast<std::ptrdiff_t>(occur_offsets_[v + 1]);
+        for (auto it = std::lower_bound(occ_begin, occ_end, slot_lo);
+             it != occ_end && *it < slot_hi; ++it) {
+            const std::uint64_t slot = *it;
+            if (plane.slot_seen_version[slot] !=
+                plane.master_version[v]) {
+                any_stale = true;
+                plane.slot_seen_version[slot] = plane.master_version[v];
+                if (is_src_slot_[slot])
+                    plane.activateSlot(slot);
+            }
+        }
+        if (any_stale)
+            stale_vertices.push_back(v);
+    }
+    queue.clear();
+}
+
+PushStats
+ReplicaSync::pushDirtyMirrors(
+    ValuePlane &plane, PartitionId p, const algorithms::Algorithm &algo,
+    const graph::DirectedGraph &g, bool use_proxy,
+    std::uint32_t proxy_indegree_threshold,
+    std::unordered_map<VertexId, Value> &overlay,
+    std::vector<std::pair<VertexId, Value>> &pushes,
+    std::vector<VertexId> &changed) const
+{
+    // Every dirty mirror pushes its pending value/delta to the
+    // (privately overlaid) master. Only slots written this round are
+    // examined — the incremental replacement of a full slot-range
+    // sweep. Ascending slot order keeps the merge order of the sweep.
+    // Refreshes are deferred to refreshLocalMirrors() so that a refresh
+    // of one replica can never clobber another replica's un-pushed
+    // work.
+    PushStats stats;
+    auto &dirty = plane.partition_dirty[p];
+    auto &dirty_slots = dirty.slots();
+    std::sort(dirty_slots.begin(), dirty_slots.end());
+    for (const std::uint64_t s : dirty_slots) {
+        Value &mirror = plane.storage.sVal(s);
+        Value &loaded = plane.storage.loadedVal(s);
+        if (!algo.hasPush(mirror, loaded))
+            continue;
+        const VertexId v = plane.storage.vertexAt(s);
+        const Value push = algo.pushValue(mirror, loaded);
+        const auto [it, inserted] =
+            overlay.try_emplace(v, plane.storage.vVal(v));
+        const bool master_changed = algo.mergeMaster(it->second, push);
+        loaded = mirror;
+        pushes.emplace_back(v, push);
+        if (use_proxy && g.inDegree(v) >= proxy_indegree_threshold)
+            ++stats.proxy_pushes;
+        else
+            ++stats.atomic_pushes;
+        if (master_changed)
+            changed.push_back(v);
+    }
+    dirty.reset();
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()),
+                  changed.end());
+    return stats;
+}
+
+void
+ReplicaSync::refreshLocalMirrors(
+    ValuePlane &plane, const algorithms::Algorithm &algo,
+    std::uint64_t slot_lo, std::uint64_t slot_hi,
+    const std::unordered_map<VertexId, Value> &overlay,
+    const std::vector<VertexId> &changed) const
+{
+    for (const VertexId v : changed) {
+        const Value master = overlay.find(v)->second;
+        const auto occ_begin =
+            occur_slots_.begin() +
+            static_cast<std::ptrdiff_t>(occur_offsets_[v]);
+        const auto occ_end =
+            occur_slots_.begin() +
+            static_cast<std::ptrdiff_t>(occur_offsets_[v + 1]);
+        for (auto it = std::lower_bound(occ_begin, occ_end, slot_lo);
+             it != occ_end && *it < slot_hi; ++it) {
+            const std::uint64_t slot = *it;
+            Value &mirror = plane.storage.sVal(slot);
+            mirror = algo.pull(master, mirror);
+            plane.storage.loadedVal(slot) = mirror;
+            if (is_src_slot_[slot])
+                plane.activateSlot(slot);
+        }
+    }
+}
+
+void
+ReplicaSync::fanOutChanged(
+    ValuePlane &plane, PartitionId p,
+    const std::vector<VertexId> &changed,
+    const std::unordered_map<VertexId, Value> &overlay,
+    std::vector<PartitionId> &activated_parts) const
+{
+    for (const VertexId v : changed) {
+        const Value master = plane.storage.vVal(v);
+        const auto ov = overlay.find(v);
+        const bool self_current =
+            ov != overlay.end() && ov->second == master;
+        for (std::uint64_t k = mirror_offsets_[v];
+             k < mirror_offsets_[v + 1]; ++k) {
+            const PartitionId part = mirror_parts_[k];
+            if (part == p && self_current)
+                continue;
+            plane.stale_queue[part].push_back(v);
+        }
+        for (std::uint64_t k = consumer_offsets_[v];
+             k < consumer_offsets_[v + 1]; ++k) {
+            const PartitionId part = consumer_parts_[k];
+            if (part == p) {
+                if (!self_current)
+                    plane.partition_active[p] = 1;
+                continue;
+            }
+            if (!plane.partition_active[part]) {
+                // Gate only on the activation that wakes the partition
+                // up; later batches are picked up whenever it runs.
+                plane.partition_active[part] = 1;
+                activated_parts.push_back(part);
+            }
+        }
+    }
+}
+
+std::size_t
+ReplicaSync::memoryBytes() const
+{
+    return path_of_slot_.size() * sizeof(PathId) +
+           is_src_slot_.size() * sizeof(std::uint8_t) +
+           partition_of_path_.size() * sizeof(PartitionId) +
+           (occur_offsets_.size() + occur_slots_.size()) *
+               sizeof(std::uint64_t) +
+           consumer_offsets_.size() * sizeof(std::uint64_t) +
+           consumer_parts_.size() * sizeof(PartitionId) +
+           mirror_offsets_.size() * sizeof(std::uint64_t) +
+           mirror_parts_.size() * sizeof(PartitionId);
+}
+
+} // namespace digraph::engine

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Replica-synchronization layer of the execution substrate (DESIGN.md
+ * §12): the immutable vertex-replication indexes (slot ownership,
+ * occurrence / consumer / mirror CSRs) plus the batched master<->mirror
+ * synchronization operations that run against a job's ValuePlane.
+ *
+ * A ReplicaSync instance is built once per preprocessing result and is
+ * strictly read-only afterwards, so any number of concurrent jobs may
+ * share one instance; all mutable state lives in the ValuePlane passed
+ * into each operation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+#include "partition/preprocess.hpp"
+#include "storage/path_storage.hpp"
+
+namespace digraph::engine {
+
+class ValuePlane;
+
+/** Proxy-vs-atomic push split of one mirror-push phase (feeds the
+ *  simulated sync-cost model). */
+struct PushStats
+{
+    std::uint64_t proxy_pushes = 0;
+    std::uint64_t atomic_pushes = 0;
+};
+
+/**
+ * Shared, immutable replica indexes + the master/mirror sync operations.
+ */
+class ReplicaSync
+{
+  public:
+    /** Build every index from @p pre / @p layout (called once). */
+    void build(const partition::Preprocessed &pre,
+               const storage::PathLayout &layout, VertexId num_vertices);
+
+    /** Path owning E_idx slot @p slot. */
+    PathId pathOfSlot(std::uint64_t slot) const
+    {
+        return path_of_slot_[slot];
+    }
+
+    /** True when the slot is a source position (not a path tail). */
+    bool isSrcSlot(std::uint64_t slot) const { return is_src_slot_[slot]; }
+
+    /** Partition of path @p p. */
+    PartitionId partitionOfPath(PathId p) const
+    {
+        return partition_of_path_[p];
+    }
+
+    /** Partition owning E_idx slot @p slot. */
+    PartitionId partitionOfSlot(std::uint64_t slot) const
+    {
+        return partition_of_path_[path_of_slot_[slot]];
+    }
+
+    /** Occurrence slots of vertex @p v (ascending). */
+    std::span<const std::uint64_t>
+    occurrences(VertexId v) const
+    {
+        return {occur_slots_.data() + occur_offsets_[v],
+                occur_slots_.data() + occur_offsets_[v + 1]};
+    }
+
+    /** Partitions holding ANY occurrence of @p v (deduplicated). */
+    std::span<const PartitionId>
+    mirrorPartitions(VertexId v) const
+    {
+        return {mirror_parts_.data() + mirror_offsets_[v],
+                mirror_parts_.data() + mirror_offsets_[v + 1]};
+    }
+
+    /** Partitions holding a SOURCE occurrence of @p v (deduplicated). */
+    std::span<const PartitionId>
+    consumerPartitions(VertexId v) const
+    {
+        return {consumer_parts_.data() + consumer_offsets_[v],
+                consumer_parts_.data() + consumer_offsets_[v + 1]};
+    }
+
+    /** Total E_idx slots covered by the indexes. */
+    std::size_t numSlots() const { return path_of_slot_.size(); }
+
+    // --- batched sync operations (mutate only @p plane) ---
+
+    /** Activate every source occurrence of @p v and mark the owning
+     *  partitions active (initial activation / warm-start seeds /
+     *  degrade-recovery reseeding). */
+    void activateVertex(ValuePlane &plane, VertexId v) const;
+
+    /**
+     * Consume partition @p p's stale-vertex queue: for each queued
+     * vertex whose master version bumped since a local slot last
+     * absorbed it, update the slot's seen version, activate source
+     * slots, and append the vertex to @p stale_vertices (sorted by the
+     * queue's sort; drives the ring master-refresh pulls at replay).
+     * Replaces a dispatch-start full version scan of the slot range.
+     */
+    void convertStaleQueue(ValuePlane &plane, PartitionId p,
+                           std::uint64_t slot_lo, std::uint64_t slot_hi,
+                           std::vector<VertexId> &stale_vertices) const;
+
+    /**
+     * Mirror->master push phase over partition @p p's dirty-slot
+     * worklist (ascending slot order): each mirror with a pending push
+     * merges into the private @p overlay (master values frozen for the
+     * wave live in plane.storage), logs into @p pushes, and collects
+     * masters whose overlaid value changed into @p changed
+     * (sorted/deduplicated). Returns the proxy/atomic split.
+     */
+    PushStats
+    pushDirtyMirrors(ValuePlane &plane, PartitionId p,
+                     const algorithms::Algorithm &algo,
+                     const graph::DirectedGraph &g, bool use_proxy,
+                     std::uint32_t proxy_indegree_threshold,
+                     std::unordered_map<VertexId, Value> &overlay,
+                     std::vector<std::pair<VertexId, Value>> &pushes,
+                     std::vector<VertexId> &changed) const;
+
+    /**
+     * Refresh phase: re-pull and re-activate partition-local mirrors
+     * ([slot_lo, slot_hi)) of each vertex in @p changed from the
+     * overlaid master (the proxy-vertex effect — accumulated results
+     * are reusable within the next local round).
+     */
+    void refreshLocalMirrors(
+        ValuePlane &plane, const algorithms::Algorithm &algo,
+        std::uint64_t slot_lo, std::uint64_t slot_hi,
+        const std::unordered_map<VertexId, Value> &overlay,
+        const std::vector<VertexId> &changed) const;
+
+    /**
+     * Wave-barrier activation fan-out of the committed @p changed
+     * masters (serial phase): feed the stale queues of mirroring
+     * partitions and wake consumer partitions. The dispatching
+     * partition @p p skips itself only when its private @p overlay
+     * already equals the committed master (sole writer). Partitions
+     * woken from inactive are appended to @p activated_parts
+     * (unsorted; caller dedups) for the notification transfers.
+     */
+    void fanOutChanged(ValuePlane &plane, PartitionId p,
+                       const std::vector<VertexId> &changed,
+                       const std::unordered_map<VertexId, Value> &overlay,
+                       std::vector<PartitionId> &activated_parts) const;
+
+    /** Host bytes of the shared indexes. */
+    std::size_t memoryBytes() const;
+
+  private:
+    /** Path owning each E_idx slot. */
+    std::vector<PathId> path_of_slot_;
+    /** Whether each slot is a source position (not a path tail). */
+    std::vector<std::uint8_t> is_src_slot_;
+    /** Partition of each path. */
+    std::vector<PartitionId> partition_of_path_;
+    /** CSR: vertex -> its occurrence slots across all paths. */
+    std::vector<std::uint64_t> occur_offsets_;
+    std::vector<std::uint64_t> occur_slots_;
+    /** CSR: vertex -> partitions holding one of its source occurrences
+     *  (deduplicated; used for activation fan-out). */
+    std::vector<std::uint64_t> consumer_offsets_;
+    std::vector<PartitionId> consumer_parts_;
+    /** CSR: vertex -> partitions holding ANY occurrence (deduplicated;
+     *  used for the stale-vertex queue fan-out at the wave barrier). */
+    std::vector<std::uint64_t> mirror_offsets_;
+    std::vector<PartitionId> mirror_parts_;
+};
+
+} // namespace digraph::engine

@@ -1,0 +1,26 @@
+#include "engine/substrate.hpp"
+
+namespace digraph::engine {
+
+std::shared_ptr<const EngineSubstrate>
+EngineSubstrate::build(const graph::DirectedGraph &g,
+                       partition::Preprocessed pre)
+{
+    auto sub = std::make_shared<EngineSubstrate>();
+    sub->pre = std::move(pre);
+    sub->layout =
+        std::make_shared<const storage::PathLayout>(sub->pre.paths);
+    sub->sync.build(sub->pre, *sub->layout, g.numVertices());
+    sub->dispatcher.build(sub->pre, sub->sync, *sub->layout,
+                          g.numVertices());
+    return sub;
+}
+
+std::size_t
+EngineSubstrate::memoryBytes() const
+{
+    return pre.memoryBytes() + (layout ? layout->memoryBytes() : 0) +
+           sync.memoryBytes() + dispatcher.memoryBytes();
+}
+
+} // namespace digraph::engine

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The shared half of the execution substrate (DESIGN.md §12): one
+ * preprocessing result plus every index built from it — the immutable
+ * PathLayout (PTable/E_idx topology), the ReplicaSync CSRs, and the
+ * Dispatcher dependency structures.
+ *
+ * An EngineSubstrate is built once and never mutated afterwards, so any
+ * number of concurrent jobs (DiGraphEngine instances) may share one
+ * instance via shared_ptr; each job allocates only its own ValuePlane
+ * and Transport on top. This is what makes N-job memory grow by the
+ * per-job value arrays instead of N full topology copies.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.hpp"
+#include "engine/dispatcher.hpp"
+#include "engine/replica_sync.hpp"
+#include "graph/digraph.hpp"
+#include "partition/preprocess.hpp"
+#include "storage/path_storage.hpp"
+
+namespace digraph::engine {
+
+struct EngineSubstrate
+{
+    /** The preprocessing result (paths, DAG sketch, partitions). */
+    partition::Preprocessed pre;
+    /** Immutable four-array topology (PTable, E_idx, edge ids). */
+    std::shared_ptr<const storage::PathLayout> layout;
+    /** Replica indexes + batched sync operations. */
+    ReplicaSync sync;
+    /** Dependency structures + scheduling policies. */
+    Dispatcher dispatcher;
+
+    /**
+     * Build the full substrate from @p pre over @p g (the graph must
+     * outlive the substrate). Internal cross-references (dispatcher ->
+     * pre) are stable because the result is heap-allocated and
+     * immutable.
+     */
+    static std::shared_ptr<const EngineSubstrate>
+    build(const graph::DirectedGraph &g, partition::Preprocessed pre);
+
+    /** Host bytes of the shared structures (topology + indexes +
+     *  dependency tables + the preprocessing tables). */
+    std::size_t memoryBytes() const;
+};
+
+} // namespace digraph::engine

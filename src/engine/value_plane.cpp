@@ -1,0 +1,185 @@
+#include "engine/value_plane.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace digraph::engine {
+
+void
+ValuePlane::beginRun(const partition::Preprocessed &pre)
+{
+    if (sync_ == nullptr)
+        panic("ValuePlane::beginRun: no ReplicaSync attached");
+    const PartitionId nparts = pre.numPartitions();
+    const PathId npaths = pre.paths.numPaths();
+    slot_active.assign(storage.eIdx().size(), 0);
+    master_version.assign(storage.numVertices(), 0);
+    slot_seen_version.assign(storage.eIdx().size(), 0);
+    partition_active.assign(nparts, 0);
+    path_active_count.assign(npaths, 0);
+    path_in_worklist.assign(npaths, 0);
+    partition_worklist.assign(nparts, {});
+    stale_queue.assign(nparts, {});
+    partition_dirty.resize(nparts);
+    for (PartitionId q = 0; q < nparts; ++q) {
+        partition_dirty[q].bind(
+            storage.pathOffset(pre.partition_offsets[q]),
+            storage.pathOffset(pre.partition_offsets[q + 1]));
+    }
+}
+
+void
+ValuePlane::initializeState(const graph::DirectedGraph &g,
+                            const algorithms::Algorithm &algo,
+                            const WarmStart *warm)
+{
+    std::vector<Value> vinit(g.numVertices());
+    if (warm && warm->vertex_state) {
+        if (warm->vertex_state->size() != g.numVertices())
+            panic("DiGraphEngine::run: warm state size mismatch");
+        vinit = *warm->vertex_state;
+    } else {
+        for (VertexId v = 0; v < g.numVertices(); ++v)
+            vinit[v] = algo.initVertex(g, v);
+    }
+    std::vector<Value> einit(g.numEdges());
+    if (warm && warm->edge_state) {
+        if (warm->edge_state->size() != g.numEdges())
+            panic("DiGraphEngine::run: warm edge-state size mismatch");
+        einit = *warm->edge_state;
+    } else {
+        for (EdgeId e = 0; e < g.numEdges(); ++e) {
+            einit[e] = warm ? algo.warmEdgeState(g, e,
+                                                 vinit[g.edgeSource(e)])
+                            : algo.initEdge(g, e);
+        }
+    }
+    storage.initialize(vinit, einit);
+}
+
+void
+ValuePlane::initFlat(const graph::DirectedGraph &g,
+                     const algorithms::Algorithm &algo, bool double_buffer)
+{
+    vertex_values.resize(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        vertex_values[v] = algo.initVertex(g, v);
+    edge_values.resize(g.numEdges());
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        edge_values[e] = algo.initEdge(g, e);
+    vertex_active.assign(g.numVertices(), 0);
+    if (double_buffer) {
+        vertex_values_next = vertex_values;
+        vertex_active_next.assign(g.numVertices(), 0);
+    } else {
+        vertex_values_next.clear();
+        vertex_active_next.clear();
+    }
+}
+
+void
+ValuePlane::initCheckpoint(const graph::DirectedGraph &g,
+                           const partition::Preprocessed &pre)
+{
+    // Epoch-0 checkpoint: the freshly-initialized state. Later epochs
+    // only copy journalled-dirty entries.
+    const auto vvals = storage.vVals();
+    ckpt_v.assign(vvals.begin(), vvals.end());
+    const auto evals = storage.eVal();
+    ckpt_e.assign(evals.begin(), evals.end());
+    ckpt_v_dirty.assign(g.numVertices(), 0);
+    ckpt_v_dirty_list.clear();
+    ckpt_part_dirty.assign(pre.numPartitions(), 0);
+    ckpt_part_dirty_list.clear();
+    ckpt_wave = 0;
+}
+
+void
+ValuePlane::copyPartitionEval(const partition::Preprocessed &pre,
+                              PartitionId p, bool to_checkpoint)
+{
+    // Path q's edges occupy E_val indexes
+    // [pathOffset(q) - q, pathOffset(q + 1) - q - 1); for the contiguous
+    // path range [path_lo, path_hi) of a partition the union telescopes
+    // to [pathOffset(path_lo) - path_lo, pathOffset(path_hi) - path_hi).
+    const std::uint32_t path_lo = pre.partition_offsets[p];
+    const std::uint32_t path_hi = pre.partition_offsets[p + 1];
+    const std::uint64_t lo = storage.pathOffset(path_lo) - path_lo;
+    const std::uint64_t hi = storage.pathOffset(path_hi) - path_hi;
+    auto live = storage.eVals();
+    if (to_checkpoint) {
+        std::copy(live.begin() + static_cast<std::ptrdiff_t>(lo),
+                  live.begin() + static_cast<std::ptrdiff_t>(hi),
+                  ckpt_e.begin() + static_cast<std::ptrdiff_t>(lo));
+    } else {
+        std::copy(ckpt_e.begin() + static_cast<std::ptrdiff_t>(lo),
+                  ckpt_e.begin() + static_cast<std::ptrdiff_t>(hi),
+                  live.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+}
+
+bool
+ValuePlane::bookkeepingConsistent(const partition::Preprocessed &pre) const
+{
+    const PathId np = pre.paths.numPaths();
+    if (path_active_count.size() != np)
+        return slot_active.empty(); // run() has not initialized yet
+    std::vector<std::uint32_t> recount(np, 0);
+    for (std::uint64_t s = 0; s < slot_active.size(); ++s) {
+        if (slot_active[s])
+            ++recount[sync_->pathOfSlot(s)];
+    }
+    for (PathId q = 0; q < np; ++q) {
+        if (recount[q] != path_active_count[q])
+            return false;
+        if (recount[q] > 0 && !path_in_worklist[q])
+            return false;
+    }
+    std::vector<std::uint8_t> listed(np, 0);
+    for (PartitionId q = 0; q < pre.numPartitions(); ++q) {
+        for (const PathId path : partition_worklist[q]) {
+            if (listed[path] || !path_in_worklist[path] ||
+                sync_->partitionOfPath(path) != q) {
+                return false;
+            }
+            listed[path] = 1;
+        }
+    }
+    for (PathId q = 0; q < np; ++q) {
+        if (path_in_worklist[q] && !listed[q])
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+ValuePlane::memoryBytes() const
+{
+    std::size_t bytes = storage.valueBytes();
+    bytes += slot_active.size() * sizeof(std::uint8_t);
+    bytes += master_version.size() * sizeof(std::uint32_t);
+    bytes += slot_seen_version.size() * sizeof(std::uint32_t);
+    bytes += partition_active.size() * sizeof(std::uint8_t);
+    bytes += path_active_count.size() * sizeof(std::uint32_t);
+    bytes += path_in_worklist.size() * sizeof(std::uint8_t);
+    for (const auto &wl : partition_worklist)
+        bytes += wl.capacity() * sizeof(PathId);
+    for (const auto &queue : stale_queue)
+        bytes += queue.capacity() * sizeof(VertexId);
+    for (const auto &dirty : partition_dirty)
+        bytes += dirty.memoryBytes();
+    bytes += (ckpt_v.size() + ckpt_e.size()) * sizeof(Value);
+    bytes += ckpt_v_dirty.size() * sizeof(std::uint8_t);
+    bytes += ckpt_v_dirty_list.capacity() * sizeof(VertexId);
+    bytes += ckpt_part_dirty.size() * sizeof(std::uint8_t);
+    bytes += ckpt_part_dirty_list.capacity() * sizeof(PartitionId);
+    bytes += (vertex_values.size() + vertex_values_next.size() +
+              edge_values.size()) *
+             sizeof(Value);
+    bytes += (vertex_active.size() + vertex_active_next.size()) *
+             sizeof(std::uint8_t);
+    return bytes;
+}
+
+} // namespace digraph::engine

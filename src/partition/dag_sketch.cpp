@@ -26,6 +26,17 @@ DagSketch::numLayers() const
     return *std::max_element(layer.begin(), layer.end()) + 1;
 }
 
+std::size_t
+DagSketch::memoryBytes() const
+{
+    std::size_t bytes = scc_of_path.size() * sizeof(SccId) +
+                        layer.size() * sizeof(std::uint32_t) +
+                        sketch.storageBytes();
+    for (const auto &paths : paths_in_scc)
+        bytes += paths.size() * sizeof(PathId);
+    return bytes;
+}
+
 namespace {
 
 /** Map each dependency-graph vertex to a local SCC id, using one Tarjan

@@ -50,6 +50,9 @@ struct DagSketch
 
     /** Number of layers (0 for an empty sketch). */
     std::uint32_t numLayers() const;
+
+    /** Approximate heap footprint in bytes (memory accounting). */
+    std::size_t memoryBytes() const;
 };
 
 /**

@@ -73,6 +73,17 @@ class SortedAdjacency
     /** Sort flavor the rows were built with. */
     bool degreeSorted() const { return degree_sorted_; }
 
+    /** Approximate heap footprint in bytes (memory accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        std::size_t bytes =
+            rows_.size() * sizeof(std::vector<AdjacencyEntry>);
+        for (const auto &row : rows_)
+            bytes += row.size() * sizeof(AdjacencyEntry);
+        return bytes;
+    }
+
     /** Successors of @p v, hottest-first. */
     const std::vector<AdjacencyEntry> &
     row(VertexId v) const

@@ -125,6 +125,15 @@ class PathSet
      */
     bool validate(const graph::DirectedGraph &g) const;
 
+    /** Approximate heap footprint in bytes (memory accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return offsets_.size() * sizeof(std::uint64_t) +
+               vertices_.size() * sizeof(VertexId) +
+               edge_ids_.size() * sizeof(EdgeId);
+    }
+
   private:
     std::uint64_t
     endOffset(PathId p) const

@@ -17,6 +17,23 @@ Preprocessed::partitionOfPath(PathId p) const
     return static_cast<PartitionId>(it - partition_offsets.begin() - 1);
 }
 
+std::size_t
+Preprocessed::memoryBytes() const
+{
+    std::size_t bytes = paths.memoryBytes() + dag.memoryBytes() +
+                        scc_of_path.size() * sizeof(SccId) +
+                        path_layer.size() * sizeof(std::uint32_t) +
+                        path_hot.size() * sizeof(std::uint8_t) +
+                        path_avg_degree.size() * sizeof(double) +
+                        partition_offsets.size() * sizeof(std::uint32_t) +
+                        partition_layer.size() * sizeof(std::uint32_t) +
+                        incremental_stats.dirty_partitions.size() *
+                            sizeof(PartitionId);
+    if (sorted_adjacency)
+        bytes += sorted_adjacency->memoryBytes();
+    return bytes;
+}
+
 Preprocessed
 preprocess(const graph::DirectedGraph &g, const PreprocessOptions &options,
            std::shared_ptr<SortedAdjacency> adjacency)

@@ -119,6 +119,10 @@ struct Preprocessed
 
     /** Partition that owns path @p p (binary search). */
     PartitionId partitionOfPath(PathId p) const;
+
+    /** Approximate heap footprint in bytes of every table (including
+     *  the shared sorted-adjacency cache when owned). */
+    std::size_t memoryBytes() const;
 };
 
 /**

@@ -4,8 +4,7 @@
 
 namespace digraph::storage {
 
-PathStorage::PathStorage(const partition::PathSet &paths,
-                         const graph::DirectedGraph &g)
+PathLayout::PathLayout(const partition::PathSet &paths)
 {
     const PathId np = paths.numPaths();
     ptable_.reserve(np + 1);
@@ -21,42 +20,10 @@ PathStorage::PathStorage(const partition::PathSet &paths,
         offset += verts.size();
     }
     ptable_.push_back(offset);
-
-    s_val_.assign(e_idx_.size(), 0.0);
-    loaded_val_.assign(e_idx_.size(), 0.0);
-    e_val_.assign(edge_ids_.size(), 0.0);
-    v_val_.assign(g.numVertices(), 0.0);
-}
-
-PathView
-PathStorage::path(PathId p)
-{
-    const std::uint64_t lo = ptable_[p];
-    const std::uint64_t hi = ptable_[p + 1];
-    const std::uint64_t elo = lo - p; // p paths before -> p fewer edges
-    const std::uint64_t ehi = hi - p - 1;
-    PathView view;
-    view.vertex_ids = {e_idx_.data() + lo, e_idx_.data() + hi};
-    view.mirror_states = {s_val_.data() + lo, s_val_.data() + hi};
-    view.loaded_states = {loaded_val_.data() + lo, loaded_val_.data() + hi};
-    view.edge_states = {e_val_.data() + elo, e_val_.data() + ehi};
-    view.edge_ids = {edge_ids_.data() + elo, edge_ids_.data() + ehi};
-    return view;
-}
-
-void
-PathStorage::pullPath(PathId p)
-{
-    const std::uint64_t lo = ptable_[p];
-    const std::uint64_t hi = ptable_[p + 1];
-    for (std::uint64_t slot = lo; slot < hi; ++slot) {
-        s_val_[slot] = v_val_[e_idx_[slot]];
-        loaded_val_[slot] = s_val_[slot];
-    }
 }
 
 std::size_t
-PathStorage::pathBytes(PathId p) const
+PathLayout::pathBytes(PathId p) const
 {
     const std::uint64_t verts = ptable_[p + 1] - ptable_[p];
     const std::uint64_t edges = verts - 1;
@@ -67,12 +34,71 @@ PathStorage::pathBytes(PathId p) const
 }
 
 std::size_t
-PathStorage::rangeBytes(PathId first, PathId last) const
+PathLayout::rangeBytes(PathId first, PathId last) const
 {
     std::size_t total = 0;
     for (PathId p = first; p < last; ++p)
         total += pathBytes(p);
     return total;
+}
+
+std::size_t
+PathLayout::memoryBytes() const
+{
+    return ptable_.size() * sizeof(std::uint64_t) +
+           e_idx_.size() * sizeof(VertexId) +
+           edge_ids_.size() * sizeof(EdgeId);
+}
+
+PathStorage::PathStorage(const partition::PathSet &paths,
+                         const graph::DirectedGraph &g)
+    : layout_(std::make_shared<PathLayout>(paths))
+{
+    s_val_.assign(layout_->numSlots(), 0.0);
+    loaded_val_.assign(layout_->numSlots(), 0.0);
+    e_val_.assign(layout_->numPathEdges(), 0.0);
+    v_val_.assign(g.numVertices(), 0.0);
+}
+
+PathStorage::PathStorage(std::shared_ptr<const PathLayout> layout,
+                         VertexId num_vertices)
+    : layout_(std::move(layout))
+{
+    if (layout_ == nullptr)
+        panic("PathStorage: null shared layout");
+    s_val_.assign(layout_->numSlots(), 0.0);
+    loaded_val_.assign(layout_->numSlots(), 0.0);
+    e_val_.assign(layout_->numPathEdges(), 0.0);
+    v_val_.assign(num_vertices, 0.0);
+}
+
+PathView
+PathStorage::path(PathId p)
+{
+    const std::uint64_t lo = layout_->pathOffset(p);
+    const std::uint64_t hi = layout_->pathOffset(p + 1);
+    const std::uint64_t elo = lo - p; // p paths before -> p fewer edges
+    const std::uint64_t ehi = hi - p - 1;
+    const std::span<const VertexId> e_idx = layout_->eIdx();
+    const std::span<const EdgeId> edge_ids = layout_->edgeIds();
+    PathView view;
+    view.vertex_ids = e_idx.subspan(lo, hi - lo);
+    view.mirror_states = {s_val_.data() + lo, s_val_.data() + hi};
+    view.loaded_states = {loaded_val_.data() + lo, loaded_val_.data() + hi};
+    view.edge_states = {e_val_.data() + elo, e_val_.data() + ehi};
+    view.edge_ids = edge_ids.subspan(elo, ehi - elo);
+    return view;
+}
+
+void
+PathStorage::pullPath(PathId p)
+{
+    const std::uint64_t lo = layout_->pathOffset(p);
+    const std::uint64_t hi = layout_->pathOffset(p + 1);
+    for (std::uint64_t slot = lo; slot < hi; ++slot) {
+        s_val_[slot] = v_val_[layout_->vertexAt(slot)];
+        loaded_val_[slot] = s_val_[slot];
+    }
 }
 
 void
@@ -82,12 +108,22 @@ PathStorage::initialize(const std::vector<Value> &vertex_init,
     if (vertex_init.size() != v_val_.size())
         panic("PathStorage::initialize: vertex array size mismatch");
     v_val_ = vertex_init;
-    for (std::size_t slot = 0; slot < e_idx_.size(); ++slot) {
-        s_val_[slot] = v_val_[e_idx_[slot]];
+    const std::size_t slots = layout_->numSlots();
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+        s_val_[slot] = v_val_[layout_->vertexAt(slot)];
         loaded_val_[slot] = s_val_[slot];
     }
-    for (std::size_t i = 0; i < edge_ids_.size(); ++i)
-        e_val_[i] = edge_init[edge_ids_[i]];
+    const std::size_t edges = layout_->numPathEdges();
+    for (std::size_t i = 0; i < edges; ++i)
+        e_val_[i] = edge_init[layout_->edgeIdAt(i)];
+}
+
+std::size_t
+PathStorage::valueBytes() const
+{
+    return (s_val_.size() + loaded_val_.size() + e_val_.size() +
+            v_val_.size()) *
+           sizeof(Value);
 }
 
 } // namespace digraph::storage

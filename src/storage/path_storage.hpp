@@ -15,12 +15,19 @@
  * Because a partition's paths occupy consecutive PTable/E_idx ranges, a
  * warp assigned to a partition reads consecutive global memory — the
  * coalesced-access property the cost model rewards.
+ *
+ * The storage is split along the mutability boundary: PathLayout holds
+ * the immutable topology arrays (PTable, E_idx, edge ids) and is shared
+ * between concurrent jobs via shared_ptr; PathStorage adds the per-job
+ * mutable value arrays (S_val, loaded snapshots, E_val, V_val) on top of
+ * one layout.
  */
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -95,6 +102,14 @@ class SlotDirtySet
         slots_.clear();
     }
 
+    /** Bytes of the bound range flags plus the current worklist. */
+    std::size_t
+    memoryBytes() const
+    {
+        return marked_.size() * sizeof(std::uint8_t) +
+               slots_.size() * sizeof(std::uint64_t);
+    }
+
   private:
     std::uint64_t lo_ = 0;
     std::vector<std::uint8_t> marked_;
@@ -102,16 +117,17 @@ class SlotDirtySet
 };
 
 /**
- * The four arrays plus PTable, materialized from a partitioned PathSet.
+ * Immutable topology half of the four-array storage: PTable, E_idx and
+ * the per-edge original-graph edge ids. Built once per preprocessing
+ * result and shared (read-only) by every job running on it.
  */
-class PathStorage
+class PathLayout
 {
   public:
-    PathStorage() = default;
+    PathLayout() = default;
 
-    /** Build from @p paths (already in final partition order) over @p g. */
-    PathStorage(const partition::PathSet &paths,
-                const graph::DirectedGraph &g);
+    /** Materialize from @p paths (already in final partition order). */
+    explicit PathLayout(const partition::PathSet &paths);
 
     /** Number of paths. */
     PathId numPaths() const
@@ -119,6 +135,73 @@ class PathStorage
         return ptable_.empty() ? 0
                                : static_cast<PathId>(ptable_.size() - 1);
     }
+
+    /** Total E_idx slots. */
+    std::size_t numSlots() const { return e_idx_.size(); }
+
+    /** Total path edges (E_val length). */
+    std::size_t numPathEdges() const { return edge_ids_.size(); }
+
+    /** PTable entry: E_idx offset of path @p p's first vertex. */
+    std::uint64_t pathOffset(PathId p) const { return ptable_[p]; }
+
+    /** Raw E_idx array. */
+    std::span<const VertexId> eIdx() const { return e_idx_; }
+
+    /** Vertex id stored at E_idx slot @p slot. */
+    VertexId vertexAt(std::uint64_t slot) const { return e_idx_[slot]; }
+
+    /** Original graph edge id stored at E_val index @p i. */
+    EdgeId edgeIdAt(std::uint64_t i) const { return edge_ids_[i]; }
+
+    /** Raw per-path-edge original edge-id array. */
+    std::span<const EdgeId> edgeIds() const { return edge_ids_; }
+
+    /** Bytes a GPU must move to load path @p p (E_idx + S_val + E_val
+     *  slices plus its PTable entry). */
+    std::size_t pathBytes(PathId p) const;
+
+    /** Bytes for a contiguous path range [first, last). */
+    std::size_t rangeBytes(PathId first, PathId last) const;
+
+    /** Host bytes of the layout arrays themselves. */
+    std::size_t memoryBytes() const;
+
+  private:
+    std::vector<std::uint64_t> ptable_;
+    std::vector<VertexId> e_idx_;
+    std::vector<EdgeId> edge_ids_;
+};
+
+/**
+ * The four arrays plus PTable: one shared immutable PathLayout plus this
+ * instance's own mutable value arrays (per-job state).
+ */
+class PathStorage
+{
+  public:
+    PathStorage() = default;
+
+    /** Build a fresh private layout from @p paths over @p g. */
+    PathStorage(const partition::PathSet &paths,
+                const graph::DirectedGraph &g);
+
+    /** Share @p layout (concurrent jobs over one topology); only the
+     *  value arrays are allocated here. */
+    PathStorage(std::shared_ptr<const PathLayout> layout,
+                VertexId num_vertices);
+
+    /** The shared topology half. */
+    const PathLayout &layout() const { return *layout_; }
+
+    /** The shared topology half, by owner (job-manager sharing). */
+    const std::shared_ptr<const PathLayout> &layoutPtr() const
+    {
+        return layout_;
+    }
+
+    /** Number of paths. */
+    PathId numPaths() const { return layout_->numPaths(); }
 
     /** Number of vertices (V_val size). */
     VertexId numVertices() const
@@ -130,7 +213,10 @@ class PathStorage
     PathView path(PathId p);
 
     /** PTable entry: E_idx offset of path @p p's first vertex. */
-    std::uint64_t pathOffset(PathId p) const { return ptable_[p]; }
+    std::uint64_t pathOffset(PathId p) const
+    {
+        return layout_->pathOffset(p);
+    }
 
     /** Master state of vertex @p v. */
     Value &vVal(VertexId v) { return v_val_[v]; }
@@ -141,10 +227,13 @@ class PathStorage
     std::span<const Value> vVals() const { return v_val_; }
 
     /** Raw E_idx array (tests / coalescing analysis). */
-    std::span<const VertexId> eIdx() const { return e_idx_; }
+    std::span<const VertexId> eIdx() const { return layout_->eIdx(); }
 
     /** Vertex id stored at E_idx slot @p slot. */
-    VertexId vertexAt(std::uint64_t slot) const { return e_idx_[slot]; }
+    VertexId vertexAt(std::uint64_t slot) const
+    {
+        return layout_->vertexAt(slot);
+    }
 
     /** Mirror state at slot @p slot (hot-loop accessor). */
     Value &sVal(std::uint64_t slot) { return s_val_[slot]; }
@@ -163,7 +252,10 @@ class PathStorage
     std::span<Value> eVals() { return e_val_; }
 
     /** Original graph edge id stored at E_val index @p i. */
-    EdgeId edgeIdAt(std::uint64_t i) const { return edge_ids_[i]; }
+    EdgeId edgeIdAt(std::uint64_t i) const
+    {
+        return layout_->edgeIdAt(i);
+    }
 
     /** Fill every S_val and loaded-state slot of path @p p from V_val
      *  (the partition-load pull). */
@@ -180,20 +272,25 @@ class PathStorage
     void
     pullPathWith(PathId p, F &&masterOf)
     {
-        const std::uint64_t lo = ptable_[p];
-        const std::uint64_t hi = ptable_[p + 1];
+        const std::uint64_t lo = layout_->pathOffset(p);
+        const std::uint64_t hi = layout_->pathOffset(p + 1);
         for (std::uint64_t slot = lo; slot < hi; ++slot) {
-            s_val_[slot] = masterOf(e_idx_[slot]);
+            s_val_[slot] = masterOf(layout_->vertexAt(slot));
             loaded_val_[slot] = s_val_[slot];
         }
     }
 
-    /** Bytes a GPU must move to load path @p p (E_idx + S_val + E_val
-     *  slices plus its PTable entry). */
-    std::size_t pathBytes(PathId p) const;
+    /** Bytes a GPU must move to load path @p p. */
+    std::size_t pathBytes(PathId p) const
+    {
+        return layout_->pathBytes(p);
+    }
 
     /** Bytes for a contiguous path range [first, last). */
-    std::size_t rangeBytes(PathId first, PathId last) const;
+    std::size_t rangeBytes(PathId first, PathId last) const
+    {
+        return layout_->rangeBytes(first, last);
+    }
 
     /** Initialize V_val, S_val snapshots and E_val.
      *  @param vertex_init V_val per vertex; @param edge_init E_val per
@@ -201,13 +298,16 @@ class PathStorage
     void initialize(const std::vector<Value> &vertex_init,
                     const std::vector<Value> &edge_init);
 
+    /** Host bytes of this instance's private value arrays (excludes the
+     *  shared layout). */
+    std::size_t valueBytes() const;
+
   private:
-    std::vector<std::uint64_t> ptable_;
-    std::vector<VertexId> e_idx_;
+    std::shared_ptr<const PathLayout> layout_ =
+        std::make_shared<PathLayout>();
     std::vector<Value> s_val_;
     std::vector<Value> loaded_val_;
     std::vector<Value> e_val_;
-    std::vector<EdgeId> edge_ids_;
     std::vector<Value> v_val_;
 };
 

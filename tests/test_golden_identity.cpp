@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Golden single-job bit-identity harness: replays the checked-in
+ * fixtures under tests/fixtures/golden/ — produced by the PRE-refactor
+ * monolithic engine — against the layered engine, at several
+ * engine_threads values.
+ *
+ * Discrete algorithms (sssp, wcc, kcore, bfs) must match every fixture
+ * double BIT FOR BIT, counters included. The accumulative family
+ * (pagerank, adsorption, katz) is held to a tight numeric tolerance
+ * instead, so a future intentional reassociation of their floating-point
+ * sums does not invalidate the whole harness; today they too match
+ * exactly. HITS is compared against the power-iteration reference.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/factory.hpp"
+#include "algorithms/hits.hpp"
+#include "engine/digraph_engine.hpp"
+#include "graph/generators.hpp"
+
+namespace digraph {
+namespace {
+
+#ifndef DIGRAPH_FIXTURE_DIR
+#error "DIGRAPH_FIXTURE_DIR must point at tests/fixtures/golden"
+#endif
+
+gpusim::PlatformConfig
+smallPlatform()
+{
+    gpusim::PlatformConfig pc;
+    pc.num_devices = 2;
+    pc.smx_per_device = 4;
+    return pc;
+}
+
+graph::DirectedGraph
+goldenGraph()
+{
+    graph::GeneratorConfig c;
+    c.num_vertices = 400;
+    c.num_edges = 2400;
+    c.seed = 77;
+    return graph::generate(c);
+}
+
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+double
+fromBits(std::uint64_t u)
+{
+    double v = 0.0;
+    std::memcpy(&v, &u, sizeof(v));
+    return v;
+}
+
+struct Fixture
+{
+    std::uint64_t sim_cycles_bits = 0;
+    std::uint64_t waves = 0;
+    std::uint64_t edge_processings = 0;
+    std::uint64_t vertex_updates = 0;
+    std::vector<std::uint64_t> state_bits;
+};
+
+Fixture
+loadFixture(const std::string &algo, const std::string &mode)
+{
+    const std::string path = std::string(DIGRAPH_FIXTURE_DIR) + "/" +
+                             algo + "_" + mode + ".txt";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    Fixture fx;
+    std::string line;
+    std::size_t expected_states = 0;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string key;
+        ss >> key;
+        if (key == "sim_cycles") {
+            ss >> std::hex >> fx.sim_cycles_bits;
+        } else if (key == "waves") {
+            ss >> fx.waves;
+        } else if (key == "edge_processings") {
+            ss >> fx.edge_processings;
+        } else if (key == "vertex_updates") {
+            ss >> fx.vertex_updates;
+        } else if (key == "state") {
+            ss >> expected_states;
+            fx.state_bits.reserve(expected_states);
+            while (fx.state_bits.size() < expected_states &&
+                   std::getline(in, line)) {
+                fx.state_bits.push_back(
+                    std::stoull(line, nullptr, 16));
+            }
+        }
+    }
+    EXPECT_EQ(fx.state_bits.size(), expected_states) << path;
+    return fx;
+}
+
+metrics::RunReport
+runGolden(const graph::DirectedGraph &g, const std::string &algo_name,
+          engine::ExecutionMode mode, std::size_t threads)
+{
+    engine::EngineOptions opts;
+    opts.mode = mode;
+    opts.platform = smallPlatform();
+    opts.engine_threads = threads;
+    engine::DiGraphEngine eng(g, opts);
+    const auto algo = algorithms::makeAlgorithm(algo_name, g);
+    return eng.run(*algo);
+}
+
+void
+expectBitwise(const Fixture &fx, const metrics::RunReport &report,
+              const std::string &label)
+{
+    EXPECT_EQ(report.waves, fx.waves) << label;
+    EXPECT_EQ(report.edge_processings, fx.edge_processings) << label;
+    EXPECT_EQ(report.vertex_updates, fx.vertex_updates) << label;
+    EXPECT_EQ(bits(report.sim_cycles), fx.sim_cycles_bits) << label;
+    ASSERT_EQ(report.final_state.size(), fx.state_bits.size()) << label;
+    for (std::size_t v = 0; v < fx.state_bits.size(); ++v) {
+        ASSERT_EQ(bits(report.final_state[v]), fx.state_bits[v])
+            << label << ": vertex " << v;
+    }
+}
+
+void
+expectTolerance(const Fixture &fx, const metrics::RunReport &report,
+                const std::string &label, double tol = 1e-9)
+{
+    // The dispatch schedule and work counts must still match exactly —
+    // only the floating-point values get slack.
+    EXPECT_EQ(report.waves, fx.waves) << label;
+    EXPECT_EQ(report.edge_processings, fx.edge_processings) << label;
+    EXPECT_EQ(report.vertex_updates, fx.vertex_updates) << label;
+    ASSERT_EQ(report.final_state.size(), fx.state_bits.size()) << label;
+    for (std::size_t v = 0; v < fx.state_bits.size(); ++v) {
+        const double want = fromBits(fx.state_bits[v]);
+        ASSERT_NEAR(report.final_state[v], want,
+                    tol * std::max(1.0, std::abs(want)))
+            << label << ": vertex " << v;
+    }
+}
+
+const std::vector<std::size_t> kThreadCounts = {1, 2, 4};
+
+// ------------------------------------------------- bitwise algorithms
+
+TEST(GoldenIdentity, BitwiseAlgorithmsEveryThreadCount)
+{
+    const auto g = goldenGraph();
+    for (const std::string algo : {"sssp", "kcore", "bfs", "wcc"}) {
+        const Fixture fx = loadFixture(algo, "digraph");
+        for (const std::size_t threads : kThreadCounts) {
+            const auto report = runGolden(
+                g, algo, engine::ExecutionMode::PathAsync, threads);
+            expectBitwise(fx, report,
+                          algo + " threads=" + std::to_string(threads));
+        }
+    }
+}
+
+TEST(GoldenIdentity, BitwiseAlternateModes)
+{
+    const auto g = goldenGraph();
+    struct Case
+    {
+        const char *algo;
+        engine::ExecutionMode mode;
+        const char *mode_name;
+    };
+    for (const Case c :
+         {Case{"sssp", engine::ExecutionMode::PathNoSched, "digraph-w"},
+          Case{"sssp", engine::ExecutionMode::VertexAsync, "digraph-t"},
+          Case{"wcc", engine::ExecutionMode::PathNoSched, "digraph-w"},
+          Case{"wcc", engine::ExecutionMode::VertexAsync, "digraph-t"}}) {
+        const Fixture fx = loadFixture(c.algo, c.mode_name);
+        const auto report = runGolden(g, c.algo, c.mode, 2);
+        expectBitwise(fx, report,
+                      std::string(c.algo) + " " + c.mode_name);
+    }
+}
+
+// ----------------------------------------------- tolerance algorithms
+
+TEST(GoldenIdentity, AccumulativeAlgorithmsWithinTolerance)
+{
+    const auto g = goldenGraph();
+    for (const std::string algo : {"pagerank", "adsorption", "katz"}) {
+        const Fixture fx = loadFixture(algo, "digraph");
+        for (const std::size_t threads : kThreadCounts) {
+            const auto report = runGolden(
+                g, algo, engine::ExecutionMode::PathAsync, threads);
+            expectTolerance(fx, report,
+                            algo + " threads=" +
+                                std::to_string(threads));
+        }
+    }
+}
+
+TEST(GoldenIdentity, PagerankAlternateModesWithinTolerance)
+{
+    const auto g = goldenGraph();
+    for (const auto &[mode, name] :
+         {std::pair{engine::ExecutionMode::PathNoSched, "digraph-w"},
+          std::pair{engine::ExecutionMode::VertexAsync, "digraph-t"}}) {
+        const Fixture fx = loadFixture("pagerank", name);
+        const auto report = runGolden(g, "pagerank", mode, 2);
+        expectTolerance(fx, report, std::string("pagerank ") + name);
+    }
+}
+
+// ---------------------------------------------------------------- HITS
+
+TEST(GoldenIdentity, HitsMatchesPowerIterationFixture)
+{
+    const auto g = goldenGraph();
+    const std::string path =
+        std::string(DIGRAPH_FIXTURE_DIR) + "/hits_power.txt";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing fixture " << path;
+
+    std::uint32_t iterations = 0;
+    std::vector<double> authority, hub;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string key;
+        ss >> key;
+        if (key == "iterations") {
+            ss >> iterations;
+        } else if (key == "authority" || key == "hub") {
+            std::size_t count = 0;
+            ss >> count;
+            auto &dst = key == "authority" ? authority : hub;
+            dst.reserve(count);
+            while (dst.size() < count && std::getline(in, line))
+                dst.push_back(fromBits(std::stoull(line, nullptr, 16)));
+        }
+    }
+
+    const algorithms::HitsScores scores = algorithms::computeHits(g);
+    EXPECT_EQ(scores.iterations, iterations);
+    ASSERT_EQ(scores.authority.size(), authority.size());
+    ASSERT_EQ(scores.hub.size(), hub.size());
+    for (std::size_t v = 0; v < authority.size(); ++v) {
+        ASSERT_NEAR(scores.authority[v], authority[v], 1e-9) << v;
+        ASSERT_NEAR(scores.hub[v], hub[v], 1e-9) << v;
+    }
+}
+
+} // namespace
+} // namespace digraph

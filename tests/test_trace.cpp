@@ -17,6 +17,7 @@
 #include "algorithms/sssp.hpp"
 #include "baselines/async_engine.hpp"
 #include "baselines/bsp_engine.hpp"
+#include "baselines/sequential.hpp"
 #include "engine/digraph_engine.hpp"
 #include "graph/generators.hpp"
 #include "metrics/counter_registry.hpp"
@@ -255,6 +256,32 @@ TEST(BaselineTrace, AsyncCounterTotalsMatchReport)
                 metrics::CounterRegistry::fromReport(result.report));
     EXPECT_EQ(sink.count(metrics::TraceEventType::Dispatch),
               result.report.partition_processings);
+}
+
+TEST(BaselineTrace, SequentialCounterTotalsMatchReport)
+{
+    const auto g = testGraph(82);
+    metrics::TraceSink sink;
+    const algorithms::Sssp sssp(0);
+    const auto result = baselines::runSequential(g, sssp, &sink);
+    EXPECT_TRUE(sink.counters() ==
+                metrics::CounterRegistry::fromReport(result.report));
+    EXPECT_EQ(result.report.edge_processings, result.edge_processings);
+    EXPECT_EQ(result.report.vertex_updates, result.vertex_updates);
+    EXPECT_EQ(result.report.final_state, result.state);
+    EXPECT_EQ(result.report.system, "sequential");
+}
+
+TEST(BaselineTrace, TopologicalCounterTotalsMatchReport)
+{
+    const auto g = testGraph(83);
+    metrics::TraceSink sink;
+    const algorithms::PageRank pr;
+    const auto result = baselines::runTopological(g, pr, &sink);
+    EXPECT_TRUE(sink.counters() ==
+                metrics::CounterRegistry::fromReport(result.report));
+    EXPECT_EQ(result.report.rounds, result.rounds);
+    EXPECT_EQ(result.report.system, "sequential-topo");
 }
 
 } // namespace

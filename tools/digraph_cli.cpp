@@ -9,8 +9,14 @@
  *               [--source V] [--k K] [--verbose]
  *               [--trace out.json] [--trace-csv out.csv]
  *               [--faults SPEC] [--verify]
+ *               [--jobs "sssp:0,pagerank,wcc"]
  *               [--evolve-batches N] [--evolve-batch-size M]
  *               [--evolve-full-rebuild] [--evolve-seed S]
+ *   digraph_cli --list-algorithms
+ *
+ * --jobs runs N concurrent jobs (comma-separated "name[:param]" specs)
+ * over ONE shared substrate (digraph system only) and prints a per-job
+ * report; --list-algorithms prints the factory registry.
  *
  * --faults takes a deterministic injection plan (digraph systems only),
  * e.g. "seed=7,device=1@50000,xfer=0.01,smx=0.3@20000x16"; --verify runs
@@ -46,6 +52,7 @@
 #include "common/timer.hpp"
 #include "engine/digraph_engine.hpp"
 #include "engine/evolving.hpp"
+#include "engine/job_manager.hpp"
 #include "graph/formats.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
@@ -70,6 +77,7 @@ struct Options
     std::string trace_csv;
     std::string faults;
     bool verify = false;
+    std::string jobs;
     std::size_t evolve_batches = 0;
     std::size_t evolve_batch_size = 512;
     bool evolve_full_rebuild = false;
@@ -86,14 +94,39 @@ usage(const char *argv0)
         "          [--source V] [--k K] [--verbose]\n"
         "          [--trace out.json] [--trace-csv out.csv]\n"
         "          [--faults SPEC] [--verify]\n"
+        "          [--jobs \"sssp:0,pagerank,wcc\"]\n"
         "          [--evolve-batches N] [--evolve-batch-size M]\n"
         "          [--evolve-full-rebuild] [--evolve-seed S]\n"
+        "       %s --list-algorithms\n"
         "algorithms: pagerank adsorption sssp kcore katz bfs wcc\n"
         "systems:    digraph digraph-t digraph-w gunrock groute "
         "sequential\n"
         "datasets:   dblp cnr ljournal webbase it04 twitter\n",
-        argv0);
+        argv0, argv0);
     std::exit(2);
+}
+
+/** Print the factory registry: one row per algorithm with its
+ *  incremental-ingestion support and convergence epsilon. */
+[[noreturn]] void
+listAlgorithms()
+{
+    // Some algorithms precompute per-graph tables at construction; a
+    // tiny generated graph serves as the probe instance.
+    graph::GeneratorConfig c;
+    c.num_vertices = 8;
+    c.num_edges = 16;
+    c.seed = 1;
+    const graph::DirectedGraph g = graph::generate(c);
+    std::printf("%-12s %-12s %s\n", "algorithm", "incremental",
+                "epsilon");
+    for (const auto &name : algorithms::allAlgorithmNames()) {
+        const auto algo = algorithms::makeAlgorithm(name, g);
+        std::printf("%-12s %-12s %.3g\n", name.c_str(),
+                    algo->supportsIncremental() ? "yes" : "no",
+                    algo->epsilon());
+    }
+    std::exit(0);
 }
 
 Options
@@ -133,6 +166,10 @@ parse(int argc, char **argv)
             opts.faults = need(i);
         else if (arg == "--verify")
             opts.verify = true;
+        else if (arg == "--jobs")
+            opts.jobs = need(i);
+        else if (arg == "--list-algorithms")
+            listAlgorithms();
         else if (arg == "--evolve-batches")
             opts.evolve_batches =
                 static_cast<std::size_t>(std::atol(need(i)));
@@ -272,23 +309,13 @@ main(int argc, char **argv)
     metrics::TraceSink sink;
 
     if (opts.system == "sequential") {
-        WallTimer timer;
-        const auto result = baselines::runSequential(g, *algo);
-        metrics::RunReport report;
-        report.system = "sequential";
-        report.algorithm = algo->name();
-        report.vertex_updates = result.vertex_updates;
-        report.edge_processings = result.edge_processings;
-        report.used_vertices = result.vertex_updates;
-        report.final_state = result.state;
-        report.wall_seconds = timer.seconds();
-        if (want_trace) {
-            // No simulated timeline for the host reference run, but the
-            // counter block still exports.
-            sink.setCounters(metrics::CounterRegistry::fromReport(report));
+        // The report is exported through CounterRegistry like every
+        // other engine family (no simulated timeline).
+        const auto result = baselines::runSequential(
+            g, *algo, want_trace ? &sink : nullptr);
+        if (want_trace)
             writeTraces(sink, opts);
-        }
-        printReport(report, 0.0);
+        printReport(result.report, 0.0);
         return 0;
     }
     if (opts.system == "gunrock") {
@@ -331,6 +358,32 @@ main(int argc, char **argv)
         fatal("digraph_cli: ", err);
     if (opts.verbose && !fault_plan.empty())
         std::printf("faults: %s\n", fault_plan.describe().c_str());
+    if (!opts.jobs.empty()) {
+        if (opts.system != "digraph")
+            fatal("digraph_cli: --jobs requires --system digraph");
+        if (opts.evolve_batches > 0)
+            fatal("digraph_cli: --jobs and --evolve-batches are "
+                  "mutually exclusive");
+        engine::JobManager manager(g, eopts);
+        manager.addJobs(opts.jobs);
+        const auto results = manager.runAll(want_trace);
+        std::printf("jobs          %zu over one shared substrate\n",
+                    results.size());
+        std::printf("shared bytes  %.3f MB\n",
+                    static_cast<double>(manager.sharedBytes()) / 1e6);
+        for (const auto &job : results) {
+            std::printf("--- job %s (%.3f MB private state)\n",
+                        job.spec.c_str(),
+                        static_cast<double>(job.job_state_bytes) / 1e6);
+            printReport(job.report,
+                        manager.substrate()->pre.timings.total());
+        }
+        if (want_trace && !results.empty() && results.front().trace) {
+            // Export the first job's trace (one file pair per CLI run).
+            writeTraces(*results.front().trace, opts);
+        }
+        return 0;
+    }
     if (opts.evolve_batches > 0) {
         if (opts.algo == "adsorption") {
             fatal("digraph_cli: --evolve-batches does not support "
