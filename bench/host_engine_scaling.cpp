@@ -5,17 +5,37 @@
  * whose partitions are largely vertex-disjoint (high locality, uniform
  * degrees), so wave chunks hold many concurrent dispatches.
  *
+ * Three merge-barrier families are compared (DESIGN.md §14):
+ *
+ *   pagerank/delta   — accumulative family through the lock-free
+ *                      parallel overlay commit (delta_merge = true);
+ *   pagerank/ordered — the same algorithm through the serial
+ *                      ordered-replay oracle (delta_merge = false);
+ *   wcc/ordered      — the bitwise family, which always replays in
+ *                      order.
+ *
+ * Each row also splits the wall clock into compute / commutative-merge /
+ * ordered-replay-barrier / schedule phases, so the table shows exactly
+ * where the delta commit moves the serial-barrier time.
+ *
  * This measures the HOST simulation throughput, not simulated GPU time:
  * every run produces bit-identical results and identical sim_cycles for
- * every thread count (verified here); only wall_seconds changes.
+ * every thread count AND both merge paths (verified here); only
+ * wall_seconds changes.
  *
- * Output: a table on stdout plus BENCH_engine.json in the working
+ * Output: tables on stdout plus BENCH_engine.json in the working
  * directory. Regenerate the committed snapshot from the repo root with:
  *
  *     cmake --build build -j --target host_engine_scaling
  *     ./build/bench/host_engine_scaling
  *
  * (see EXPERIMENTS.md). Scale via DIGRAPH_BENCH_SCALE if needed.
+ *
+ * Exit status: nonzero when a determinism check fails, or — only on
+ * hosts with >= 4 cores — when the delta-merge pagerank run fails the
+ * 1.5x speedup gate at 4 threads. Single-core containers cannot exhibit
+ * wall-clock speedup, so there the gate is reported but not enforced
+ * (the JSON carries host_cores so readers can tell the difference).
  */
 
 #include <algorithm>
@@ -49,28 +69,41 @@ scalingWorkload()
     return graph::generate(c);
 }
 
+struct Config
+{
+    const char *key;   // JSON/label key
+    const char *algo;  // factory name
+    bool delta_merge;  // EngineOptions::delta_merge
+};
+
 struct Point
 {
     std::size_t threads;
     metrics::RunReport best; // rep with the smallest wall_seconds
 };
 
-} // namespace
-
-int
-main()
+struct FamilyRun
 {
-    const auto g = scalingWorkload();
-    const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
-    constexpr int kReps = 3;
-
+    Config cfg;
     std::vector<Point> points;
-    for (const std::size_t threads : thread_counts) {
+    bool deterministic = true;
+};
+
+const std::vector<std::size_t> kThreadCounts = {1, 2, 4, 8};
+constexpr int kReps = 3;
+
+FamilyRun
+runFamily(const graph::DirectedGraph &g, const Config &cfg)
+{
+    FamilyRun fam;
+    fam.cfg = cfg;
+    const auto algo = algorithms::makeAlgorithm(cfg.algo, g);
+    for (const std::size_t threads : kThreadCounts) {
         engine::EngineOptions opts;
         opts.platform = bench::benchPlatform(bench::benchGpus());
         opts.engine_threads = threads;
+        opts.delta_merge = cfg.delta_merge;
         engine::DiGraphEngine eng(g, opts);
-        const auto algo = algorithms::makeAlgorithm("pagerank", g);
 
         metrics::RunReport best;
         for (int rep = 0; rep < kReps; ++rep) {
@@ -78,16 +111,80 @@ main()
             if (rep == 0 || report.wall_seconds < best.wall_seconds)
                 best = std::move(report);
         }
-        points.push_back({threads, std::move(best)});
+        fam.points.push_back({threads, std::move(best)});
     }
-
     // Sanity: thread count must not change results.
-    bool deterministic = true;
-    for (const Point &pt : points) {
-        if (pt.best.final_state != points.front().best.final_state ||
-            pt.best.sim_cycles != points.front().best.sim_cycles) {
-            deterministic = false;
+    for (const Point &pt : fam.points) {
+        if (pt.best.final_state != fam.points.front().best.final_state ||
+            pt.best.sim_cycles != fam.points.front().best.sim_cycles) {
+            fam.deterministic = false;
         }
+    }
+    return fam;
+}
+
+void
+printFamily(const FamilyRun &fam)
+{
+    const double base = fam.points.front().best.wall_seconds;
+    bench::Table table(
+        std::string("Host engine scaling (") + fam.cfg.key +
+            ", wall seconds per run)",
+        {"threads", "wall_s", "speedup", "compute_s", "merge_s",
+         "barrier_s", "schedule_s", "waves"});
+    for (const Point &pt : fam.points) {
+        table.addRow({std::to_string(pt.threads),
+                      bench::Table::num(pt.best.wall_seconds),
+                      bench::Table::ratio(base, pt.best.wall_seconds),
+                      bench::Table::num(pt.best.wall_compute_seconds),
+                      bench::Table::num(pt.best.wall_merge_seconds),
+                      bench::Table::num(pt.best.wall_barrier_seconds),
+                      bench::Table::num(pt.best.wall_schedule_seconds),
+                      std::to_string(pt.best.waves)});
+    }
+    table.print();
+}
+
+double
+wallAt(const FamilyRun &fam, std::size_t threads)
+{
+    for (const Point &pt : fam.points)
+        if (pt.threads == threads)
+            return pt.best.wall_seconds;
+    return 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto g = scalingWorkload();
+    const std::vector<Config> configs = {
+        {"pagerank_delta", "pagerank", true},
+        {"pagerank_ordered", "pagerank", false},
+        {"wcc_ordered", "wcc", false},
+    };
+
+    std::vector<FamilyRun> families;
+    for (const Config &cfg : configs)
+        families.push_back(runFamily(g, cfg));
+
+    const FamilyRun &delta_fam = families[0];
+    const FamilyRun &oracle_fam = families[1];
+
+    // The lock-free delta commit must be a pure performance change: the
+    // oracle run's results are the ground truth.
+    bool merge_equivalent =
+        delta_fam.points.front().best.final_state ==
+            oracle_fam.points.front().best.final_state &&
+        delta_fam.points.front().best.sim_cycles ==
+            oracle_fam.points.front().best.sim_cycles;
+
+    bool deterministic = merge_equivalent;
+    for (const FamilyRun &fam : families) {
+        printFamily(fam);
+        deterministic = deterministic && fam.deterministic;
     }
 
     // Wall-clock speedup is bounded by the host cores actually present
@@ -95,32 +192,33 @@ main()
     // flat and the parallel fraction below is the honest scaling signal.
     const unsigned host_cores =
         std::max(1u, std::thread::hardware_concurrency());
-    const double base = points.front().best.wall_seconds;
+    const bool single_core_host = host_cores < 2;
+    const double base = wallAt(delta_fam, 1);
     const double parallel_fraction =
-        base > 0.0 ? points.front().best.wall_compute_seconds / base : 0.0;
+        base > 0.0
+            ? delta_fam.points.front().best.wall_compute_seconds / base
+            : 0.0;
     const double amdahl_4t =
         1.0 / ((1.0 - parallel_fraction) + parallel_fraction / 4.0);
+    const double wall4 = wallAt(delta_fam, 4);
+    const double speedup_4t = wall4 > 0.0 ? base / wall4 : 0.0;
+    const bool gate_enforced = host_cores >= 4;
+    const bool gate_passed = !gate_enforced || speedup_4t > 1.5;
 
-    bench::Table table(
-        "Host engine scaling (pagerank, wall seconds per run)",
-        {"threads", "wall_s", "speedup", "compute_s", "barrier_s",
-         "schedule_s", "waves"});
-    for (const Point &pt : points) {
-        table.addRow({std::to_string(pt.threads),
-                      bench::Table::num(pt.best.wall_seconds),
-                      bench::Table::ratio(base, pt.best.wall_seconds),
-                      bench::Table::num(pt.best.wall_compute_seconds),
-                      bench::Table::num(pt.best.wall_barrier_seconds),
-                      bench::Table::num(pt.best.wall_schedule_seconds),
-                      std::to_string(pt.best.waves)});
-    }
-    table.print();
-    std::printf("deterministic across thread counts: %s\n",
+    std::printf("deterministic across thread counts and merge paths: "
+                "%s\n",
                 deterministic ? "yes" : "NO");
+    std::printf("delta-merge final state == ordered-oracle final state: "
+                "%s\n",
+                merge_equivalent ? "yes" : "NO");
     std::printf("host cores: %u, parallel fraction (compute/wall at 1 "
                 "thread): %.2f, Amdahl-projected speedup at 4 cores: "
                 "%.2fx\n",
                 host_cores, parallel_fraction, amdahl_4t);
+    std::printf("delta-merge speedup at 4 threads: %.2fx (gate >1.5x "
+                "%s: %s)\n",
+                speedup_4t, gate_enforced ? "ENFORCED" : "not enforced",
+                gate_passed ? "pass" : "FAIL");
     if (host_cores < 4)
         std::printf("note: host has fewer than 4 cores; wall-clock "
                     "speedup is capped at %ux regardless of "
@@ -134,40 +232,67 @@ main()
     }
     std::fprintf(out, "{\n");
     std::fprintf(out, "  \"benchmark\": \"host_engine_scaling\",\n");
-    std::fprintf(out, "  \"workload\": {\"algorithm\": \"pagerank\", "
-                      "\"vertices\": %llu, \"edges\": %llu, "
-                      "\"partitions\": %llu},\n",
+    std::fprintf(out, "  \"workload\": {\"vertices\": %llu, "
+                      "\"edges\": %llu, \"partitions\": %llu},\n",
                  static_cast<unsigned long long>(g.numVertices()),
                  static_cast<unsigned long long>(g.numEdges()),
                  static_cast<unsigned long long>(
-                     points.front().best.num_partitions));
+                     delta_fam.points.front().best.num_partitions));
     std::fprintf(out, "  \"repetitions\": %d,\n", kReps);
     std::fprintf(out, "  \"host_cores\": %u,\n", host_cores);
+    std::fprintf(out, "  \"single_core_host\": %s,\n",
+                 single_core_host ? "true" : "false");
     std::fprintf(out, "  \"parallel_fraction\": %.4f,\n",
                  parallel_fraction);
     std::fprintf(out, "  \"amdahl_projected_speedup_4_cores\": %.3f,\n",
                  amdahl_4t);
+    std::fprintf(out, "  \"delta_merge_speedup_4_threads\": %.3f,\n",
+                 speedup_4t);
+    std::fprintf(out, "  \"speedup_gate_enforced\": %s,\n",
+                 gate_enforced ? "true" : "false");
+    std::fprintf(out, "  \"delta_matches_ordered_oracle\": %s,\n",
+                 merge_equivalent ? "true" : "false");
     std::fprintf(out, "  \"deterministic\": %s,\n",
                  deterministic ? "true" : "false");
-    std::fprintf(out, "  \"results\": [\n");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const auto &r = points[i].best;
-        std::fprintf(
-            out,
-            "    {\"engine_threads\": %zu, \"wall_seconds\": %.6f, "
-            "\"speedup_vs_serial\": %.3f, \"wall_compute_seconds\": %.6f, "
-            "\"wall_barrier_seconds\": %.6f, "
-            "\"wall_schedule_seconds\": %.6f, \"waves\": %llu, "
-            "\"sim_cycles\": %.1f}%s\n",
-            points[i].threads, r.wall_seconds,
-            r.wall_seconds > 0.0 ? base / r.wall_seconds : 0.0,
-            r.wall_compute_seconds, r.wall_barrier_seconds,
-            r.wall_schedule_seconds,
-            static_cast<unsigned long long>(r.waves), r.sim_cycles,
-            i + 1 < points.size() ? "," : "");
+    std::fprintf(out, "  \"families\": [\n");
+    for (std::size_t f = 0; f < families.size(); ++f) {
+        const FamilyRun &fam = families[f];
+        const double fam_base = fam.points.front().best.wall_seconds;
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"algorithm\": \"%s\", "
+                     "\"kernel\": \"%s\", \"delta_merge\": %s, "
+                     "\"results\": [\n",
+                     fam.cfg.key, fam.cfg.algo,
+                     fam.points.front().best.kernel.c_str(),
+                     fam.points.front().best.kernel_delta_merge
+                         ? "true"
+                         : "false");
+        for (std::size_t i = 0; i < fam.points.size(); ++i) {
+            const auto &r = fam.points[i].best;
+            std::fprintf(
+                out,
+                "      {\"engine_threads\": %zu, "
+                "\"wall_seconds\": %.6f, "
+                "\"speedup_vs_serial\": %.3f, "
+                "\"wall_compute_seconds\": %.6f, "
+                "\"wall_merge_seconds\": %.6f, "
+                "\"wall_barrier_seconds\": %.6f, "
+                "\"wall_schedule_seconds\": %.6f, \"waves\": %llu, "
+                "\"sim_cycles\": %.1f}%s\n",
+                fam.points[i].threads, r.wall_seconds,
+                r.wall_seconds > 0.0 ? fam_base / r.wall_seconds : 0.0,
+                r.wall_compute_seconds, r.wall_merge_seconds,
+                r.wall_barrier_seconds, r.wall_schedule_seconds,
+                static_cast<unsigned long long>(r.waves), r.sim_cycles,
+                i + 1 < fam.points.size() ? "," : "");
+        }
+        std::fprintf(out, "    ]}%s\n",
+                     f + 1 < families.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("wrote BENCH_engine.json\n");
-    return deterministic ? 0 : 1;
+    if (!deterministic)
+        return 1;
+    return gate_passed ? 0 : 2;
 }

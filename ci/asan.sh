@@ -32,11 +32,11 @@ cmake -B build-asan -S . -DDIGRAPH_SANITIZE=address,undefined \
 cmake --build build-asan -j \
     --target test_fault_tolerance test_robustness \
     test_engine_parallel test_engine_features test_io test_snapshot \
-    test_job_manager concurrent_jobs
+    test_job_manager test_wave_kernels concurrent_jobs
 
 if [ "$#" -gt 0 ]; then
     ctest --test-dir build-asan --output-on-failure "$@"
 else
     ctest --test-dir build-asan --output-on-failure \
-        -R 'test_(fault_tolerance|robustness|engine_parallel|engine_features|io|snapshot|job_manager)$|bench_jobs_smoke'
+        -R 'test_(fault_tolerance|robustness|engine_parallel|engine_features|io|snapshot|job_manager|wave_kernels)$|bench_jobs_smoke'
 fi

@@ -4,9 +4,11 @@
 # Builds the repo in a dedicated tree (build-tsan/) with
 # -DDIGRAPH_SANITIZE=thread and runs the engine test binaries — the
 # parallel suite already exercises engine_threads in {2, 4} and the
-# hardware-concurrency path, and test_job_manager races N whole jobs
-# against each other over one shared substrate, so any data race in
-# computeDispatch / the barrier replay / the job pool shows up here.
+# hardware-concurrency path, test_job_manager races N whole jobs
+# against each other over one shared substrate, and test_wave_kernels
+# drives the lock-free delta commit against its ordered-replay oracle,
+# so any data race in the wave compute body / commitDeltas / the
+# barrier replay / the job pool shows up here.
 #
 # Usage (from the repo root):
 #     ci/tsan.sh               # configure + build + run
@@ -30,11 +32,11 @@ cmake -B build-tsan -S . -DDIGRAPH_SANITIZE=thread \
 cmake --build build-tsan -j \
     --target test_engine_parallel test_engine_features \
     test_engine_convergence test_evolving_incremental \
-    test_job_manager concurrent_jobs
+    test_job_manager test_wave_kernels concurrent_jobs
 
 if [ "$#" -gt 0 ]; then
     ctest --test-dir build-tsan --output-on-failure "$@"
 else
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_engine_(parallel|features|convergence)|test_evolving_incremental|test_job_manager|bench_jobs_smoke'
+        -R 'test_engine_(parallel|features|convergence)|test_evolving_incremental|test_job_manager|test_wave_kernels|bench_jobs_smoke'
 fi

@@ -4,8 +4,8 @@ namespace digraph::algorithms {
 
 Adsorption::Adsorption(const graph::DirectedGraph &g, VertexId seed_every,
                        double p_inj, double p_cont, double eps)
-    : seed_every_(seed_every ? seed_every : 1), p_inj_(p_inj),
-      p_cont_(p_cont), eps_(eps)
+    : PolicyAlgorithm(AdsorptionPolicy{p_cont, eps, nullptr}),
+      seed_every_(seed_every ? seed_every : 1), p_inj_(p_inj)
 {
     // Normalize incoming weights per destination so the update is a
     // contraction with factor p_cont.
@@ -18,32 +18,13 @@ Adsorption::Adsorption(const graph::DirectedGraph &g, VertexId seed_every,
         const Value sum = in_weight_sum[g.edgeTarget(e)];
         norm_weight_[e] = sum > 0.0 ? g.edgeWeight(e) / sum : 0.0;
     }
+    policy_.norm = norm_weight_.data();
 }
 
 Value
 Adsorption::initVertex(const graph::DirectedGraph &, VertexId v) const
 {
     return isSeed(v) ? p_inj_ : 0.0;
-}
-
-bool
-Adsorption::processEdge(Value src, Value &edge_state, EdgeId edge_id,
-                        Value, std::uint32_t, Value &dst) const
-{
-    const Value delta = src - edge_state;
-    if (delta == 0.0)
-        return false;
-    edge_state = src;
-    const Value push = p_cont_ * norm_weight_[edge_id] * delta;
-    dst += push;
-    return push > eps_ || push < -eps_;
-}
-
-bool
-Adsorption::mergeMaster(Value &master, Value pushed) const
-{
-    master += pushed;
-    return pushed > eps_ || pushed < -eps_;
 }
 
 } // namespace digraph::algorithms

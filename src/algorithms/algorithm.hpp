@@ -130,6 +130,83 @@ class Algorithm
 
     /** Tolerance for comparing two engines' final states in tests. */
     virtual double resultTolerance() const { return 1e-6; }
+
+    /**
+     * Registry tag of the compile-time kernel policy whose processing
+     * semantics this algorithm realizes ("" = none; the engine then
+     * falls back to virtual dispatch in the wave hot loop). The tag is
+     * an execution-semantics contract: a subclass that overrides any
+     * processing method (processEdge / mergeMaster / pushValue /
+     * hasPush / pull) with DIFFERENT semantics must override
+     * kernelTag() to return "" or the specialized kernel will bypass
+     * the override entirely. Subclasses that only add bookkeeping may
+     * keep the inherited tag — the hot loop then provably never enters
+     * their virtual methods (see tests/test_wave_kernels.cpp).
+     */
+    virtual std::string kernelTag() const { return ""; }
+};
+
+/**
+ * CRTP/static-policy adapter: implements the virtual processing methods
+ * by forwarding to a copyable, non-virtual @p Policy struct. The policy
+ * is the single source of truth for the algorithm's per-edge math — the
+ * specialized wave kernels (src/engine/wave_kernel.cpp) copy the policy
+ * and call it directly, inlined, with zero virtual dispatch, while every
+ * other engine family keeps using the virtual interface below. A policy
+ * must provide processEdge / mergeMaster / pushValue / hasPush / pull
+ * with the same signatures (minus virtual) plus the compile-time flags
+ *   static constexpr bool kUsesWeight;     // reads the weight argument
+ *   static constexpr bool kUsesOutDegree;  // reads src_out_degree
+ *   static constexpr bool kAccumulative;   // commutative-delta family
+ * so dead argument loads compile out of the specialized inner loop and
+ * the engine can route the accumulative family through the lock-free
+ * delta merge.
+ */
+template <class Policy>
+class PolicyAlgorithm : public Algorithm
+{
+  public:
+    using KernelPolicy = Policy;
+
+    explicit PolicyAlgorithm(Policy policy) : policy_(std::move(policy)) {}
+
+    /** The policy copied into specialized kernels. */
+    const Policy &kernelPolicy() const { return policy_; }
+
+    bool
+    processEdge(Value src, Value &edge_state, EdgeId edge_id, Value weight,
+                std::uint32_t src_out_degree, Value &dst) const override
+    {
+        return policy_.processEdge(src, edge_state, edge_id, weight,
+                                   src_out_degree, dst);
+    }
+
+    bool
+    mergeMaster(Value &master, Value pushed) const override
+    {
+        return policy_.mergeMaster(master, pushed);
+    }
+
+    Value
+    pushValue(Value current, Value at_load) const override
+    {
+        return policy_.pushValue(current, at_load);
+    }
+
+    bool
+    hasPush(Value current, Value at_load) const override
+    {
+        return policy_.hasPush(current, at_load);
+    }
+
+    Value
+    pull(Value master, Value mirror) const override
+    {
+        return policy_.pull(master, mirror);
+    }
+
+  protected:
+    Policy policy_;
 };
 
 /** Shared handle to an algorithm. */

@@ -5,6 +5,9 @@
  * Same asynchronous delta-accumulation scheme as PageRank; converges for
  * alpha < 1 / max_in_degree (checked at construction against the graph),
  * since the update is then a contraction.
+ *
+ * The per-edge math lives in KatzPolicy so the engine's specialized wave
+ * kernels inline it without virtual dispatch.
  */
 
 #pragma once
@@ -14,8 +17,51 @@
 
 namespace digraph::algorithms {
 
+/** Non-virtual Katz kernel policy (see PolicyAlgorithm). */
+struct KatzPolicy
+{
+    double alpha;
+    double eps;
+
+    static constexpr bool kUsesWeight = false;
+    static constexpr bool kUsesOutDegree = false;
+    static constexpr bool kAccumulative = true;
+
+    bool
+    processEdge(Value src, Value &edge_state, EdgeId, Value,
+                std::uint32_t, Value &dst) const
+    {
+        const Value delta = src - edge_state;
+        if (delta == 0.0)
+            return false;
+        edge_state = src;
+        const Value push = alpha * delta;
+        dst += push;
+        return push > eps || push < -eps;
+    }
+
+    bool
+    mergeMaster(Value &master, Value pushed) const
+    {
+        master += pushed;
+        return pushed > eps || pushed < -eps;
+    }
+
+    Value pushValue(Value current, Value at_load) const
+    {
+        return current - at_load;
+    }
+
+    bool hasPush(Value current, Value at_load) const
+    {
+        return current != at_load;
+    }
+
+    Value pull(Value master, Value) const { return master; }
+};
+
 /** Asynchronous delta Katz centrality. */
-class Katz : public Algorithm
+class Katz : public PolicyAlgorithm<KatzPolicy>
 {
   public:
     /**
@@ -27,51 +73,27 @@ class Katz : public Algorithm
      */
     explicit Katz(const graph::DirectedGraph &g, double alpha = 0.0,
                   double beta = 1.0, double eps = 1e-6)
-        : alpha_(alpha), beta_(beta), eps_(eps)
+        : PolicyAlgorithm(KatzPolicy{alpha, eps}), beta_(beta)
     {
         std::size_t max_in = 1;
         for (VertexId v = 0; v < g.numVertices(); ++v)
             max_in = std::max(max_in, g.inDegree(v));
-        if (alpha_ == 0.0)
-            alpha_ = 0.5 / static_cast<double>(max_in);
-        if (alpha_ * static_cast<double>(max_in) >= 1.0) {
-            fatal("Katz: alpha ", alpha_, " violates the contraction "
+        if (policy_.alpha == 0.0)
+            policy_.alpha = 0.5 / static_cast<double>(max_in);
+        if (policy_.alpha * static_cast<double>(max_in) >= 1.0) {
+            fatal("Katz: alpha ", policy_.alpha,
+                  " violates the contraction "
                   "condition for max in-degree ", max_in);
         }
     }
 
     std::string name() const override { return "katz"; }
+    std::string kernelTag() const override { return "katz"; }
 
     Value
     initVertex(const graph::DirectedGraph &, VertexId) const override
     {
         return beta_;
-    }
-
-    bool
-    processEdge(Value src, Value &edge_state, EdgeId, Value,
-                std::uint32_t, Value &dst) const override
-    {
-        const Value delta = src - edge_state;
-        if (delta == 0.0)
-            return false;
-        edge_state = src;
-        const Value push = alpha_ * delta;
-        dst += push;
-        return push > eps_ || push < -eps_;
-    }
-
-    bool
-    mergeMaster(Value &master, Value pushed) const override
-    {
-        master += pushed;
-        return pushed > eps_ || pushed < -eps_;
-    }
-
-    Value
-    pushValue(Value current, Value at_load) const override
-    {
-        return current - at_load;
     }
 
     Value
@@ -81,22 +103,14 @@ class Katz : public Algorithm
         return src_state; // contribution already delivered
     }
 
-    bool
-    hasPush(Value current, Value at_load) const override
-    {
-        return current != at_load;
-    }
-
-    double epsilon() const override { return eps_; }
-    double resultTolerance() const override { return 256.0 * eps_; }
+    double epsilon() const override { return policy_.eps; }
+    double resultTolerance() const override { return 256.0 * policy_.eps; }
 
     /** Effective attenuation factor. */
-    double alpha() const { return alpha_; }
+    double alpha() const { return policy_.alpha; }
 
   private:
-    double alpha_;
     double beta_;
-    double eps_;
 };
 
 } // namespace digraph::algorithms

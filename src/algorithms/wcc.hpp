@@ -6,6 +6,9 @@
  * computes weakly connected components; on a plain directed graph it
  * computes the "min reachable ancestor label" fixed point. Monotone, so
  * any processing order converges to the same result.
+ *
+ * The per-edge math lives in WccPolicy so the engine's specialized wave
+ * kernels inline it without virtual dispatch.
  */
 
 #pragma once
@@ -14,21 +17,16 @@
 
 namespace digraph::algorithms {
 
-/** Min-label propagation (WCC on symmetrized inputs). */
-class Wcc : public Algorithm
+/** Non-virtual min-label kernel policy (see PolicyAlgorithm). */
+struct WccPolicy
 {
-  public:
-    std::string name() const override { return "wcc"; }
-
-    Value
-    initVertex(const graph::DirectedGraph &, VertexId v) const override
-    {
-        return static_cast<Value>(v);
-    }
+    static constexpr bool kUsesWeight = false;
+    static constexpr bool kUsesOutDegree = false;
+    static constexpr bool kAccumulative = false;
 
     bool
     processEdge(Value src, Value &, EdgeId, Value, std::uint32_t,
-                Value &dst) const override
+                Value &dst) const
     {
         if (src < dst) {
             dst = src;
@@ -38,7 +36,7 @@ class Wcc : public Algorithm
     }
 
     bool
-    mergeMaster(Value &master, Value pushed) const override
+    mergeMaster(Value &master, Value pushed) const
     {
         if (pushed < master) {
             master = pushed;
@@ -47,18 +45,32 @@ class Wcc : public Algorithm
         return false;
     }
 
-    Value pushValue(Value current, Value) const override { return current; }
+    Value pushValue(Value current, Value) const { return current; }
 
-    bool
-    hasPush(Value current, Value at_load) const override
+    bool hasPush(Value current, Value at_load) const
     {
         return current < at_load;
     }
 
-    Value
-    pull(Value master, Value mirror) const override
+    Value pull(Value master, Value mirror) const
     {
         return master < mirror ? master : mirror;
+    }
+};
+
+/** Min-label propagation (WCC on symmetrized inputs). */
+class Wcc : public PolicyAlgorithm<WccPolicy>
+{
+  public:
+    Wcc() : PolicyAlgorithm(WccPolicy{}) {}
+
+    std::string name() const override { return "wcc"; }
+    std::string kernelTag() const override { return "wcc"; }
+
+    Value
+    initVertex(const graph::DirectedGraph &, VertexId v) const override
+    {
+        return static_cast<Value>(v);
     }
 
     double resultTolerance() const override { return 1e-9; }

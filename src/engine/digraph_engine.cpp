@@ -114,6 +114,7 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     WallTimer wall;
     AccumTimer schedule_timer;
     AccumTimer compute_timer;
+    AccumTimer merge_timer;
     AccumTimer barrier_timer;
     metrics::RunReport report;
     report.system = modeName(options_.mode);
@@ -129,6 +130,17 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
 
     counters_.reset();
     trace_ = options_.trace;
+
+    // Resolve the wave kernel once per run: the compile-time body
+    // instantiation matching (algorithm policy, mode, tracing, merge
+    // strategy), or the generic fallback. The hot loop below calls one
+    // function pointer per dispatch — never a virtual per edge.
+    kernel_ = resolveWaveKernel(algo, options_, trace_ != nullptr);
+    kernel_ctx_ = kernel_.policy ? kernel_.policy.get()
+                                 : static_cast<const void *>(&algo);
+    report.kernel = kernel_.name;
+    report.kernel_specialized = kernel_.specialized;
+    report.kernel_delta_merge = kernel_.delta_merge;
 
     const PartitionId nparts = pre_.numPartitions();
     transport_.beginRun(options_, nparts, g_.numVertices(), &counters_);
@@ -249,17 +261,38 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
             outcomes.assign(chunk.size(), {});
             if (nthreads == 1 || chunk.size() == 1) {
                 for (std::size_t i = 0; i < chunk.size(); ++i)
-                    outcomes[i] = computeDispatch(chunk[i], algo);
+                    outcomes[i] =
+                        kernel_.compute(*this, chunk[i], kernel_ctx_);
             } else {
                 pool_->forEachIndex(chunk.size(), [&](std::size_t i) {
-                    outcomes[i] = computeDispatch(chunk[i], algo);
+                    outcomes[i] =
+                        kernel_.compute(*this, chunk[i], kernel_ctx_);
                 });
             }
             compute_timer.end();
 
+            if (kernel_.delta_merge) {
+                // Lock-free commutative commit: the chunk's outcomes
+                // write vertex-disjoint master sets, so the overlays
+                // are stored concurrently without locks; the serial
+                // barrier below then only replays transport costs and
+                // activation fan-out.
+                merge_timer.begin();
+                if (nthreads == 1 || outcomes.size() == 1) {
+                    for (auto &outcome : outcomes)
+                        commitDeltas(outcome);
+                } else {
+                    pool_->forEachIndex(
+                        outcomes.size(), [&](std::size_t i) {
+                            commitDeltas(outcomes[i]);
+                        });
+                }
+                merge_timer.end();
+            }
+
             barrier_timer.begin();
             for (auto &outcome : outcomes)
-                replayDispatch(outcome, algo, report);
+                replayDispatch(outcome, report);
             barrier_timer.end();
         }
         if (ft_enabled_)
@@ -300,6 +333,7 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     report.wall_seconds = wall.seconds();
     report.wall_compute_seconds = compute_timer.seconds();
     report.wall_barrier_seconds = barrier_timer.seconds();
+    report.wall_merge_seconds = merge_timer.seconds();
     report.wall_schedule_seconds = schedule_timer.seconds();
     return report;
 }

@@ -49,6 +49,7 @@
 #include "algorithms/algorithm.hpp"
 #include "engine/options.hpp"
 #include "engine/substrate.hpp"
+#include "engine/wave_kernel.hpp"
 #include "engine/transport.hpp"
 #include "engine/value_plane.hpp"
 #include "gpusim/platform.hpp"
@@ -60,6 +61,50 @@
 #include "storage/path_storage.hpp"
 
 namespace digraph::engine {
+
+struct WaveKernels;
+
+/**
+ * Everything one partition dispatch produces during the parallel
+ * compute phase of a wave, committed at the wave barrier.
+ */
+struct DispatchOutcome
+{
+    PartitionId partition = kInvalidPartition;
+    /** Vertices whose mirrors were stale at dispatch start (sorted;
+     *  drives the ring master-refresh pulls at replay). */
+    std::vector<VertexId> stale_vertices;
+    /** Per local round, per work-stealing group: kernel cycles. */
+    std::vector<std::vector<double>> round_group_cycles;
+    /** Master push log in generation order (replayed via
+     *  Algorithm::mergeMaster against the true masters). Left empty by
+     *  delta-merge kernels, which commit the overlay directly. */
+    std::vector<std::pair<VertexId, Value>> pushes;
+    /** Privately merged master values (wave-start master + own
+     *  pushes); the barrier compares these against the committed
+     *  masters to decide whether this partition's own mirrors went
+     *  stale (another wave member also pushed the vertex). Under the
+     *  delta merge this IS what gets committed. */
+    std::unordered_map<VertexId, Value> overlay;
+    /** Activation-worthy master changes accumulated across the local
+     *  rounds (sorted/deduplicated; delta-merge kernels only — the
+     *  ordered replay recomputes this from the push log). */
+    std::vector<VertexId> changed;
+    /** Mirror pushes performed (= pushes.size() when the log is kept;
+     *  still counted when it is not). */
+    std::uint64_t push_count = 0;
+    /** Partition hit max_local_rounds; redispatch it. */
+    bool reactivate_self = false;
+    /** Global-load bytes that could not be accounted during compute
+     *  (partition had no resident device at wave start). */
+    std::uint64_t deferred_load_bytes = 0;
+    // Work counters merged into the report at the barrier.
+    std::uint64_t edge_processings = 0;
+    std::uint64_t vertex_updates = 0;
+    std::uint64_t local_rounds = 0;
+    std::uint64_t loaded_vertices = 0;
+    std::uint64_t global_load_bytes = 0;
+};
 
 /**
  * Path-based iterative directed-graph processing engine.
@@ -209,44 +254,23 @@ class DiGraphEngine
                       double residual_slack = 64.0);
 
   private:
-    /**
-     * Everything one partition dispatch produces during the parallel
-     * compute phase of a wave, committed serially at the wave barrier.
-     */
-    struct DispatchOutcome
-    {
-        PartitionId partition = kInvalidPartition;
-        /** Vertices whose mirrors were stale at dispatch start (sorted;
-         *  drives the ring master-refresh pulls at replay). */
-        std::vector<VertexId> stale_vertices;
-        /** Per local round, per work-stealing group: kernel cycles. */
-        std::vector<std::vector<double>> round_group_cycles;
-        /** Master push log in generation order (replayed via
-         *  Algorithm::mergeMaster against the true masters). */
-        std::vector<std::pair<VertexId, Value>> pushes;
-        /** Privately merged master values (wave-start master + own
-         *  pushes); the barrier compares these against the committed
-         *  masters to decide whether this partition's own mirrors went
-         *  stale (another wave member also pushed the vertex). */
-        std::unordered_map<VertexId, Value> overlay;
-        /** Partition hit max_local_rounds; redispatch it. */
-        bool reactivate_self = false;
-        /** Global-load bytes that could not be accounted during compute
-         *  (partition had no resident device at wave start). */
-        std::uint64_t deferred_load_bytes = 0;
-        // Work counters merged into the report at the barrier.
-        std::uint64_t edge_processings = 0;
-        std::uint64_t vertex_updates = 0;
-        std::uint64_t local_rounds = 0;
-        std::uint64_t loaded_vertices = 0;
-        std::uint64_t global_load_bytes = 0;
-    };
+    /** The wave body templates read/write the engine internals
+     *  directly (single shared body for the specialized kernels and
+     *  the generic fallback — see wave_body.hpp). */
+    friend struct WaveKernels;
 
-    DispatchOutcome computeDispatch(PartitionId p,
-                                    const algorithms::Algorithm &algo);
+    /** Commit one outcome's buffered master merges at the wave barrier
+     *  per the resolved kernel: ordered push replay (bitwise family /
+     *  fallback) happens here; under the delta merge the values were
+     *  already stored by commitDeltas() and only the bookkeeping
+     *  (checkpoint journal, version bumps, fan-out) runs. */
     void replayDispatch(DispatchOutcome &outcome,
-                        const algorithms::Algorithm &algo,
                         metrics::RunReport &report);
+
+    /** Lock-free parallel commit of a delta-merge outcome: store the
+     *  overlay values into the masters. Race-free without locks because
+     *  the chunk's partitions are vertex-disjoint by construction. */
+    void commitDeltas(DispatchOutcome &outcome);
 
     // --- fault tolerance (implemented in fault_recovery.cpp; all
     // methods are serial-phase only — see DESIGN.md §10) ---
@@ -300,6 +324,13 @@ class DiGraphEngine
     std::uint64_t trace_wave_ = 0;
     double trace_wave_sim_ = 0.0;
     std::vector<std::uint32_t> partition_process_count_;
+
+    /** Wave kernel resolved for the current run (compile-time
+     *  specialized body or generic fallback). */
+    ResolvedKernel kernel_;
+    /** ctx pointer the kernel entry points receive: the owned policy
+     *  copy (specialized) or the Algorithm itself (fallback). */
+    const void *kernel_ctx_ = nullptr;
 
     /** True when options_.faults is non-empty (every hot-path fault
      *  hook stays a single branch when false). */

@@ -70,6 +70,15 @@ struct EngineOptions
     /** Activate every vertex initially (Fig 2 methodology) regardless of
      *  the algorithm's initActive(). */
     bool force_all_active = false;
+    /** Commit the delta-accumulative algorithm family (pagerank, katz,
+     *  adsorption — commutative mergeMaster) through the lock-free
+     *  parallel overlay commit at the wave barrier instead of the
+     *  ordered serial push replay. Results are identical either way
+     *  (wave chunks are vertex-disjoint, so the overlay value IS the
+     *  replay result); off forces the ordered-replay oracle, which the
+     *  equivalence tests compare against. Ignored by the bitwise
+     *  family (sssp/bfs/wcc/kcore), which always replays in order. */
+    bool delta_merge = true;
     /** Structured trace sink; nullptr disables tracing (every
      *  instrumentation point reduces to one null check — see
      *  src/metrics/trace.hpp). Tracing never changes results. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/replica_sync_impl.hpp"
 #include "engine/value_plane.hpp"
 
 namespace digraph::engine {
@@ -136,41 +137,11 @@ ReplicaSync::pushDirtyMirrors(
     std::vector<std::pair<VertexId, Value>> &pushes,
     std::vector<VertexId> &changed) const
 {
-    // Every dirty mirror pushes its pending value/delta to the
-    // (privately overlaid) master. Only slots written this round are
-    // examined — the incremental replacement of a full slot-range
-    // sweep. Ascending slot order keeps the merge order of the sweep.
-    // Refreshes are deferred to refreshLocalMirrors() so that a refresh
-    // of one replica can never clobber another replica's un-pushed
-    // work.
-    PushStats stats;
-    auto &dirty = plane.partition_dirty[p];
-    auto &dirty_slots = dirty.slots();
-    std::sort(dirty_slots.begin(), dirty_slots.end());
-    for (const std::uint64_t s : dirty_slots) {
-        Value &mirror = plane.storage.sVal(s);
-        Value &loaded = plane.storage.loadedVal(s);
-        if (!algo.hasPush(mirror, loaded))
-            continue;
-        const VertexId v = plane.storage.vertexAt(s);
-        const Value push = algo.pushValue(mirror, loaded);
-        const auto [it, inserted] =
-            overlay.try_emplace(v, plane.storage.vVal(v));
-        const bool master_changed = algo.mergeMaster(it->second, push);
-        loaded = mirror;
-        pushes.emplace_back(v, push);
-        if (use_proxy && g.inDegree(v) >= proxy_indegree_threshold)
-            ++stats.proxy_pushes;
-        else
-            ++stats.atomic_pushes;
-        if (master_changed)
-            changed.push_back(v);
-    }
-    dirty.reset();
-    std::sort(changed.begin(), changed.end());
-    changed.erase(std::unique(changed.begin(), changed.end()),
-                  changed.end());
-    return stats;
+    // Virtual-dispatch wrapper over the shared template (single source
+    // of truth for the batch merge — see replica_sync_impl.hpp).
+    return pushDirtyMirrorsT<algorithms::Algorithm, true>(
+        plane, p, algo, g, use_proxy, proxy_indegree_threshold, overlay,
+        pushes, changed);
 }
 
 void
@@ -180,24 +151,8 @@ ReplicaSync::refreshLocalMirrors(
     const std::unordered_map<VertexId, Value> &overlay,
     const std::vector<VertexId> &changed) const
 {
-    for (const VertexId v : changed) {
-        const Value master = overlay.find(v)->second;
-        const auto occ_begin =
-            occur_slots_.begin() +
-            static_cast<std::ptrdiff_t>(occur_offsets_[v]);
-        const auto occ_end =
-            occur_slots_.begin() +
-            static_cast<std::ptrdiff_t>(occur_offsets_[v + 1]);
-        for (auto it = std::lower_bound(occ_begin, occ_end, slot_lo);
-             it != occ_end && *it < slot_hi; ++it) {
-            const std::uint64_t slot = *it;
-            Value &mirror = plane.storage.sVal(slot);
-            mirror = algo.pull(master, mirror);
-            plane.storage.loadedVal(slot) = mirror;
-            if (is_src_slot_[slot])
-                plane.activateSlot(slot);
-        }
-    }
+    refreshLocalMirrorsT<algorithms::Algorithm>(plane, algo, slot_lo,
+                                                slot_hi, overlay, changed);
 }
 
 void

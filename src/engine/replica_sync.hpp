@@ -132,6 +132,23 @@ class ReplicaSync
                      std::vector<VertexId> &changed) const;
 
     /**
+     * Static-dispatch variant of pushDirtyMirrors(): @p AlgoT is either
+     * a non-virtual kernel policy (specialized wave kernels — the merge
+     * math inlines into the batch loop) or algorithms::Algorithm (the
+     * .cpp wrapper above). @p LogPushes false skips the push log
+     * entirely (delta-merge kernels commit the overlay instead).
+     * Defined in replica_sync_impl.hpp.
+     */
+    template <class AlgoT, bool LogPushes>
+    PushStats
+    pushDirtyMirrorsT(ValuePlane &plane, PartitionId p, const AlgoT &algo,
+                      const graph::DirectedGraph &g, bool use_proxy,
+                      std::uint32_t proxy_indegree_threshold,
+                      std::unordered_map<VertexId, Value> &overlay,
+                      std::vector<std::pair<VertexId, Value>> &pushes,
+                      std::vector<VertexId> &changed) const;
+
+    /**
      * Refresh phase: re-pull and re-activate partition-local mirrors
      * ([slot_lo, slot_hi)) of each vertex in @p changed from the
      * overlaid master (the proxy-vertex effect — accumulated results
@@ -140,6 +157,15 @@ class ReplicaSync
     void refreshLocalMirrors(
         ValuePlane &plane, const algorithms::Algorithm &algo,
         std::uint64_t slot_lo, std::uint64_t slot_hi,
+        const std::unordered_map<VertexId, Value> &overlay,
+        const std::vector<VertexId> &changed) const;
+
+    /** Static-dispatch variant of refreshLocalMirrors() (see
+     *  pushDirtyMirrorsT()). Defined in replica_sync_impl.hpp. */
+    template <class AlgoT>
+    void refreshLocalMirrorsT(
+        ValuePlane &plane, const AlgoT &algo, std::uint64_t slot_lo,
+        std::uint64_t slot_hi,
         const std::unordered_map<VertexId, Value> &overlay,
         const std::vector<VertexId> &changed) const;
 

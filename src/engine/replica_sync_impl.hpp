@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Out-of-line definitions of ReplicaSync's static-dispatch sync
+ * templates (pushDirtyMirrorsT / refreshLocalMirrorsT). Split from
+ * replica_sync.hpp because they need the complete ValuePlane type,
+ * which itself includes replica_sync.hpp.
+ *
+ * Included by the wave-body instantiation units (wave_kernel.cpp) and
+ * by replica_sync.cpp for the virtual-dispatch wrappers — not by
+ * general engine headers, so the templates compile exactly where they
+ * are instantiated.
+ */
+
+#pragma once
+
+#include <algorithm>
+
+#include "common/prefetch.hpp"
+#include "engine/replica_sync.hpp"
+#include "engine/value_plane.hpp"
+
+namespace digraph::engine {
+
+template <class AlgoT, bool LogPushes>
+PushStats
+ReplicaSync::pushDirtyMirrorsT(
+    ValuePlane &plane, PartitionId p, const AlgoT &algo,
+    const graph::DirectedGraph &g, bool use_proxy,
+    std::uint32_t proxy_indegree_threshold,
+    std::unordered_map<VertexId, Value> &overlay,
+    std::vector<std::pair<VertexId, Value>> &pushes,
+    std::vector<VertexId> &changed) const
+{
+    // Every dirty mirror pushes its pending value/delta to the
+    // (privately overlaid) master. Only slots written this round are
+    // examined — the incremental replacement of a full slot-range
+    // sweep. Ascending slot order keeps the merge order of the sweep.
+    // Refreshes are deferred to refreshLocalMirrors() so that a refresh
+    // of one replica can never clobber another replica's un-pushed
+    // work.
+    PushStats stats;
+    auto &dirty = plane.partition_dirty[p];
+    auto &dirty_slots = dirty.slots();
+    std::sort(dirty_slots.begin(), dirty_slots.end());
+    const std::size_t n = dirty_slots.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k + kPrefetchDistance < n) {
+            // Gather prefetch: the master each upcoming dirty slot will
+            // try_emplace into the overlay (and the mirror pair itself).
+            const std::uint64_t ahead = dirty_slots[k + kPrefetchDistance];
+            DIGRAPH_PREFETCH(
+                &plane.storage.vVal(plane.storage.vertexAt(ahead)));
+            DIGRAPH_PREFETCH(&plane.storage.sVal(ahead));
+        }
+        const std::uint64_t s = dirty_slots[k];
+        Value &mirror = plane.storage.sVal(s);
+        Value &loaded = plane.storage.loadedVal(s);
+        if (!algo.hasPush(mirror, loaded))
+            continue;
+        const VertexId v = plane.storage.vertexAt(s);
+        const Value push = algo.pushValue(mirror, loaded);
+        const auto [it, inserted] =
+            overlay.try_emplace(v, plane.storage.vVal(v));
+        const bool master_changed = algo.mergeMaster(it->second, push);
+        loaded = mirror;
+        if constexpr (LogPushes)
+            pushes.emplace_back(v, push);
+        if (use_proxy && g.inDegree(v) >= proxy_indegree_threshold)
+            ++stats.proxy_pushes;
+        else
+            ++stats.atomic_pushes;
+        if (master_changed)
+            changed.push_back(v);
+    }
+    dirty.reset();
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()),
+                  changed.end());
+    return stats;
+}
+
+template <class AlgoT>
+void
+ReplicaSync::refreshLocalMirrorsT(
+    ValuePlane &plane, const AlgoT &algo, std::uint64_t slot_lo,
+    std::uint64_t slot_hi,
+    const std::unordered_map<VertexId, Value> &overlay,
+    const std::vector<VertexId> &changed) const
+{
+    for (const VertexId v : changed) {
+        const Value master = overlay.find(v)->second;
+        const auto occ_begin =
+            occur_slots_.begin() +
+            static_cast<std::ptrdiff_t>(occur_offsets_[v]);
+        const auto occ_end =
+            occur_slots_.begin() +
+            static_cast<std::ptrdiff_t>(occur_offsets_[v + 1]);
+        for (auto it = std::lower_bound(occ_begin, occ_end, slot_lo);
+             it != occ_end && *it < slot_hi; ++it) {
+            const std::uint64_t slot = *it;
+            Value &mirror = plane.storage.sVal(slot);
+            mirror = algo.pull(master, mirror);
+            plane.storage.loadedVal(slot) = mirror;
+            if (is_src_slot_[slot])
+                plane.activateSlot(slot);
+        }
+    }
+}
+
+} // namespace digraph::engine

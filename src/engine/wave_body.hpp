@@ -1,0 +1,379 @@
+/**
+ * @file
+ * The single shared wave-body template behind every resolved kernel
+ * (DESIGN.md §14). WaveKernels::compute<> is the parallel compute phase
+ * of one partition dispatch, parameterized on
+ *
+ *  - AlgoT      — a non-virtual kernel policy (specialized kernels: the
+ *                 per-edge math inlines, zero virtual calls) or
+ *                 algorithms::Algorithm (generic fallback);
+ *  - M          — the execution mode, so the VertexAsync snapshot
+ *                 machinery and the PathAsync priority scheduling are
+ *                 compiled out of the modes that don't use them;
+ *  - TraceOn    — whether trace instrumentation exists at all in this
+ *                 instantiation;
+ *  - LogPushes  — whether the per-push replay log is kept (ordered
+ *                 barrier merge) or skipped (lock-free delta merge
+ *                 commits the overlay instead).
+ *
+ * One template serves both the specialized and the generic path, so the
+ * two can never drift semantically — the fallback is literally the same
+ * body with virtual calls. Instantiation happens only in
+ * wave_kernel.cpp (the registry).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "engine/digraph_engine.hpp"
+#include "engine/dispatcher.hpp"
+#include "engine/replica_sync_impl.hpp"
+
+namespace digraph::engine {
+
+/** Static entry points of the wave body (friend of DiGraphEngine). */
+struct WaveKernels
+{
+    /** Words touched in global memory per processed edge
+     *  (E_idx pair read, S_val read+write, E_val read/write). */
+    static constexpr double kWordsPerEdge = 3.0;
+
+    /** Compile-time policy flags with virtual-safe defaults: a type
+     *  without the flag (algorithms::Algorithm) must conservatively
+     *  load everything. */
+    template <class T>
+    static constexpr bool
+    usesWeight()
+    {
+        if constexpr (requires { T::kUsesWeight; })
+            return T::kUsesWeight;
+        else
+            return true;
+    }
+
+    template <class T>
+    static constexpr bool
+    usesOutDegree()
+    {
+        if constexpr (requires { T::kUsesOutDegree; })
+            return T::kUsesOutDegree;
+        else
+            return true;
+    }
+
+    template <class T>
+    static constexpr bool
+    isAccumulative()
+    {
+        if constexpr (requires { T::kAccumulative; })
+            return T::kAccumulative;
+        else
+            return false;
+    }
+
+    /**
+     * The parallel compute phase of one partition dispatch: local
+     * rounds against wave-start shared state, master merges buffered in
+     * the private overlay. Runs concurrently with other vertex-disjoint
+     * partitions of the chunk.
+     */
+    template <class AlgoT, ExecutionMode M, bool TraceOn, bool LogPushes>
+    static DispatchOutcome
+    compute(DiGraphEngine &eng, PartitionId p, const AlgoT &algo)
+    {
+        static_assert(LogPushes || isAccumulative<AlgoT>(),
+                      "delta merge (no push log) requires the "
+                      "commutative-accumulative family");
+        DispatchOutcome out;
+        out.partition = p;
+        auto &plane = eng.plane_;
+        // Clearing here (not at batch selection) absorbs re-activations
+        // from earlier chunks of the same wave: their stale-queue
+        // entries are consumed by the conversion below, so the flag
+        // need not survive. Re-activations by *this* chunk's barrier
+        // happen after every compute returns and do survive. Distinct
+        // bytes per partition, so concurrent dispatches clearing their
+        // own flags do not race.
+        plane.partition_active[p] = 0;
+
+        const std::uint32_t path_lo = eng.pre_.partition_offsets[p];
+        const std::uint32_t path_hi = eng.pre_.partition_offsets[p + 1];
+        const std::uint64_t slot_lo = plane.storage.pathOffset(path_lo);
+        const std::uint64_t slot_hi = plane.storage.pathOffset(path_hi);
+        const std::uint64_t partition_slots = slot_hi - slot_lo;
+
+        // Private master overlay: wave-start master + this dispatch's
+        // own merges. Global V_val is frozen for the whole wave, so
+        // concurrent dispatches may read it freely.
+        auto &overlay = out.overlay;
+        const auto masterOf = [&](VertexId v) -> Value {
+            const auto it = overlay.find(v);
+            return it != overlay.end() ? it->second
+                                       : plane.storage.vVal(v);
+        };
+
+        // Stale-queue conversion (replaces a dispatch-start full
+        // version scan): only vertices whose master version bumped
+        // since this partition last absorbed them are examined.
+        eng.sync_.convertStaleQueue(plane, p, slot_lo, slot_hi,
+                                    out.stale_vertices);
+
+        // Lazy partition pull: only paths with active work are streamed
+        // from global memory, on their first activation within this
+        // dispatch — the loaded-data-utilization advantage of hot/cold
+        // path grouping.
+        std::vector<std::uint8_t> pulled(path_hi - path_lo, 0);
+
+        const unsigned lanes = eng.options_.platform.lanesPerSmx();
+        constexpr bool vertex_async = (M == ExecutionMode::VertexAsync);
+        const double per_edge_cycles =
+            eng.options_.platform.cycles_per_edge +
+            kWordsPerEdge *
+                eng.options_.platform.cycles_per_global_access *
+                (vertex_async ? 1.0
+                              : eng.options_.platform.coalesced_factor);
+
+        std::vector<PathId> active_paths;
+        std::vector<std::uint32_t> active_counts;
+        std::vector<std::uint64_t> pending; // VertexAsync deferred flags
+        std::vector<Value> snapshot;
+        std::vector<VertexId> changed;
+        auto &worklist = plane.partition_worklist[p];
+
+        std::size_t local_rounds = 0;
+        for (;;) {
+            // Collect paths with at least one active source slot from
+            // the incremental worklist — O(active paths). Sorting
+            // restores storage order (what the former full sweep
+            // produced), which PathNoSched relies on.
+            active_paths.clear();
+            active_counts.clear();
+            std::sort(worklist.begin(), worklist.end());
+            std::size_t keep = 0;
+            for (const PathId q : worklist) {
+                if (plane.path_active_count[q] > 0) {
+                    worklist[keep++] = q;
+                    active_paths.push_back(q);
+                    active_counts.push_back(plane.path_active_count[q]);
+                } else {
+                    plane.path_in_worklist[q] = 0;
+                }
+            }
+            worklist.resize(keep);
+            if (active_paths.empty())
+                break;
+            if (local_rounds >= eng.options_.max_local_rounds) {
+                out.reactivate_self = true; // reschedule the remainder
+                break;
+            }
+            ++local_rounds;
+
+            // First-touch pull of newly active paths (through the
+            // overlay so the pull sees this dispatch's own merges).
+            for (const PathId q : active_paths) {
+                if (pulled[q - path_lo])
+                    continue;
+                pulled[q - path_lo] = 1;
+                if (overlay.empty())
+                    plane.storage.pullPath(q);
+                else
+                    plane.storage.pullPathWith(q, masterOf);
+                const std::size_t bytes = plane.storage.pathBytes(q);
+                out.loaded_vertices +=
+                    plane.storage.pathOffset(q + 1) -
+                    plane.storage.pathOffset(q);
+                out.global_load_bytes += bytes;
+            }
+
+            // Path scheduling (Section 3.2.3): the warp scheduler runs
+            // paths in Pri(p) order; DiGraph-w keeps storage order.
+            if constexpr (M == ExecutionMode::PathAsync) {
+                eng.sched_.orderByPriority(active_paths, active_counts);
+                if constexpr (TraceOn) {
+                    if (eng.trace_) {
+                        eng.trace_->event(
+                            metrics::TraceEventType::PathSchedule,
+                            eng.trace_wave_, p, eng.trace_wave_sim_, 0.0,
+                            active_paths.size(), active_paths.front());
+                    }
+                }
+            }
+
+            // Warp-scheduler capacity: one GPU thread processes one
+            // path per round, so at most lanes x (stealable SMXs) paths
+            // run; the rest keep their activation flags and wait.
+            {
+                const std::size_t capacity =
+                    static_cast<std::size_t>(lanes) *
+                    (eng.options_.work_stealing ? 2 : 1);
+                if (active_paths.size() > capacity)
+                    active_paths.resize(capacity);
+            }
+
+            // VertexAsync (DiGraph-t): snapshot source reads so that
+            // new states cross one hop per round.
+            if constexpr (vertex_async) {
+                snapshot.assign(partition_slots, 0.0);
+                for (std::uint64_t s = slot_lo; s < slot_hi; ++s)
+                    snapshot[s - slot_lo] = plane.storage.sVal(s);
+                pending.clear();
+            }
+
+            // Walk each active path sequentially (one simulated GPU
+            // thread per path). Inactive positions are skip-scanned.
+            std::vector<std::uint64_t> processed_edges(
+                active_paths.size(), 0);
+            for (std::size_t ap = 0; ap < active_paths.size(); ++ap) {
+                const PathId q = active_paths[ap];
+                auto view = plane.storage.path(q);
+                const std::uint64_t base = plane.storage.pathOffset(q);
+                const auto n_edges = view.length();
+                for (std::size_t i = 0; i < n_edges; ++i) {
+                    const std::uint64_t src_slot = base + i;
+                    const VertexId src_v = view.vertex_ids[i];
+                    if (!plane.slot_active[src_slot])
+                        continue;
+                    plane.slot_active[src_slot] = 0;
+                    --plane.path_active_count[q];
+                    plane.slot_seen_version[src_slot] =
+                        plane.master_version[src_v];
+                    Value src_val;
+                    if constexpr (vertex_async)
+                        src_val = snapshot[src_slot - slot_lo];
+                    else
+                        src_val = view.mirror_states[i];
+                    const EdgeId eid = view.edge_ids[i];
+                    // Dead argument loads compile out per the policy's
+                    // flags (a virtual AlgoT loads everything).
+                    Value weight = 0.0;
+                    if constexpr (usesWeight<AlgoT>())
+                        weight = eng.g_.edgeWeight(eid);
+                    std::uint32_t out_deg = 0;
+                    if constexpr (usesOutDegree<AlgoT>())
+                        out_deg = static_cast<std::uint32_t>(
+                            eng.g_.outDegree(src_v));
+                    const bool changed_dst = algo.processEdge(
+                        src_val, view.edge_states[i], eid, weight,
+                        out_deg, view.mirror_states[i + 1]);
+                    ++out.edge_processings;
+                    ++processed_edges[ap];
+                    // The destination mirror may have been written even
+                    // on a sub-threshold update — it joins the dirty
+                    // worklist the mirror-push phase examines.
+                    plane.partition_dirty[p].mark(base + i + 1);
+                    if (changed_dst) {
+                        ++out.vertex_updates;
+                        const std::uint64_t dst_slot = base + i + 1;
+                        if (eng.sync_.isSrcSlot(dst_slot)) {
+                            if constexpr (vertex_async)
+                                pending.push_back(dst_slot);
+                            else
+                                plane.activateSlot(dst_slot);
+                        }
+                    }
+                }
+            }
+
+            if constexpr (vertex_async) {
+                for (const std::uint64_t slot : pending)
+                    plane.activateSlot(slot);
+            }
+
+            // --- mirror -> master sync (batched, Section 3.2.2) ---
+            // Phase 1: every dirty mirror pushes into the private
+            // overlay (push log skipped under the delta merge).
+            changed.clear();
+            const PushStats stats =
+                eng.sync_.pushDirtyMirrorsT<AlgoT, LogPushes>(
+                    plane, p, algo, eng.g_, eng.options_.use_proxy,
+                    static_cast<std::uint32_t>(
+                        eng.options_.proxy_indegree_threshold),
+                    overlay, out.pushes, changed);
+            out.push_count += stats.proxy_pushes + stats.atomic_pushes;
+            if constexpr (TraceOn) {
+                if (eng.trace_ &&
+                    stats.proxy_pushes + stats.atomic_pushes > 0) {
+                    eng.trace_->event(
+                        metrics::TraceEventType::MirrorPush,
+                        eng.trace_wave_, p, eng.trace_wave_sim_, 0.0,
+                        stats.proxy_pushes + stats.atomic_pushes,
+                        local_rounds);
+                }
+            }
+            if constexpr (!LogPushes) {
+                // Delta merge: the barrier commits the overlay without
+                // replaying pushes, so the activation-worthy set must
+                // be carried over. mergeMaster's verdict for the
+                // accumulative family depends only on the push
+                // magnitude, so the union of the per-round sets equals
+                // what the ordered replay would recompute.
+                out.changed.insert(out.changed.end(), changed.begin(),
+                                   changed.end());
+            }
+
+            // Phase 2: refresh and re-activate this partition's own
+            // mirrors of each changed vertex (the proxy-vertex effect).
+            eng.sync_.refreshLocalMirrorsT<AlgoT>(
+                plane, algo, slot_lo, slot_hi, overlay, changed);
+
+            // Simulated cost of this round (recorded; charged to real
+            // SMX clocks at the wave barrier).
+            out.round_group_cycles.push_back(eng.sched_.roundCost(
+                eng.options_, per_edge_cycles, active_paths,
+                processed_edges, stats.proxy_pushes,
+                stats.atomic_pushes));
+        }
+        out.local_rounds = local_rounds;
+        if constexpr (!LogPushes) {
+            std::sort(out.changed.begin(), out.changed.end());
+            out.changed.erase(
+                std::unique(out.changed.begin(), out.changed.end()),
+                out.changed.end());
+        }
+
+        // Global-load accounting: charged to the wave-start resident
+        // device (thread-safe atomic counter); deferred to the barrier
+        // when the partition was evicted and has no residence.
+        if (out.global_load_bytes) {
+            const DeviceId dev = eng.transport_.partition_device[p];
+            if (dev != kInvalidVertex) {
+                eng.transport_.platform().device(dev).addGlobalLoad(
+                    out.global_load_bytes);
+            } else {
+                out.deferred_load_bytes = out.global_load_bytes;
+            }
+        }
+        return out;
+    }
+
+    /**
+     * Ordered master-merge replay of one outcome's push log against the
+     * true masters (serial barrier phase; bitwise family + fallback).
+     * Appends the activation-worthy masters to @p changed
+     * (sorted/deduplicated).
+     */
+    template <class AlgoT>
+    static void
+    orderedMerge(DiGraphEngine &eng, DispatchOutcome &outcome,
+                 const AlgoT &algo, std::vector<VertexId> &changed)
+    {
+        for (const auto &[v, push] : outcome.pushes) {
+            // Journal before the merge: accumulative algorithms mutate
+            // the master even when mergeMaster reports no
+            // activation-worthy change, so every pushed vertex is
+            // checkpoint-dirty.
+            if (eng.ft_enabled_)
+                eng.plane_.markVertexDirty(v);
+            if (algo.mergeMaster(eng.plane_.storage.vVal(v), push))
+                changed.push_back(v);
+        }
+        std::sort(changed.begin(), changed.end());
+        changed.erase(std::unique(changed.begin(), changed.end()),
+                      changed.end());
+    }
+};
+
+} // namespace digraph::engine

@@ -1,267 +1,43 @@
 /**
  * @file
- * The two phases of one wave dispatch (DESIGN.md "Host execution
- * model"), split out of digraph_engine.cpp:
+ * The wave-barrier phase of a dispatch (DESIGN.md "Host execution
+ * model" + §14). The compute phase lives in the wave-body template
+ * (wave_body.hpp, instantiated by wave_kernel.cpp); this unit holds the
+ * commit side:
  *
- *  - computeDispatch() — the parallel compute phase: one partition's
- *    local rounds against wave-start shared state, master merges
- *    buffered in a private overlay (runs concurrently with other
- *    non-interfering partitions of the chunk);
- *  - replayDispatch() — the serial barrier phase: outcomes committed in
- *    dispatch order (master merge replay, version bumps, activation
- *    fan-out, simulated platform costs via the Transport layer).
+ *  - commitDeltas() — the lock-free parallel master commit of the
+ *    delta-accumulative family: each outcome's private overlay is
+ *    stored directly into V_val. The overlay value equals what the
+ *    ordered replay would produce (same merge sequence from the same
+ *    frozen wave-start master), and the chunk's partitions are
+ *    vertex-disjoint, so concurrent commits touch disjoint masters —
+ *    no locks, no atomics, no ordering requirement;
+ *  - replayDispatch() — the serial remainder of the barrier, in
+ *    dispatch order: work counters, simulated transport costs, the
+ *    ordered merge replay (bitwise family / generic fallback), version
+ *    bumps, and the activation fan-out.
  */
 
 #include "engine/digraph_engine.hpp"
 
 #include <algorithm>
 
+#include "engine/dispatcher.hpp"
+
 namespace digraph::engine {
 
-namespace {
-
-/** Words touched in global memory per processed edge
- *  (E_idx pair read, S_val read+write, E_val read/write). */
-constexpr double kWordsPerEdge = 3.0;
-
-} // namespace
-
-DiGraphEngine::DispatchOutcome
-DiGraphEngine::computeDispatch(PartitionId p,
-                               const algorithms::Algorithm &algo)
+void
+DiGraphEngine::commitDeltas(DispatchOutcome &outcome)
 {
-    DispatchOutcome out;
-    out.partition = p;
-    // Clearing here (not at batch selection) absorbs re-activations from
-    // earlier chunks of the same wave: their stale-queue entries are
-    // consumed by the conversion below, so the flag need not survive.
-    // Re-activations by *this* chunk's barrier happen after every
-    // compute returns and do survive. Distinct bytes per partition, so
-    // concurrent dispatches clearing their own flags do not race.
-    plane_.partition_active[p] = 0;
-
-    const std::uint32_t path_lo = pre_.partition_offsets[p];
-    const std::uint32_t path_hi = pre_.partition_offsets[p + 1];
-    const std::uint64_t slot_lo = plane_.storage.pathOffset(path_lo);
-    const std::uint64_t slot_hi = plane_.storage.pathOffset(path_hi);
-    const std::uint64_t partition_slots = slot_hi - slot_lo;
-
-    // Private master overlay: wave-start master + this dispatch's own
-    // merges. Global V_val is frozen for the whole wave, so concurrent
-    // dispatches may read it freely.
-    auto &overlay = out.overlay;
-    const auto masterOf = [&](VertexId v) -> Value {
-        const auto it = overlay.find(v);
-        return it != overlay.end() ? it->second : plane_.storage.vVal(v);
-    };
-
-    // Stale-queue conversion (replaces a dispatch-start full version
-    // scan): only vertices whose master version bumped since this
-    // partition last absorbed them are examined. Activating their source
-    // slots folds cross-partition staleness into the one slot_active
-    // worklist the local rounds run on.
-    sync_.convertStaleQueue(plane_, p, slot_lo, slot_hi,
-                            out.stale_vertices);
-
-    // Lazy partition pull: only paths with active work are streamed from
-    // global memory (and their mirrors refreshed), on their first
-    // activation within this dispatch. Cold paths co-located in the
-    // partition are not loaded at all — the loaded-data-utilization
-    // advantage of hot/cold path grouping.
-    std::vector<std::uint8_t> pulled(path_hi - path_lo, 0);
-
-    const unsigned lanes = options_.platform.lanesPerSmx();
-    const bool coalesced = options_.mode != ExecutionMode::VertexAsync;
-    const double per_edge_cycles =
-        options_.platform.cycles_per_edge +
-        kWordsPerEdge * options_.platform.cycles_per_global_access *
-            (coalesced ? options_.platform.coalesced_factor : 1.0);
-
-    std::vector<PathId> active_paths;
-    std::vector<std::uint32_t> active_counts;
-    std::vector<std::uint64_t> pending; // VertexAsync deferred flags
-    std::vector<Value> snapshot;
-    std::vector<VertexId> changed;
-    auto &worklist = plane_.partition_worklist[p];
-
-    std::size_t local_rounds = 0;
-    for (;;) {
-        // Collect paths with at least one active source slot from the
-        // incremental worklist — O(active paths), not O(partition
-        // slots). Sorting restores storage order (what the former full
-        // sweep produced), which PathNoSched relies on.
-        active_paths.clear();
-        active_counts.clear();
-        std::sort(worklist.begin(), worklist.end());
-        std::size_t keep = 0;
-        for (const PathId q : worklist) {
-            if (plane_.path_active_count[q] > 0) {
-                worklist[keep++] = q;
-                active_paths.push_back(q);
-                active_counts.push_back(plane_.path_active_count[q]);
-            } else {
-                plane_.path_in_worklist[q] = 0;
-            }
-        }
-        worklist.resize(keep);
-        if (active_paths.empty())
-            break;
-        if (local_rounds >= options_.max_local_rounds) {
-            out.reactivate_self = true; // reschedule the remainder
-            break;
-        }
-        ++local_rounds;
-
-        // First-touch pull of newly active paths (through the overlay so
-        // the pull sees this dispatch's own pending merges).
-        for (const PathId q : active_paths) {
-            if (pulled[q - path_lo])
-                continue;
-            pulled[q - path_lo] = 1;
-            if (overlay.empty())
-                plane_.storage.pullPath(q);
-            else
-                plane_.storage.pullPathWith(q, masterOf);
-            const std::size_t bytes = plane_.storage.pathBytes(q);
-            out.loaded_vertices += plane_.storage.pathOffset(q + 1) -
-                                   plane_.storage.pathOffset(q);
-            out.global_load_bytes += bytes;
-        }
-
-        // Path scheduling (Section 3.2.3): the warp scheduler runs paths
-        // in Pri(p) order; DiGraph-w keeps plain storage order.
-        if (options_.mode == ExecutionMode::PathAsync) {
-            sched_.orderByPriority(active_paths, active_counts);
-            if (trace_) {
-                trace_->event(metrics::TraceEventType::PathSchedule,
-                              trace_wave_, p, trace_wave_sim_, 0.0,
-                              active_paths.size(), active_paths.front());
-            }
-        }
-
-        // Warp-scheduler capacity: one GPU thread processes one path per
-        // round, so at most lanes x (stealable SMXs) paths run; the rest
-        // keep their activation flags and wait. The Pri(p) order decides
-        // who runs first (Section 3.2.3) — DiGraph-w's FIFO order defers
-        // important paths, which is exactly what Fig 7 measures.
-        {
-            // Stealing lends at most one extra SMX's lanes in the
-            // common case (idle SMXs are scarce in steady state).
-            const std::size_t capacity =
-                static_cast<std::size_t>(lanes) *
-                (options_.work_stealing ? 2 : 1);
-            if (active_paths.size() > capacity)
-                active_paths.resize(capacity);
-        }
-
-        // VertexAsync (DiGraph-t): snapshot source reads so that new
-        // states cross one hop per round.
-        const bool vertex_async =
-            options_.mode == ExecutionMode::VertexAsync;
-        if (vertex_async) {
-            snapshot.assign(partition_slots, 0.0);
-            for (std::uint64_t s = slot_lo; s < slot_hi; ++s)
-                snapshot[s - slot_lo] = plane_.storage.sVal(s);
-            pending.clear();
-        }
-
-        // Walk each active path sequentially (one simulated GPU thread
-        // per path). Inactive positions are skip-scanned: the thread
-        // still streams E_idx but performs no compute there.
-        std::vector<std::uint64_t> processed_edges(active_paths.size(), 0);
-        for (std::size_t ap = 0; ap < active_paths.size(); ++ap) {
-            const PathId q = active_paths[ap];
-            auto view = plane_.storage.path(q);
-            const std::uint64_t base = plane_.storage.pathOffset(q);
-            const auto n_edges = view.length();
-            for (std::size_t i = 0; i < n_edges; ++i) {
-                const std::uint64_t src_slot = base + i;
-                const VertexId src_v = view.vertex_ids[i];
-                if (!plane_.slot_active[src_slot])
-                    continue;
-                plane_.slot_active[src_slot] = 0;
-                --plane_.path_active_count[q];
-                plane_.slot_seen_version[src_slot] =
-                    plane_.master_version[src_v];
-                const Value src_val =
-                    vertex_async ? snapshot[src_slot - slot_lo]
-                                 : view.mirror_states[i];
-                const EdgeId eid = view.edge_ids[i];
-                const bool changed_dst = algo.processEdge(
-                    src_val, view.edge_states[i], eid, g_.edgeWeight(eid),
-                    static_cast<std::uint32_t>(g_.outDegree(src_v)),
-                    view.mirror_states[i + 1]);
-                ++out.edge_processings;
-                ++processed_edges[ap];
-                // The destination mirror may have been written even on a
-                // sub-threshold update — it joins the dirty worklist the
-                // mirror-push phase examines.
-                plane_.partition_dirty[p].mark(base + i + 1);
-                if (changed_dst) {
-                    ++out.vertex_updates;
-                    const std::uint64_t dst_slot = base + i + 1;
-                    if (sync_.isSrcSlot(dst_slot)) {
-                        if (vertex_async)
-                            pending.push_back(dst_slot);
-                        else
-                            plane_.activateSlot(dst_slot);
-                    }
-                }
-            }
-        }
-
-        if (vertex_async) {
-            for (const std::uint64_t slot : pending)
-                plane_.activateSlot(slot);
-        }
-
-        // --- mirror -> master sync (batched, Section 3.2.2) ---
-        // Phase 1: every dirty mirror pushes into the private overlay.
-        changed.clear();
-        const PushStats stats = sync_.pushDirtyMirrors(
-            plane_, p, algo, g_, options_.use_proxy,
-            options_.proxy_indegree_threshold, overlay, out.pushes,
-            changed);
-        if (trace_ && stats.proxy_pushes + stats.atomic_pushes > 0) {
-            trace_->event(metrics::TraceEventType::MirrorPush,
-                          trace_wave_, p, trace_wave_sim_, 0.0,
-                          stats.proxy_pushes + stats.atomic_pushes,
-                          local_rounds);
-        }
-
-        // Phase 2: refresh and re-activate this partition's own mirrors
-        // of each changed vertex (the proxy-vertex effect: accumulated
-        // results are reusable on this SMX within the next local round).
-        sync_.refreshLocalMirrors(plane_, algo, slot_lo, slot_hi, overlay,
-                                  changed);
-
-        // Simulated cost of this round (recorded; charged to real SMX
-        // clocks at the wave barrier).
-        out.round_group_cycles.push_back(
-            sched_.roundCost(options_, per_edge_cycles, active_paths,
-                             processed_edges, stats.proxy_pushes,
-                             stats.atomic_pushes));
-    }
-    out.local_rounds = local_rounds;
-
-    // Global-load accounting: charged to the wave-start resident device
-    // (thread-safe atomic counter); deferred to the barrier when the
-    // partition was evicted and has no residence.
-    if (out.global_load_bytes) {
-        const DeviceId dev = transport_.partition_device[p];
-        if (dev != kInvalidVertex) {
-            transport_.platform().device(dev).addGlobalLoad(
-                out.global_load_bytes);
-        } else {
-            out.deferred_load_bytes = out.global_load_bytes;
-        }
-    }
-    return out;
+    // Plain stores are race-free here: a wave chunk only contains
+    // mutually non-interfering (vertex-disjoint) partitions, so no two
+    // concurrent commits write the same master.
+    for (const auto &[v, value] : outcome.overlay)
+        plane_.storage.vVal(v) = value;
 }
 
 void
 DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
-                              const algorithms::Algorithm &algo,
                               metrics::RunReport &report)
 {
     const PartitionId p = outcome.partition;
@@ -314,26 +90,29 @@ DiGraphEngine::replayDispatch(DispatchOutcome &outcome,
                       outcome.local_rounds, outcome.edge_processings);
     }
 
-    // Commit the buffered master merges in push order against the true
-    // masters (earlier dispatches of this wave have already committed
-    // theirs — the deterministic dispatch-order merge).
+    // Master commit, per the resolved kernel: the delta-accumulative
+    // family was already committed in parallel (commitDeltas) and only
+    // hands over its activation-worthy set; everything else replays its
+    // push log in order against the true masters (earlier dispatches of
+    // this wave have committed theirs — the deterministic
+    // dispatch-order merge).
     std::vector<VertexId> changed;
-    for (const auto &[v, push] : outcome.pushes) {
-        // Journal before the merge: accumulative algorithms mutate the
-        // master even when mergeMaster reports no activation-worthy
-        // change, so every pushed vertex is checkpoint-dirty.
-        if (ft_enabled_)
-            plane_.markVertexDirty(v);
-        if (algo.mergeMaster(plane_.storage.vVal(v), push))
-            changed.push_back(v);
+    if (kernel_.delta_merge) {
+        changed = std::move(outcome.changed);
+        if (ft_enabled_) {
+            // The ordered path journals per replayed push; here the
+            // overlay keys ARE the pushed masters.
+            for (const auto &[v, value] : outcome.overlay) {
+                (void)value;
+                plane_.markVertexDirty(v);
+            }
+        }
+    } else {
+        kernel_.ordered_merge(*this, outcome, kernel_ctx_, changed);
     }
-    std::sort(changed.begin(), changed.end());
-    changed.erase(std::unique(changed.begin(), changed.end()),
-                  changed.end());
     if (trace_) {
         trace_->event(metrics::TraceEventType::MergeBarrier, trace_wave_,
-                      p, ready, 0.0, outcome.pushes.size(),
-                      changed.size());
+                      p, ready, 0.0, outcome.push_count, changed.size());
     }
     for (const VertexId v : changed) {
         ++plane_.master_version[v];

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Wave-kernel registry: the only translation unit that instantiates the
+ * shared wave body (wave_body.hpp), once per
+ * (kernel policy x execution mode x trace x push-log) combination, plus
+ * the generic virtual-dispatch fallback instantiations.
+ *
+ * Resolution contract (see Algorithm::kernelTag()): an algorithm is
+ * specialized iff its kernelTag() matches a registry entry AND it IS-A
+ * the registered class (dynamic_cast), in which case its kernel policy
+ * is copied out — the hot loop then never touches the virtual
+ * interface, which is what tests/test_wave_kernels.cpp proves with a
+ * counting subclass.
+ */
+
+#include "engine/wave_kernel.hpp"
+
+#include "engine/wave_body.hpp"
+
+#include "algorithms/adsorption.hpp"
+#include "algorithms/katz.hpp"
+#include "algorithms/kcore.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/wcc.hpp"
+
+namespace digraph::engine {
+
+namespace {
+
+template <class AlgoT, ExecutionMode M, bool TraceOn, bool LogPushes>
+DispatchOutcome
+computeThunk(DiGraphEngine &eng, PartitionId p, const void *ctx)
+{
+    return WaveKernels::compute<AlgoT, M, TraceOn, LogPushes>(
+        eng, p, *static_cast<const AlgoT *>(ctx));
+}
+
+template <class AlgoT>
+void
+orderedMergeThunk(DiGraphEngine &eng, DispatchOutcome &outcome,
+                  const void *ctx, std::vector<VertexId> &changed)
+{
+    WaveKernels::orderedMerge<AlgoT>(
+        eng, outcome, *static_cast<const AlgoT *>(ctx), changed);
+}
+
+template <class AlgoT, bool LogPushes>
+ResolvedKernel::ComputeFn
+pickMode(ExecutionMode mode, bool trace_on)
+{
+    switch (mode) {
+      case ExecutionMode::PathAsync:
+        return trace_on
+                   ? &computeThunk<AlgoT, ExecutionMode::PathAsync, true,
+                                   LogPushes>
+                   : &computeThunk<AlgoT, ExecutionMode::PathAsync,
+                                   false, LogPushes>;
+      case ExecutionMode::PathNoSched:
+        return trace_on
+                   ? &computeThunk<AlgoT, ExecutionMode::PathNoSched,
+                                   true, LogPushes>
+                   : &computeThunk<AlgoT, ExecutionMode::PathNoSched,
+                                   false, LogPushes>;
+      case ExecutionMode::VertexAsync:
+        return trace_on
+                   ? &computeThunk<AlgoT, ExecutionMode::VertexAsync,
+                                   true, LogPushes>
+                   : &computeThunk<AlgoT, ExecutionMode::VertexAsync,
+                                   false, LogPushes>;
+    }
+    return nullptr; // unreachable
+}
+
+template <class AlgoT>
+ResolvedKernel::ComputeFn
+pickCompute(ExecutionMode mode, bool trace_on, bool log_pushes)
+{
+    // The no-push-log body exists only for the accumulative family
+    // (static_assert in the body); don't instantiate it elsewhere.
+    if constexpr (WaveKernels::isAccumulative<AlgoT>()) {
+        if (!log_pushes)
+            return pickMode<AlgoT, false>(mode, trace_on);
+    }
+    (void)log_pushes;
+    return pickMode<AlgoT, true>(mode, trace_on);
+}
+
+/** Try to resolve @p algo as @p AlgoClass (registry row @p expected). */
+template <class AlgoClass>
+bool
+tryResolve(const algorithms::Algorithm &algo, const std::string &tag,
+           const char *expected, const EngineOptions &options,
+           bool trace_on, ResolvedKernel &out)
+{
+    if (tag != expected)
+        return false;
+    const auto *typed = dynamic_cast<const AlgoClass *>(&algo);
+    if (!typed)
+        return false;
+    using Policy = typename AlgoClass::KernelPolicy;
+    auto policy = std::make_shared<const Policy>(typed->kernelPolicy());
+    out.name = expected;
+    out.specialized = true;
+    out.delta_merge = Policy::kAccumulative && options.delta_merge;
+    out.compute =
+        pickCompute<Policy>(options.mode, trace_on, !out.delta_merge);
+    out.ordered_merge = &orderedMergeThunk<Policy>;
+    out.policy = std::move(policy);
+    return true;
+}
+
+} // namespace
+
+ResolvedKernel
+resolveWaveKernel(const algorithms::Algorithm &algo,
+                  const EngineOptions &options, bool trace_on)
+{
+    ResolvedKernel k;
+    const std::string tag = algo.kernelTag();
+    if (!tag.empty() &&
+        (tryResolve<algorithms::PageRank>(algo, tag, "pagerank", options,
+                                          trace_on, k) ||
+         tryResolve<algorithms::Katz>(algo, tag, "katz", options,
+                                      trace_on, k) ||
+         tryResolve<algorithms::Adsorption>(algo, tag, "adsorption",
+                                            options, trace_on, k) ||
+         tryResolve<algorithms::Sssp>(algo, tag, "sssp", options,
+                                      trace_on, k) ||
+         tryResolve<algorithms::Bfs>(algo, tag, "bfs", options, trace_on,
+                                     k) ||
+         tryResolve<algorithms::Wcc>(algo, tag, "wcc", options, trace_on,
+                                     k) ||
+         tryResolve<algorithms::KCore>(algo, tag, "kcore", options,
+                                       trace_on, k))) {
+        return k;
+    }
+    k.name = "generic:" + algo.name();
+    k.specialized = false;
+    k.delta_merge = false;
+    k.compute = pickCompute<algorithms::Algorithm>(options.mode, trace_on,
+                                                   true);
+    k.ordered_merge = &orderedMergeThunk<algorithms::Algorithm>;
+    k.policy = nullptr;
+    return k;
+}
+
+} // namespace digraph::engine

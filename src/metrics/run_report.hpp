@@ -75,11 +75,25 @@ struct RunReport
     /** Host wall-clock spent in the serial wave barrier (master merge +
      *  platform cost replay in dispatch order), seconds. */
     double wall_barrier_seconds = 0.0;
+    /** Host wall-clock spent in the parallel commutative merge commit
+     *  (delta-accumulative family only; 0 under ordered replay),
+     *  seconds. */
+    double wall_merge_seconds = 0.0;
     /** Host wall-clock spent selecting dispatch batches (readiness and
      *  priority scans), seconds. */
     double wall_schedule_seconds = 0.0;
     /** Host worker threads the engine used for wave execution. */
     std::uint32_t engine_threads = 1;
+    /** Wave-kernel the run resolved to ("pagerank", "sssp", ...;
+     *  "generic:<name>" = virtual-dispatch fallback). Empty for
+     *  non-wave engines (baselines). */
+    std::string kernel;
+    /** Whether the wave hot loop ran a compile-time-specialized kernel
+     *  (zero virtual algorithm calls per edge). */
+    bool kernel_specialized = false;
+    /** Whether masters were committed via the lock-free delta merge
+     *  (accumulative family) instead of ordered replay. */
+    bool kernel_delta_merge = false;
     /** Dispatch waves executed (a wave batches concurrent dispatches). */
     std::uint64_t waves = 0;
     /** Preprocessing wall-clock, seconds. */

@@ -96,6 +96,11 @@ PathStorage::pullPath(PathId p)
     const std::uint64_t lo = layout_->pathOffset(p);
     const std::uint64_t hi = layout_->pathOffset(p + 1);
     for (std::uint64_t slot = lo; slot < hi; ++slot) {
+        // Path-sequential gather prefetch of the master array (E_idx
+        // streams linearly, V_val is hit through the vertex id).
+        if (slot + kPrefetchDistance < hi)
+            DIGRAPH_PREFETCH(
+                &v_val_[layout_->vertexAt(slot + kPrefetchDistance)]);
         s_val_[slot] = v_val_[layout_->vertexAt(slot)];
         loaded_val_[slot] = s_val_[slot];
     }

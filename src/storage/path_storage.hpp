@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "common/prefetch.hpp"
 #include "common/types.hpp"
 #include "graph/digraph.hpp"
 #include "partition/path_set.hpp"
@@ -275,6 +276,13 @@ class PathStorage
         const std::uint64_t lo = layout_->pathOffset(p);
         const std::uint64_t hi = layout_->pathOffset(p + 1);
         for (std::uint64_t slot = lo; slot < hi; ++slot) {
+            // Path-sequential gather: E_idx streams linearly but V_val
+            // is hit through the vertex id — prefetch the master a few
+            // slots ahead (the overlay miss path reads V_val too).
+            if (slot + kPrefetchDistance < hi) {
+                DIGRAPH_PREFETCH(
+                    &v_val_[layout_->vertexAt(slot + kPrefetchDistance)]);
+            }
             s_val_[slot] = masterOf(layout_->vertexAt(slot));
             loaded_val_[slot] = s_val_[slot];
         }

@@ -163,7 +163,7 @@ expectTolerance(const Fixture &fx, const metrics::RunReport &report,
     }
 }
 
-const std::vector<std::size_t> kThreadCounts = {1, 2, 4};
+const std::vector<std::size_t> kThreadCounts = {1, 2, 4, 8};
 
 // ------------------------------------------------- bitwise algorithms
 
