@@ -12,6 +12,12 @@
  * the end-to-end wall time of draining all jobs, and verifies that
  * shared-substrate results are bit-identical to single-job runs.
  *
+ * A third variant (scheduled3) drains the same jobs through a
+ * GraphService session adopting the SAME substrate, with the two-level
+ * scheduler active (wave-boundary preemption quantum + worklist
+ * co-scheduling) instead of the batch FIFO drain — comparing scheduled
+ * against FIFO throughput on one machine.
+ *
  * Output: a table on stdout plus BENCH_jobs.json in the working
  * directory. Regenerate the committed snapshot from the repo root with:
  *
@@ -27,6 +33,7 @@
 
 #include "bench_common.hpp"
 #include "common/timer.hpp"
+#include "engine/graph_service.hpp"
 #include "engine/job_manager.hpp"
 
 namespace {
@@ -88,14 +95,39 @@ main()
     }
     const double naive_wall = naive_timer.seconds();
 
-    // --- bit-identity: shared-substrate jobs match dedicated engines. ---
+    // --- scheduled: the same jobs and substrate through a GraphService
+    // session with the two-level scheduler active (preemption quantum +
+    // co-scheduling) instead of the batch FIFO drain. ---
+    // Quantum 16: coarse enough that plane cache residency survives a
+    // quantum on this single-core box, fine enough that preemption
+    // actually happens (the ctest suite covers quantum 1).
+    engine::ServiceConfig sconfig;
+    sconfig.quantum_waves = 16;
+    sconfig.co_schedule = true;
+    WallTimer scheduled_timer;
+    engine::GraphService service(g, manager.substrate(), opts, sconfig);
+    for (const auto &spec : job_specs)
+        service.addJobAsync(spec);
+    const auto scheduled_results = service.drain();
+    const double scheduled_wall = scheduled_timer.seconds();
+    const auto sched_stats = service.stats();
+    std::size_t scheduled_job_bytes = 0;
+    for (const auto &job : scheduled_results)
+        scheduled_job_bytes += job.job_state_bytes;
+
+    // --- bit-identity: shared-substrate jobs match dedicated engines,
+    // and preempted scheduled runs match both. ---
     bool identical = true;
     for (std::size_t i = 0; i < job_specs.size(); ++i) {
         const auto &a = shared_results[i].report;
         const auto &b = naive_reports[i];
+        const auto &c = scheduled_results[i].report;
         if (a.final_state != b.final_state ||
             a.sim_cycles != b.sim_cycles ||
-            a.edge_processings != b.edge_processings) {
+            a.edge_processings != b.edge_processings ||
+            c.final_state != b.final_state ||
+            c.sim_cycles != b.sim_cycles ||
+            c.edge_processings != b.edge_processings) {
             identical = false;
         }
     }
@@ -129,7 +161,21 @@ main()
                   bench::Table::num(naive_wall),
                   bench::Table::num(naive_wall > 0.0 ? 3.0 / naive_wall
                                                      : 0.0)});
+    table.addRow({"scheduled3", bench::Table::num(mb(topo_shared)),
+                  bench::Table::num(ratio_shared),
+                  bench::Table::num(mb(scheduled_job_bytes)),
+                  bench::Table::num(scheduled_wall),
+                  bench::Table::num(scheduled_wall > 0.0
+                                        ? 3.0 / scheduled_wall
+                                        : 0.0)});
     table.print();
+    std::printf("scheduler: grants=%llu parks=%llu co_scheduled=%llu "
+                "peak_jobs=%zu\n",
+                static_cast<unsigned long long>(sched_stats.grants),
+                static_cast<unsigned long long>(sched_stats.parks),
+                static_cast<unsigned long long>(
+                    sched_stats.co_scheduled_grants),
+                sched_stats.peak_running);
     std::printf("bit-identical to dedicated engines: %s\n",
                 identical ? "yes" : "NO");
 
@@ -171,13 +217,24 @@ main()
                  topo_naive + naive_job_bytes);
     std::fprintf(out,
                  "  \"wall_seconds\": {\"shared3\": %.6f, \"naive3\": "
-                 "%.6f},\n",
-                 shared_wall, naive_wall);
+                 "%.6f, \"scheduled3\": %.6f},\n",
+                 shared_wall, naive_wall, scheduled_wall);
     std::fprintf(out,
                  "  \"throughput_jobs_per_second\": {\"shared3\": %.3f, "
-                 "\"naive3\": %.3f},\n",
+                 "\"naive3\": %.3f, \"scheduled3\": %.3f},\n",
                  shared_wall > 0.0 ? 3.0 / shared_wall : 0.0,
-                 naive_wall > 0.0 ? 3.0 / naive_wall : 0.0);
+                 naive_wall > 0.0 ? 3.0 / naive_wall : 0.0,
+                 scheduled_wall > 0.0 ? 3.0 / scheduled_wall : 0.0);
+    std::fprintf(out,
+                 "  \"scheduler\": {\"quantum_waves\": %llu, \"grants\": "
+                 "%llu, \"parks\": %llu, \"co_scheduled_grants\": %llu, "
+                 "\"peak_running\": %zu},\n",
+                 static_cast<unsigned long long>(sconfig.quantum_waves),
+                 static_cast<unsigned long long>(sched_stats.grants),
+                 static_cast<unsigned long long>(sched_stats.parks),
+                 static_cast<unsigned long long>(
+                     sched_stats.co_scheduled_grants),
+                 sched_stats.peak_running);
     std::fprintf(out, "  \"bit_identical_to_single_job\": %s\n",
                  identical ? "true" : "false");
     std::fprintf(out, "}\n");

@@ -6,9 +6,10 @@
 # fault-tolerance test binaries. The fault suite is the interesting one
 # here: checkpoint restore rewrites the V_val/E_val arrays in place and
 # recovery drops device residency wholesale, so any stale index or
-# use-after-rollback shows up under ASan. test_job_manager and the
-# concurrent-jobs smoke add the multi-ValuePlane lifecycle (per-job
-# state allocated/freed around one shared substrate).
+# use-after-rollback shows up under ASan. test_job_manager,
+# test_graph_service, and the concurrent-jobs smoke add the
+# multi-ValuePlane lifecycle (per-job state allocated/freed around one
+# shared substrate, including engines destroyed after preempted runs).
 #
 # Usage (from the repo root):
 #     ci/asan.sh               # configure + build + run
@@ -32,11 +33,12 @@ cmake -B build-asan -S . -DDIGRAPH_SANITIZE=address,undefined \
 cmake --build build-asan -j \
     --target test_fault_tolerance test_robustness \
     test_engine_parallel test_engine_features test_io test_snapshot \
-    test_job_manager test_wave_kernels concurrent_jobs
+    test_graph_service test_job_manager test_wave_kernels \
+    concurrent_jobs
 
 if [ "$#" -gt 0 ]; then
     ctest --test-dir build-asan --output-on-failure "$@"
 else
     ctest --test-dir build-asan --output-on-failure \
-        -R 'test_(fault_tolerance|robustness|engine_parallel|engine_features|io|snapshot|job_manager|wave_kernels)$|bench_jobs_smoke'
+        -R 'test_(fault_tolerance|robustness|engine_parallel|engine_features|io|snapshot|graph_service|job_manager|wave_kernels)$|bench_jobs_smoke'
 fi

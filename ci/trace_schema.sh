@@ -69,7 +69,8 @@ jq -e '.traceEvents | all(
 jq -e '.traceEvents | map(.name) | unique - ["wave_start", "wave_end",
         "dispatch", "merge_barrier", "mirror_push", "path_schedule",
         "steal", "fault_injected", "transfer_retry", "checkpoint",
-        "recovery"] | length == 0' "$TRACE" >/dev/null ||
+        "recovery", "job_admit", "job_grant", "job_park",
+        "job_done"] | length == 0' "$TRACE" >/dev/null ||
     fail "event name outside the documented taxonomy"
 
 jq -e '([.traceEvents[] | select(.name == "wave_start")] | length) ==

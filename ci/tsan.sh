@@ -5,10 +5,12 @@
 # -DDIGRAPH_SANITIZE=thread and runs the engine test binaries — the
 # parallel suite already exercises engine_threads in {2, 4} and the
 # hardware-concurrency path, test_job_manager races N whole jobs
-# against each other over one shared substrate, and test_wave_kernels
-# drives the lock-free delta commit against its ordered-replay oracle,
-# so any data race in the wave compute body / commitDeltas / the
-# barrier replay / the job pool shows up here.
+# against each other over one shared substrate, test_graph_service
+# races the inter-job scheduler (grants, wave-boundary preemption,
+# dynamic thread reallocation) against running engines, and
+# test_wave_kernels drives the lock-free delta commit against its
+# ordered-replay oracle, so any data race in the wave compute body /
+# commitDeltas / the barrier replay / the job pool shows up here.
 #
 # Usage (from the repo root):
 #     ci/tsan.sh               # configure + build + run
@@ -32,11 +34,12 @@ cmake -B build-tsan -S . -DDIGRAPH_SANITIZE=thread \
 cmake --build build-tsan -j \
     --target test_engine_parallel test_engine_features \
     test_engine_convergence test_evolving_incremental \
-    test_job_manager test_wave_kernels concurrent_jobs
+    test_graph_service test_job_manager test_wave_kernels \
+    concurrent_jobs
 
 if [ "$#" -gt 0 ]; then
     ctest --test-dir build-tsan --output-on-failure "$@"
 else
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_engine_(parallel|features|convergence)|test_evolving_incremental|test_job_manager|test_wave_kernels|bench_jobs_smoke'
+        -R 'test_engine_(parallel|features|convergence)|test_evolving_incremental|test_graph_service|test_job_manager|test_wave_kernels|bench_jobs_smoke'
 fi

@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "engine/wave_control.hpp"
 
 namespace digraph::engine {
 
@@ -73,6 +74,11 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
                     sub->pre.paths.numEdges(),
                     " edges but the graph has ", g.numEdges());
           }
+          if (sub->num_vertices != g.numVertices()) {
+              fatal("DiGraphEngine: shared substrate was built for ",
+                    sub->num_vertices, " vertices but the graph has ",
+                    g.numVertices());
+          }
           return std::move(sub);
       }()),
       pre_(sub_->pre), sync_(sub_->sync), sched_(sub_->dispatcher),
@@ -123,7 +129,10 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
     report.num_partitions = pre_.numPartitions();
     report.preprocess_seconds = preprocessSeconds();
 
-    const std::size_t nthreads = engineThreads();
+    // The thread budget may be reallocated between waves by the
+    // inter-job scheduler (options_.wave_control); results never
+    // depend on it, so mid-run changes are safe.
+    std::size_t nthreads = engineThreads();
     report.engine_threads = static_cast<std::uint32_t>(nthreads);
     if (nthreads > 1 && (!pool_ || pool_->size() != nthreads))
         pool_ = std::make_unique<ThreadPool>(nthreads);
@@ -302,6 +311,21 @@ DiGraphEngine::run(const algorithms::Algorithm &algo,
                           metrics::kTraceNoPartition,
                           transport_.platform().makespan(), 0.0,
                           batch.size());
+        }
+        if (options_.wave_control) {
+            // Wave boundary: everything is committed and nothing is in
+            // flight, so the run can park here indefinitely (the
+            // ValuePlane is the job's state) and resume bit-identical.
+            // The hook returns next wave's thread budget.
+            const std::size_t granted =
+                options_.wave_control->onWaveBoundary(
+                    wave, plane_.partition_active);
+            if (granted && granted != nthreads) {
+                nthreads = granted;
+                if (nthreads > 1 &&
+                    (!pool_ || pool_->size() != nthreads))
+                    pool_ = std::make_unique<ThreadPool>(nthreads);
+            }
         }
     }
     if (options_.verify_invariants) {

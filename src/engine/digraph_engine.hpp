@@ -168,6 +168,24 @@ class DiGraphEngine
      *  every instrumentation point a single branch. */
     void setTrace(metrics::TraceSink *sink) { options_.trace = sink; }
 
+    /** Attach (or detach, with nullptr) a wave-boundary scheduling
+     *  hook for subsequent run() calls (see engine/wave_control.hpp).
+     *  Parking at a boundary and thread reallocation never change
+     *  results. */
+    void setWaveControl(WaveControl *hook)
+    {
+        options_.wave_control = hook;
+    }
+
+    /** Override the worker-thread budget for subsequent run() calls
+     *  (0 = hardware concurrency). The inter-job scheduler sets a
+     *  job's initial allocation here; mid-run changes flow through
+     *  WaveControl::onWaveBoundary(). Never changes results. */
+    void setEngineThreads(std::size_t threads)
+    {
+        options_.engine_threads = threads;
+    }
+
     /** Counter totals of the most recent run (always equal to the
      *  matching RunReport aggregate fields). */
     const metrics::CounterRegistry &counters() const { return counters_; }

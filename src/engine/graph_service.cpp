@@ -1,0 +1,464 @@
+#include "engine/graph_service.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "engine/digraph_engine.hpp"
+#include "partition/preprocess.hpp"
+
+namespace digraph::engine {
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued:   return "queued";
+      case JobState::Running:  return "running";
+      case JobState::Parked:   return "parked";
+      case JobState::Done:     return "done";
+      case JobState::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+namespace {
+
+std::size_t
+resolveSessionThreads(const ServiceConfig &config,
+                      const EngineOptions &options)
+{
+    if (config.session_threads)
+        return config.session_threads;
+    if (options.engine_threads)
+        return options.engine_threads;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace
+
+GraphService::GraphService(const graph::DirectedGraph &g,
+                           EngineOptions options, ServiceConfig config)
+    : g_(g), options_(std::move(options)), config_(config)
+{
+    if (const std::string err = options_.validate(); !err.empty())
+        fatal("GraphService: invalid options: ", err);
+    options_.resolvePartitionBudget(g.numEdges());
+    sub_ = EngineSubstrate::build(
+        g, partition::preprocess(g, options_.preprocess));
+    policy_.session_threads = resolveSessionThreads(config_, options_);
+    policy_.max_running_jobs = config_.max_running_jobs;
+    policy_.state_budget_bytes = config_.state_budget_bytes;
+    policy_.tenant_quota = config_.tenant_quota;
+    policy_.co_schedule = config_.co_schedule;
+}
+
+GraphService::GraphService(const graph::DirectedGraph &g,
+                           std::shared_ptr<const EngineSubstrate> sub,
+                           EngineOptions options, ServiceConfig config)
+    : g_(g), options_(std::move(options)), config_(config),
+      sub_(std::move(sub))
+{
+    if (const std::string err = options_.validate(); !err.empty())
+        fatal("GraphService: invalid options: ", err);
+    if (!sub_)
+        fatal("GraphService: null shared substrate");
+    if (sub_->pre.paths.numEdges() != g.numEdges()) {
+        fatal("GraphService: shared substrate covers ",
+              sub_->pre.paths.numEdges(), " edges but the graph has ",
+              g.numEdges());
+    }
+    if (sub_->num_vertices != g.numVertices()) {
+        fatal("GraphService: shared substrate was built for ",
+              sub_->num_vertices, " vertices but the graph has ",
+              g.numVertices());
+    }
+    policy_.session_threads = resolveSessionThreads(config_, options_);
+    policy_.max_running_jobs = config_.max_running_jobs;
+    policy_.state_budget_bytes = config_.state_budget_bytes;
+    policy_.tenant_quota = config_.tenant_quota;
+    policy_.co_schedule = config_.co_schedule;
+}
+
+GraphService::~GraphService()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+            return std::all_of(jobs_.begin(), jobs_.end(),
+                               [](const auto &j) {
+                                   return j->state == JobState::Done ||
+                                          j->state == JobState::Rejected;
+                               });
+        });
+    }
+    for (auto &job : jobs_) {
+        if (job->thread.joinable())
+            job->thread.join();
+    }
+}
+
+std::uint32_t
+GraphService::internTenant(const std::string &name)
+{
+    for (std::uint32_t t = 0; t < tenants_.size(); ++t) {
+        if (tenants_[t] == name)
+            return t;
+    }
+    tenants_.push_back(name);
+    tenant_started_.push_back(0);
+    return static_cast<std::uint32_t>(tenants_.size() - 1);
+}
+
+std::size_t
+GraphService::jobBytesEstimate()
+{
+    if (!job_bytes_estimate_) {
+        // Probe engine: its ValuePlane + transport bookkeeping sizes
+        // are algorithm-independent over one substrate, so one build
+        // prices every future job. It is handed to the first granted
+        // job rather than thrown away.
+        spare_engine_ =
+            std::make_unique<DiGraphEngine>(g_, sub_, options_);
+        job_bytes_estimate_ = spare_engine_->jobStateBytes();
+    }
+    return job_bytes_estimate_;
+}
+
+void
+GraphService::traceEvent(metrics::TraceEventType type,
+                         std::uint64_t arg0, std::uint64_t arg1)
+{
+    if (config_.trace) {
+        config_.trace->event(type, /*wave=*/stats_.grants,
+                             metrics::kTraceNoPartition,
+                             /*sim_begin=*/0.0, /*sim_dur=*/0.0, arg0,
+                             arg1);
+    }
+}
+
+std::size_t
+GraphService::freeThreads() const
+{
+    std::size_t held = 0;
+    for (const JobId id : active_)
+        held += jobs_[id]->thread_grant;
+    return policy_.session_threads > held
+               ? policy_.session_threads - held
+               : 0;
+}
+
+bool
+GraphService::schedulableWaiting() const
+{
+    for (const auto &job : jobs_) {
+        if (job->granted ||
+            (job->state != JobState::Queued &&
+             job->state != JobState::Parked))
+            continue;
+        if (job->started)
+            return true;
+        if (policy_.tenant_quota &&
+            tenant_started_[job->tenant] >= policy_.tenant_quota)
+            continue;
+        if (policy_.state_budget_bytes &&
+            charged_bytes_ + job_bytes_estimate_ >
+                policy_.state_budget_bytes)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+void
+GraphService::reschedule()
+{
+    SchedSnapshot snap;
+    for (const auto &job : jobs_) {
+        if (job->granted ||
+            (job->state != JobState::Queued &&
+             job->state != JobState::Parked))
+            continue;
+        SchedJob sj;
+        sj.id = job->id;
+        sj.priority = job->request.priority;
+        sj.tenant = job->tenant;
+        sj.queue_seq = job->queue_seq;
+        sj.started = job->started;
+        sj.state_bytes = job->charged_bytes ? job->charged_bytes
+                                            : job_bytes_estimate_;
+        sj.worklist = job->worklist.empty() ? nullptr : &job->worklist;
+        snap.waiting.push_back(sj);
+    }
+    if (snap.waiting.empty())
+        return;
+    for (const JobId id : active_) {
+        if (!jobs_[id]->worklist.empty())
+            snap.running_worklists.push_back(&jobs_[id]->worklist);
+    }
+    snap.running_jobs = active_.size();
+    snap.free_threads = freeThreads();
+    snap.charged_bytes = charged_bytes_;
+    snap.tenant_started = tenant_started_;
+
+    const auto grants = scheduleJobs(policy_, snap);
+    for (const auto &grant : grants) {
+        Job &job = *jobs_[grant.id];
+        job.granted = true;
+        job.thread_grant = grant.threads;
+        job.waves_in_quantum = 0;
+        if (!job.started) {
+            job.started = true;
+            job.charged_bytes = job_bytes_estimate_;
+            charged_bytes_ += job.charged_bytes;
+            ++tenant_started_[job.tenant];
+        }
+        active_.push_back(job.id);
+        grant_log_.push_back(job.id);
+        ++stats_.grants;
+        if (grant.co_scheduled)
+            ++stats_.co_scheduled_grants;
+        stats_.peak_inflight_bytes =
+            std::max(stats_.peak_inflight_bytes, charged_bytes_);
+        stats_.peak_running =
+            std::max(stats_.peak_running, active_.size());
+        traceEvent(metrics::TraceEventType::JobGrant, job.id,
+                   job.thread_grant);
+    }
+    if (!grants.empty())
+        cv_.notify_all();
+}
+
+JobId
+GraphService::addJobAsync(const JobRequest &request)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const JobId id = jobs_.size();
+    jobs_.push_back(std::make_unique<Job>());
+    Job &job = *jobs_.back();
+    job.service = this;
+    job.id = id;
+    job.request = request;
+    job.tenant = internTenant(request.tenant);
+    job.queue_seq = queue_seq_next_++;
+    job.result.id = id;
+    job.result.spec = request.spec;
+    job.result.tenant = request.tenant;
+    job.result.priority = request.priority;
+    ++stats_.submitted;
+
+    // Validate the spec up front (fatal on nonsense, exactly like the
+    // batch path did at runAll).
+    job.algo = algorithms::makeAlgorithmSpec(request.spec, g_);
+
+    // Admission control: a job that can never fit is rejected
+    // outright; one that merely cannot start *now* queues, unless the
+    // admission queue itself is past its limit.
+    const std::size_t estimate =
+        policy_.state_budget_bytes ? jobBytesEstimate() : 0;
+    if (policy_.state_budget_bytes &&
+        estimate > policy_.state_budget_bytes) {
+        job.state = JobState::Rejected;
+        job.reject_reason =
+            "job state estimate exceeds the session byte budget";
+        ++stats_.rejected;
+        return id;
+    }
+    const std::size_t slot_cap =
+        std::min(policy_.max_running_jobs ? policy_.max_running_jobs
+                                          : policy_.session_threads,
+                 policy_.session_threads);
+    const bool can_start_now =
+        active_.size() < slot_cap &&
+        (!policy_.state_budget_bytes ||
+         charged_bytes_ + estimate <= policy_.state_budget_bytes) &&
+        (!policy_.tenant_quota ||
+         tenant_started_[job.tenant] < policy_.tenant_quota);
+    if (!can_start_now) {
+        const std::size_t queued = static_cast<std::size_t>(
+            std::count_if(jobs_.begin(), jobs_.end(),
+                          [](const auto &j) {
+                              return j->state == JobState::Queued &&
+                                     !j->granted;
+                          })) -
+            1; // exclude this job
+        if (config_.max_queued_jobs &&
+            queued >= config_.max_queued_jobs) {
+            job.state = JobState::Rejected;
+            job.reject_reason = "admission queue full";
+            ++stats_.rejected;
+            return id;
+        }
+        ++stats_.queued_on_arrival;
+    }
+    ++stats_.admitted;
+    traceEvent(metrics::TraceEventType::JobAdmit, id,
+               static_cast<std::uint64_t>(request.priority));
+    job.thread = std::thread(&GraphService::jobMain, this, &job);
+    reschedule();
+    return id;
+}
+
+void
+GraphService::jobMain(Job *job)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return job->granted; });
+    job->state = JobState::Running;
+
+    // Engine acquisition: take the probe engine if one is waiting,
+    // else build a fresh one — outside the session lock (plane
+    // allocation is the expensive part of admitting a job).
+    std::unique_ptr<DiGraphEngine> engine = std::move(spare_engine_);
+    const std::size_t initial_threads = job->thread_grant;
+    lock.unlock();
+    if (!engine)
+        engine = std::make_unique<DiGraphEngine>(g_, sub_, options_);
+    engine->setWaveControl(job);
+    engine->setEngineThreads(initial_threads);
+    if (config_.with_traces) {
+        job->result.trace = std::make_shared<metrics::TraceSink>();
+        engine->setTrace(job->result.trace.get());
+    }
+    job->engine = std::move(engine);
+
+    job->result.report = job->engine->run(*job->algo);
+    job->result.counters = job->engine->counters();
+    job->result.job_state_bytes = job->engine->jobStateBytes();
+
+    lock.lock();
+    job->state = JobState::Done;
+    job->granted = false;
+    active_.erase(std::find(active_.begin(), active_.end(), job->id));
+    charged_bytes_ -= job->charged_bytes;
+    --tenant_started_[job->tenant];
+    completion_order_.push_back(job->id);
+    ++stats_.completed;
+    traceEvent(metrics::TraceEventType::JobDone, job->id,
+               job->result.times_parked);
+    job->engine.reset(); // release the plane: in-flight bytes drop NOW
+    reschedule();
+    cv_.notify_all();
+}
+
+std::size_t
+GraphService::Job::onWaveBoundary(
+    std::uint64_t /*wave*/, const std::vector<std::uint8_t> &active)
+{
+    return service->waveBoundary(*this, active);
+}
+
+std::size_t
+GraphService::waveBoundary(Job &job,
+                           const std::vector<std::uint8_t> &active)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    job.worklist.assign(active.begin(), active.end());
+    ++job.waves_in_quantum;
+    if (config_.quantum_waves &&
+        job.waves_in_quantum >= config_.quantum_waves) {
+        if (schedulableWaiting()) {
+            // Preemption: offer the slot. The ValuePlane is the job's
+            // suspended state — nothing to snapshot, and the resumed
+            // run is bit-identical to an uninterrupted one.
+            ++stats_.parks;
+            ++job.result.times_parked;
+            traceEvent(metrics::TraceEventType::JobPark, job.id,
+                       job.waves_in_quantum);
+            job.granted = false;
+            job.state = JobState::Parked;
+            active_.erase(
+                std::find(active_.begin(), active_.end(), job.id));
+            // Round-robin within the priority class: re-enter at the
+            // back of the queue.
+            job.queue_seq = queue_seq_next_++;
+            reschedule();
+            cv_.wait(lock, [&] { return job.granted; });
+            job.state = JobState::Running;
+        }
+        job.waves_in_quantum = 0;
+    }
+    // Dynamic thread allocation: adopt the fair share of the session
+    // budget for the current active-set membership.
+    const auto rank = static_cast<std::size_t>(
+        std::find(active_.begin(), active_.end(), job.id) -
+        active_.begin());
+    job.thread_grant =
+        fairThreadShare(policy_, rank, active_.size());
+    return job.thread_grant;
+}
+
+JobStatus
+GraphService::poll(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= jobs_.size())
+        fatal("GraphService::poll: unknown job ", id);
+    const Job &job = *jobs_[id];
+    JobStatus status;
+    status.id = id;
+    status.state = job.state;
+    status.spec = job.request.spec;
+    status.tenant = job.request.tenant;
+    status.priority = job.request.priority;
+    status.detail = job.reject_reason;
+    return status;
+}
+
+std::vector<JobResult>
+GraphService::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+        return std::all_of(jobs_.begin(), jobs_.end(),
+                           [](const auto &j) {
+                               return j->state == JobState::Done ||
+                                      j->state == JobState::Rejected;
+                           });
+    });
+    std::vector<JobResult> results;
+    results.reserve(jobs_.size());
+    for (auto &job : jobs_) {
+        if (job->state == JobState::Done)
+            results.push_back(std::move(job->result));
+    }
+    drained_ = true;
+    return results;
+}
+
+std::size_t
+GraphService::numJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.size();
+}
+
+ServiceStats
+GraphService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+GraphService::inflightStateBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return charged_bytes_;
+}
+
+std::vector<JobId>
+GraphService::grantLog() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return grant_log_;
+}
+
+std::vector<JobId>
+GraphService::completionOrder() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completion_order_;
+}
+
+} // namespace digraph::engine

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * GraphService: a long-lived graph-processing session with two-level
+ * job scheduling over one shared execution substrate (DESIGN.md §15).
+ *
+ * Where JobManager ran a fixed batch and exited, a GraphService stays
+ * up: it owns one immutable EngineSubstrate and accepts a *stream* of
+ * job requests (addJobAsync / poll / drain; the CLI's `--serve` batch
+ * front-end sits on top). Jobs carry a tenant and a priority, and the
+ * inter-job scheduler (engine/job_scheduler.hpp) places them into the
+ * session's execution slots with
+ *
+ *  - admission control: a configurable in-flight job-state byte budget
+ *    (a job's ValuePlane + transport bookkeeping) — jobs past it queue,
+ *    and past the queue limit they are rejected at submission;
+ *  - per-tenant quotas on started (running or parked) jobs;
+ *  - priority queues with FIFO age inside each class;
+ *  - preemption at wave boundaries: a running engine parks right after
+ *    its merge barrier via the WaveControl hook. Nothing is
+ *    snapshotted — the job's ValuePlane IS its suspended state — and a
+ *    resumed run is bit-identical to an uninterrupted one;
+ *  - dynamic thread allocation: the session's worker-thread budget is
+ *    divided fairly across running jobs and rebalanced at every wave
+ *    boundary (replacing JobManager's old all-or-one split);
+ *  - co-scheduling: within a priority class the scheduler prefers jobs
+ *    whose partition worklists overlap what is already running, so
+ *    concurrent jobs share substrate *cache residency*, not just
+ *    substrate memory.
+ *
+ * Every admitted job runs on its own host thread; all scheduling
+ * decisions are serialized under one session mutex, and the engine's
+ * thread-count/park independence guarantees make results identical to
+ * dedicated single-job runs regardless of the schedule.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/factory.hpp"
+#include "engine/job_scheduler.hpp"
+#include "engine/options.hpp"
+#include "engine/substrate.hpp"
+#include "engine/wave_control.hpp"
+#include "graph/digraph.hpp"
+#include "metrics/counter_registry.hpp"
+#include "metrics/run_report.hpp"
+#include "metrics/trace.hpp"
+
+namespace digraph::engine {
+
+class DiGraphEngine;
+
+/** Job handle (dense, in submission order). */
+using JobId = std::uint64_t;
+
+/** Lifecycle of a submitted job. */
+enum class JobState : std::uint8_t {
+    /** Admitted, waiting for its first execution slot. */
+    Queued,
+    /** Occupying a slot (may be between waves inside the engine). */
+    Running,
+    /** Preempted at a wave boundary; ValuePlane live, awaiting a
+     *  new grant. */
+    Parked,
+    /** Ran to convergence; result available. */
+    Done,
+    /** Refused at submission (admission control); never ran. */
+    Rejected,
+};
+
+/** Stable display name of a job state. */
+const char *jobStateName(JobState s);
+
+/** One job request: an algorithm spec plus scheduling attributes. */
+struct JobRequest
+{
+    /** "name[:param]" algorithm spec (makeAlgorithmSpec syntax). */
+    std::string spec;
+    /** Tenant the job is accounted to (quota key). */
+    std::string tenant = "default";
+    /** Higher runs first; ties are FIFO. */
+    int priority = 0;
+};
+
+/** One job's outputs (also the JobManager batch result type). */
+struct JobResult
+{
+    /** The "name[:param]" spec the job was queued with. */
+    std::string spec;
+    /** The full run report (final state, counters, timings). */
+    metrics::RunReport report;
+    /** The job engine's counter totals (equal to the report
+     *  aggregates). */
+    metrics::CounterRegistry counters;
+    /** Per-job trace sink (null unless traces were requested). */
+    std::shared_ptr<metrics::TraceSink> trace;
+    /** Host bytes of the job's private state (ValuePlane + transport
+     *  bookkeeping). */
+    std::size_t job_state_bytes = 0;
+    /** Job handle within the service. */
+    JobId id = 0;
+    /** Tenant the job was accounted to. */
+    std::string tenant;
+    /** Priority it was scheduled with. */
+    int priority = 0;
+    /** Times the job was preempted at a wave boundary. */
+    std::uint64_t times_parked = 0;
+};
+
+/** Session configuration (0 = default / unlimited throughout). */
+struct ServiceConfig
+{
+    /** Session worker-thread budget divided across running jobs;
+     *  0 = EngineOptions::engine_threads (0 there = hardware). */
+    std::size_t session_threads = 0;
+    /** Concurrent execution slots; 0 = one per session thread. */
+    std::size_t max_running_jobs = 0;
+    /** In-flight job-state byte budget (admission control); 0 = off. */
+    std::size_t state_budget_bytes = 0;
+    /** Admitted-but-never-started jobs tolerated while the byte budget
+     *  is exhausted; past it submissions are Rejected. 0 = unlimited
+     *  queueing (nothing is ever rejected). */
+    std::size_t max_queued_jobs = 0;
+    /** Max started (running or parked) jobs per tenant; 0 = off. */
+    std::size_t tenant_quota = 0;
+    /** Waves a job runs per scheduling quantum before it must offer
+     *  its slot to waiting jobs; 0 = run every job to convergence
+     *  (batch mode, no preemption). */
+    std::uint64_t quantum_waves = 4;
+    /** Prefer worklist-overlapping jobs within a priority class. */
+    bool co_schedule = true;
+    /** Give every job a private TraceSink (returned in its result). */
+    bool with_traces = false;
+    /** Service-level sink for scheduler events (job_admit/grant/park/
+     *  done); nullptr disables. */
+    metrics::TraceSink *trace = nullptr;
+};
+
+/** Scheduler observability counters (monotonic over the session). */
+struct ServiceStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    /** Admissions that could not start immediately (queued). */
+    std::uint64_t queued_on_arrival = 0;
+    std::uint64_t grants = 0;
+    /** Grants placed by worklist overlap instead of rank order. */
+    std::uint64_t co_scheduled_grants = 0;
+    /** Wave-boundary preemptions. */
+    std::uint64_t parks = 0;
+    std::uint64_t completed = 0;
+    /** High-water mark of charged in-flight state bytes. */
+    std::size_t peak_inflight_bytes = 0;
+    /** High-water mark of concurrently granted jobs. */
+    std::size_t peak_running = 0;
+};
+
+/** poll() snapshot of one job. */
+struct JobStatus
+{
+    JobId id = 0;
+    JobState state = JobState::Queued;
+    std::string spec;
+    std::string tenant;
+    int priority = 0;
+    /** Reject reason (empty unless Rejected). */
+    std::string detail;
+};
+
+/**
+ * Long-lived multi-tenant graph-processing session (see file header).
+ */
+class GraphService
+{
+  public:
+    /** Preprocess @p g once; the substrate lives for the session. */
+    GraphService(const graph::DirectedGraph &g, EngineOptions options,
+                 ServiceConfig config = {});
+
+    /** Adopt a prebuilt substrate. @pre sub was built for @p g (vertex
+     *  AND edge totals checked). */
+    GraphService(const graph::DirectedGraph &g,
+                 std::shared_ptr<const EngineSubstrate> sub,
+                 EngineOptions options, ServiceConfig config = {});
+
+    /** Drains every admitted job, then joins all job threads. */
+    ~GraphService();
+
+    GraphService(const GraphService &) = delete;
+    GraphService &operator=(const GraphService &) = delete;
+
+    /**
+     * Submit a job. Returns immediately with its handle; the job is
+     * scheduled asynchronously. A job refused by admission control
+     * comes back with poll(id).state == Rejected (and the reason in
+     * poll(id).detail). Fatal on a malformed spec.
+     */
+    JobId addJobAsync(const JobRequest &request);
+    JobId addJobAsync(const std::string &spec)
+    {
+        return addJobAsync(JobRequest{spec});
+    }
+
+    /** Snapshot one job's lifecycle state. */
+    JobStatus poll(JobId id) const;
+
+    /** Block until every admitted job is Done, then move the results
+     *  out (admission order; Rejected jobs are skipped). */
+    std::vector<JobResult> drain();
+
+    /** Jobs submitted so far (including rejected). */
+    std::size_t numJobs() const;
+
+    /** The shared immutable substrate. */
+    const std::shared_ptr<const EngineSubstrate> &substrate() const
+    {
+        return sub_;
+    }
+
+    /** Host bytes of the shared substrate (paid once per session). */
+    std::size_t sharedBytes() const { return sub_->memoryBytes(); }
+
+    /** Resolved session worker-thread budget. */
+    std::size_t sessionThreads() const
+    {
+        return policy_.session_threads;
+    }
+
+    /** Scheduler counters snapshot. */
+    ServiceStats stats() const;
+
+    /** Currently charged in-flight job-state bytes. */
+    std::size_t inflightStateBytes() const;
+
+    /** Every slot grant in decision order (tests/observability). */
+    std::vector<JobId> grantLog() const;
+
+    /** Job completion order (tests/observability). */
+    std::vector<JobId> completionOrder() const;
+
+  private:
+    /** Per-job record; doubles as the engine's wave-boundary hook. */
+    struct Job : WaveControl
+    {
+        GraphService *service = nullptr;
+        JobId id = 0;
+        JobRequest request;
+        JobState state = JobState::Queued;
+        std::string reject_reason;
+        std::uint32_t tenant = 0;
+        std::uint64_t queue_seq = 0;
+        algorithms::AlgorithmPtr algo;
+        std::unique_ptr<DiGraphEngine> engine;
+        JobResult result;
+        /** Scheduler grant flag (guarded by the session mutex). */
+        bool granted = false;
+        /** Engine built, bytes charged. */
+        bool started = false;
+        std::size_t charged_bytes = 0;
+        std::size_t thread_grant = 1;
+        std::uint64_t waves_in_quantum = 0;
+        /** Worklist flags at the last wave boundary. */
+        std::vector<std::uint8_t> worklist;
+        std::thread thread;
+
+        std::size_t
+        onWaveBoundary(std::uint64_t wave,
+                       const std::vector<std::uint8_t> &active) override;
+    };
+
+    /** Job-thread body: wait for the first grant, build the engine,
+     *  run to convergence, retire. */
+    void jobMain(Job *job);
+
+    /** Engine-hook body (locks the session mutex). */
+    std::size_t waveBoundary(Job &job,
+                             const std::vector<std::uint8_t> &active);
+
+    /** Fill free slots from the waiting set (mutex held). */
+    void reschedule();
+
+    /** True when some waiting job could take a freed slot — the park
+     *  predicate (mutex held). */
+    bool schedulableWaiting() const;
+
+    /** Session threads minus what granted jobs currently hold
+     *  (mutex held). */
+    std::size_t freeThreads() const;
+
+    /** Dense tenant index, interning new names (mutex held). */
+    std::uint32_t internTenant(const std::string &name);
+
+    /** Per-job state-byte estimate (built lazily from a probe engine;
+     *  mutex held). */
+    std::size_t jobBytesEstimate();
+
+    /** Record a service-level scheduler event. */
+    void traceEvent(metrics::TraceEventType type, std::uint64_t arg0,
+                    std::uint64_t arg1);
+
+    const graph::DirectedGraph &g_;
+    EngineOptions options_;
+    ServiceConfig config_;
+    SchedulerPolicy policy_;
+    std::shared_ptr<const EngineSubstrate> sub_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::unique_ptr<Job>> jobs_;
+    /** Granted jobs in grant order (rank = fair-share position). */
+    std::vector<JobId> active_;
+    std::vector<std::string> tenants_;
+    std::vector<std::uint32_t> tenant_started_;
+    std::size_t charged_bytes_ = 0;
+    std::uint64_t queue_seq_next_ = 0;
+    std::vector<JobId> grant_log_;
+    std::vector<JobId> completion_order_;
+    ServiceStats stats_;
+    /** Probe engine: measures the per-job byte estimate, then serves
+     *  as the first granted job's engine (nothing is wasted). */
+    std::unique_ptr<DiGraphEngine> spare_engine_;
+    std::size_t job_bytes_estimate_ = 0;
+    bool drained_ = false;
+};
+
+} // namespace digraph::engine

@@ -1,12 +1,6 @@
 #include "engine/job_manager.hpp"
 
-#include <algorithm>
-#include <thread>
-
-#include "algorithms/factory.hpp"
 #include "common/logging.hpp"
-#include "common/thread_pool.hpp"
-#include "engine/digraph_engine.hpp"
 #include "partition/preprocess.hpp"
 
 namespace digraph::engine {
@@ -34,72 +28,57 @@ JobManager::JobManager(const graph::DirectedGraph &g,
               sub_->pre.paths.numEdges(), " edges but the graph has ",
               g.numEdges());
     }
+    if (sub_->num_vertices != g.numVertices()) {
+        fatal("JobManager: shared substrate was built for ",
+              sub_->num_vertices, " vertices but the graph has ",
+              g.numVertices());
+    }
 }
 
 void
 JobManager::addJobs(const std::string &comma_specs)
 {
+    const std::size_t before = specs_.size();
     std::size_t begin = 0;
     while (begin <= comma_specs.size()) {
         std::size_t end = comma_specs.find(',', begin);
         if (end == std::string::npos)
             end = comma_specs.size();
-        const std::string spec = comma_specs.substr(begin, end - begin);
-        if (spec.empty()) {
-            fatal("JobManager: empty job entry in spec '", comma_specs,
-                  "'");
+        std::string spec = comma_specs.substr(begin, end - begin);
+        // Tolerate shell artifacts: surrounding whitespace and empty
+        // entries from trailing/doubled commas.
+        const std::size_t first = spec.find_first_not_of(" \t");
+        if (first == std::string::npos) {
+            begin = end + 1;
+            continue;
         }
+        spec = spec.substr(first,
+                           spec.find_last_not_of(" \t") - first + 1);
         addJob(spec);
         begin = end + 1;
+    }
+    if (specs_.size() == before) {
+        fatal("JobManager: no job specs in list '", comma_specs, "'");
     }
 }
 
 std::vector<JobResult>
 JobManager::runAll(bool with_traces)
 {
-    std::vector<JobResult> results(specs_.size());
     if (specs_.empty())
-        return results;
+        return {};
 
-    // Engines are built serially (they only read the shared substrate,
-    // but algorithm construction may precompute per-graph tables), then
-    // run concurrently: one pool task per job, claimed round-robin by
-    // min(jobs, engineThreads()) workers. Each job parallelizes its own
-    // waves only when it has the threads to itself (a single job keeps
-    // the session's engine_threads; concurrent jobs run their waves
-    // serially so N jobs use N workers, not N * engine_threads).
-    std::vector<std::unique_ptr<DiGraphEngine>> engines;
-    std::vector<algorithms::AlgorithmPtr> algos;
-    engines.reserve(specs_.size());
-    algos.reserve(specs_.size());
-    EngineOptions job_options = options_;
-    if (specs_.size() > 1)
-        job_options.engine_threads = 1;
-    for (std::size_t i = 0; i < specs_.size(); ++i) {
-        algos.push_back(algorithms::makeAlgorithmSpec(specs_[i], g_));
-        engines.push_back(
-            std::make_unique<DiGraphEngine>(g_, sub_, job_options));
-        results[i].spec = specs_[i];
-        if (with_traces) {
-            results[i].trace = std::make_shared<metrics::TraceSink>();
-            engines[i]->setTrace(results[i].trace.get());
-        }
-    }
-
-    // Worker count comes from the SESSION's thread budget, not the
-    // per-job override above (which would always be 1 for >1 job).
-    const std::size_t session_threads =
-        options_.engine_threads
-            ? options_.engine_threads
-            : std::max(1u, std::thread::hardware_concurrency());
-    const std::size_t workers = std::min(specs_.size(), session_threads);
-    ThreadPool pool(workers);
-    pool.forEachIndex(specs_.size(), [&](std::size_t i) {
-        results[i].report = engines[i]->run(*algos[i]);
-        results[i].counters = engines[i]->counters();
-        results[i].job_state_bytes = engines[i]->jobStateBytes();
-    });
-    return results;
+    // Batch mode: no preemption quantum, no quotas or budgets — every
+    // job runs to convergence under the service's fair thread split
+    // (the session budget divided across in-flight jobs, rebalanced at
+    // wave boundaries as jobs finish).
+    ServiceConfig config;
+    config.quantum_waves = 0;
+    config.with_traces = with_traces;
+    GraphService service(g_, sub_, options_, config);
+    for (const std::string &spec : specs_)
+        service.addJobAsync(spec);
+    return service.drain();
 }
 
 } // namespace digraph::engine

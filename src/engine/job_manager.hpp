@@ -8,9 +8,14 @@
  * job costs is DiGraphEngine::jobStateBytes(), not another copy of the
  * topology.
  *
- * Jobs are mutually isolated (no shared mutable state), so running them
- * concurrently over the thread pool produces results bit-identical to
- * running them one at a time, in any order, at any thread count.
+ * Since the GraphService daemon (DESIGN.md §15) this is a thin batch
+ * front-end: runAll() opens a service session in batch mode (no
+ * preemption, no quotas), submits every queued spec, and drains. The
+ * session's thread budget is divided fairly across in-flight jobs —
+ * two jobs on an 8-thread session get 4 threads each, not 1 each —
+ * and shrinking shares rebalance as jobs finish. Jobs are mutually
+ * isolated (no shared mutable state), so results stay bit-identical to
+ * dedicated single-job runs, in any order, at any thread count.
  */
 
 #pragma once
@@ -19,31 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "engine/graph_service.hpp"
 #include "engine/options.hpp"
 #include "engine/substrate.hpp"
 #include "graph/digraph.hpp"
-#include "metrics/counter_registry.hpp"
-#include "metrics/run_report.hpp"
-#include "metrics/trace.hpp"
 
 namespace digraph::engine {
-
-/** One job's outputs after JobManager::runAll(). */
-struct JobResult
-{
-    /** The "name[:param]" spec the job was queued with. */
-    std::string spec;
-    /** The full run report (final state, counters, timings). */
-    metrics::RunReport report;
-    /** The job engine's counter totals (equal to the report
-     *  aggregates). */
-    metrics::CounterRegistry counters;
-    /** Per-job trace sink (null unless runAll(with_traces=true)). */
-    std::shared_ptr<metrics::TraceSink> trace;
-    /** Host bytes of the job's private state (ValuePlane + transport
-     *  bookkeeping). */
-    std::size_t job_state_bytes = 0;
-};
 
 /**
  * Runs N algorithm jobs concurrently on one shared substrate.
@@ -55,7 +41,8 @@ class JobManager
     JobManager(const graph::DirectedGraph &g, EngineOptions options);
 
     /** Adopt a prebuilt substrate (e.g. from another engine's
-     *  substrate()). @pre sub was built for @p g. */
+     *  substrate()). @pre sub was built for @p g (vertex AND edge
+     *  totals checked). */
     JobManager(const graph::DirectedGraph &g,
                std::shared_ptr<const EngineSubstrate> sub,
                EngineOptions options);
@@ -65,15 +52,17 @@ class JobManager
     void addJob(const std::string &spec) { specs_.push_back(spec); }
 
     /** Queue jobs from a comma-separated spec list — the CLI --jobs
-     *  syntax, e.g. "sssp:0,pagerank,wcc". Fatal on an empty entry. */
+     *  syntax, e.g. "sssp:0,pagerank,wcc". Entries are trimmed of
+     *  surrounding whitespace and empty entries (trailing/doubled
+     *  commas) are skipped; fatal only when the list yields no jobs
+     *  at all. */
     void addJobs(const std::string &comma_specs);
 
     std::size_t numJobs() const { return specs_.size(); }
 
     /**
-     * Run every queued job to convergence, one engine per job over the
-     * shared substrate, distributed round-robin over a thread pool of
-     * min(jobs, engineThreads()). Results are in queue order and
+     * Run every queued job to convergence over the shared substrate via
+     * a batch-mode GraphService session. Results are in queue order and
      * independent of the interleaving.
      * @param with_traces Give each job a private TraceSink (returned in
      *        its JobResult).

@@ -19,6 +19,8 @@ class TraceSink;
 
 namespace digraph::engine {
 
+class WaveControl;
+
 /** Execution model selector. */
 enum class ExecutionMode {
     /** The full system: path-based async execution + SMX path
@@ -83,6 +85,12 @@ struct EngineOptions
      *  instrumentation point reduces to one null check — see
      *  src/metrics/trace.hpp). Tracing never changes results. */
     metrics::TraceSink *trace = nullptr;
+    /** Wave-boundary scheduling hook (see engine/wave_control.hpp):
+     *  consulted after every wave's merge barrier; may block the run
+     *  (cooperative preemption) and reallocate the worker-thread
+     *  budget. nullptr (default) runs to convergence uninterrupted.
+     *  Yielding and thread reallocation never change results. */
+    WaveControl *wave_control = nullptr;
 
     // --- fault tolerance (see DESIGN.md "Fault model and recovery") ---
     /** Deterministic fault-injection plan. An empty plan (default)

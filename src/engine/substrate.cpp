@@ -8,6 +8,7 @@ EngineSubstrate::build(const graph::DirectedGraph &g,
 {
     auto sub = std::make_shared<EngineSubstrate>();
     sub->pre = std::move(pre);
+    sub->num_vertices = g.numVertices();
     sub->layout =
         std::make_shared<const storage::PathLayout>(sub->pre.paths);
     sub->sync.build(sub->pre, *sub->layout, g.numVertices());

@@ -30,6 +30,9 @@ struct EngineSubstrate
 {
     /** The preprocessing result (paths, DAG sketch, partitions). */
     partition::Preprocessed pre;
+    /** Vertex count of the graph the substrate was built for (adoption
+     *  validation: edge totals alone can coincide across graphs). */
+    VertexId num_vertices = 0;
     /** Immutable four-array topology (PTable, E_idx, edge ids). */
     std::shared_ptr<const storage::PathLayout> layout;
     /** Replica indexes + batched sync operations. */

@@ -66,6 +66,18 @@ enum class TraceEventType : std::uint8_t {
     /** Device-loss recovery: checkpoint restore + redistribution
      *  (arg0 = dead device, arg1 = recovery ordinal). */
     Recovery,
+    /** GraphService admitted a job (arg0 = job id, arg1 = priority).
+     *  Service-level sinks only (ServiceConfig::trace). */
+    JobAdmit,
+    /** The inter-job scheduler granted a job an execution slot
+     *  (arg0 = job id, arg1 = worker threads allocated). */
+    JobGrant,
+    /** A job parked at a wave boundary — preempted until its next
+     *  grant (arg0 = job id, arg1 = waves run in the quantum). */
+    JobPark,
+    /** A job ran to convergence and left the session
+     *  (arg0 = job id, arg1 = times it was parked). */
+    JobDone,
 };
 
 /** Stable name of an event type (trace/CSV/JSON key). */
@@ -84,6 +96,10 @@ traceEventName(TraceEventType t)
       case TraceEventType::TransferRetry: return "transfer_retry";
       case TraceEventType::Checkpoint:    return "checkpoint";
       case TraceEventType::Recovery:      return "recovery";
+      case TraceEventType::JobAdmit:      return "job_admit";
+      case TraceEventType::JobGrant:      return "job_grant";
+      case TraceEventType::JobPark:       return "job_park";
+      case TraceEventType::JobDone:       return "job_done";
     }
     return "?";
 }

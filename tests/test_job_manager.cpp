@@ -18,6 +18,7 @@
 #include "algorithms/factory.hpp"
 #include "engine/digraph_engine.hpp"
 #include "engine/job_manager.hpp"
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "metrics/counter_registry.hpp"
 
@@ -181,6 +182,82 @@ TEST(JobManager, AddJobsSplitsCommaSpecs)
     manager.addJobs("sssp:0,pagerank");
     manager.addJob("wcc");
     EXPECT_EQ(manager.numJobs(), 3u);
+}
+
+TEST(JobManager, AddJobsToleratesTrailingCommasAndWhitespace)
+{
+    const auto g = testGraph();
+    engine::JobManager manager(g, testOptions());
+    // Shell artifacts: trailing comma, doubled comma, padding — all
+    // skipped; the specs themselves arrive trimmed.
+    manager.addJobs(" sssp:0 ,, pagerank\t, wcc ,");
+    ASSERT_EQ(manager.numJobs(), 3u);
+    const auto results = manager.runAll();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].spec, "sssp:0");
+    EXPECT_EQ(results[1].spec, "pagerank");
+    EXPECT_EQ(results[2].spec, "wcc");
+}
+
+TEST(JobManagerDeathTest, AddJobsRejectsAllEmptyList)
+{
+    const auto g = testGraph();
+    engine::JobManager manager(g, testOptions());
+    EXPECT_EXIT(manager.addJobs(" , ,"),
+                ::testing::ExitedWithCode(1), "no job specs");
+}
+
+TEST(JobManagerDeathTest, AdoptRejectsVertexCountMismatch)
+{
+    // Graph B has the same edges as graph A plus one extra isolated
+    // vertex: the substrate's edge-count check alone would pass, so
+    // the vertex-count check must catch the mismatch.
+    const auto makeChain = [](VertexId n) {
+        graph::GraphBuilder builder(n);
+        builder.addEdge(0, 1);
+        builder.addEdge(1, 2);
+        builder.addEdge(2, 3);
+        return builder.build();
+    };
+    const auto a = makeChain(4);
+    const auto b = makeChain(5);
+    const auto opts = testOptions();
+
+    engine::DiGraphEngine eng(a, opts);
+    const auto sub = eng.substrate();
+    ASSERT_EQ(sub->pre.paths.numEdges(), b.numEdges());
+    EXPECT_EXIT(engine::JobManager(b, sub, opts),
+                ::testing::ExitedWithCode(1), "vertices");
+}
+
+TEST(JobManager, SessionThreadsDividedAcrossJobs)
+{
+    const auto g = testGraph();
+
+    // The old behavior forced engine_threads = 1 for EVERY job the
+    // moment more than one was queued; the session budget must instead
+    // be divided across in-flight jobs (the first grant takes the free
+    // budget, later grants rebalance at wave boundaries).
+    auto opts = testOptions();
+    opts.engine_threads = 8;
+    engine::JobManager manager(g, opts);
+    manager.addJobs("pagerank,wcc");
+    const auto results = manager.runAll();
+    ASSERT_EQ(results.size(), 2u);
+    bool some_parallel = false;
+    for (const auto &job : results) {
+        EXPECT_GE(job.report.engine_threads, 1u) << job.spec;
+        EXPECT_LE(job.report.engine_threads, 8u) << job.spec;
+        some_parallel |= job.report.engine_threads > 1;
+    }
+    EXPECT_TRUE(some_parallel);
+
+    // And the division must not be observable in the results.
+    for (const auto &job : results) {
+        engine::DiGraphEngine eng(g, testOptions());
+        const auto algo = algorithms::makeAlgorithmSpec(job.spec, g);
+        expectSameReport(job.report, eng.run(*algo), job.spec);
+    }
 }
 
 } // namespace

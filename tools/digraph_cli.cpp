@@ -10,6 +10,9 @@
  *               [--trace out.json] [--trace-csv out.csv]
  *               [--faults SPEC] [--verify]
  *               [--jobs "sssp:0,pagerank,wcc"]
+ *               [--serve script.jobs [--serve-threads N]
+ *                [--serve-quantum W] [--serve-budget-mb MB]
+ *                [--serve-queue N] [--serve-quota N] [--serve-fifo]]
  *               [--evolve-batches N] [--evolve-batch-size M]
  *               [--evolve-full-rebuild] [--evolve-seed S]
  *   digraph_cli --list-algorithms
@@ -17,6 +20,18 @@
  * --jobs runs N concurrent jobs (comma-separated "name[:param]" specs)
  * over ONE shared substrate (digraph system only) and prints a per-job
  * report; --list-algorithms prints the factory registry.
+ *
+ * --serve runs a GraphService session (digraph system only) fed from a
+ * batch script: one job per line, "SPEC [tenant=NAME] [priority=P]",
+ * '#' comments. The session schedules jobs with priorities, per-tenant
+ * quotas (--serve-quota), state-byte admission control
+ * (--serve-budget-mb, with --serve-queue bounding the admission queue),
+ * wave-boundary preemption every --serve-quantum waves, and worklist
+ * co-scheduling; --serve-fifo disables preemption and co-scheduling
+ * (plain FIFO within priority, for comparison). With --trace/--trace-csv
+ * the base path gets the scheduler events (job_admit/grant/park/done)
+ * and each job gets a ".<id>-<spec>"-suffixed file pair — the same
+ * per-job naming --jobs uses.
  *
  * --faults takes a deterministic injection plan (digraph systems only),
  * e.g. "seed=7,device=1@50000,xfer=0.01,smx=0.3@20000x16"; --verify runs
@@ -35,10 +50,12 @@
  * (native), else plain edge list.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "algorithms/factory.hpp"
@@ -52,6 +69,7 @@
 #include "common/timer.hpp"
 #include "engine/digraph_engine.hpp"
 #include "engine/evolving.hpp"
+#include "engine/graph_service.hpp"
 #include "engine/job_manager.hpp"
 #include "graph/formats.hpp"
 #include "graph/generators.hpp"
@@ -78,6 +96,13 @@ struct Options
     std::string faults;
     bool verify = false;
     std::string jobs;
+    std::string serve_script;
+    std::size_t serve_threads = 0;
+    std::uint64_t serve_quantum = 4;
+    std::size_t serve_budget_mb = 0;
+    std::size_t serve_queue = 0;
+    std::size_t serve_quota = 0;
+    bool serve_fifo = false;
     std::size_t evolve_batches = 0;
     std::size_t evolve_batch_size = 512;
     bool evolve_full_rebuild = false;
@@ -95,6 +120,9 @@ usage(const char *argv0)
         "          [--trace out.json] [--trace-csv out.csv]\n"
         "          [--faults SPEC] [--verify]\n"
         "          [--jobs \"sssp:0,pagerank,wcc\"]\n"
+        "          [--serve script.jobs [--serve-threads N]\n"
+        "           [--serve-quantum W] [--serve-budget-mb MB]\n"
+        "           [--serve-queue N] [--serve-quota N] [--serve-fifo]]\n"
         "          [--evolve-batches N] [--evolve-batch-size M]\n"
         "          [--evolve-full-rebuild] [--evolve-seed S]\n"
         "       %s --list-algorithms\n"
@@ -168,6 +196,25 @@ parse(int argc, char **argv)
             opts.verify = true;
         else if (arg == "--jobs")
             opts.jobs = need(i);
+        else if (arg == "--serve")
+            opts.serve_script = need(i);
+        else if (arg == "--serve-threads")
+            opts.serve_threads =
+                static_cast<std::size_t>(std::atol(need(i)));
+        else if (arg == "--serve-quantum")
+            opts.serve_quantum =
+                static_cast<std::uint64_t>(std::atoll(need(i)));
+        else if (arg == "--serve-budget-mb")
+            opts.serve_budget_mb =
+                static_cast<std::size_t>(std::atol(need(i)));
+        else if (arg == "--serve-queue")
+            opts.serve_queue =
+                static_cast<std::size_t>(std::atol(need(i)));
+        else if (arg == "--serve-quota")
+            opts.serve_quota =
+                static_cast<std::size_t>(std::atol(need(i)));
+        else if (arg == "--serve-fifo")
+            opts.serve_fifo = true;
         else if (arg == "--list-algorithms")
             listAlgorithms();
         else if (arg == "--evolve-batches")
@@ -268,6 +315,90 @@ writeTraces(const metrics::TraceSink &sink, const Options &opts)
         sink.writeCsv(opts.trace_csv);
 }
 
+/** Per-job trace path: ".<id>-<sanitized spec>" inserted before the
+ *  extension (or appended), so "t.json" -> "t.0-sssp_5.json". */
+std::string
+jobTracePath(const std::string &base, std::uint64_t id,
+             const std::string &spec)
+{
+    std::string tag = spec;
+    for (char &c : tag) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    const std::string suffix = "." + std::to_string(id) + "-" + tag;
+    const std::size_t dot = base.rfind('.');
+    const std::size_t slash = base.rfind('/');
+    std::string out = base;
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash))
+        out.insert(dot, suffix);
+    else
+        out += suffix;
+    return out;
+}
+
+/** Export every job's private trace to its own file pair. */
+void
+writeJobTraces(const std::vector<engine::JobResult> &results,
+               const Options &opts)
+{
+    for (const auto &job : results) {
+        if (!job.trace)
+            continue;
+        if (!opts.trace_json.empty()) {
+            job.trace->writeChromeJson(
+                jobTracePath(opts.trace_json, job.id, job.spec));
+        }
+        if (!opts.trace_csv.empty()) {
+            job.trace->writeCsv(
+                jobTracePath(opts.trace_csv, job.id, job.spec));
+        }
+    }
+}
+
+/** Parse a --serve batch script: one job per line,
+ *  "SPEC [tenant=NAME] [priority=P]", '#' starts a comment. */
+std::vector<engine::JobRequest>
+parseServeScript(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("digraph_cli: cannot read --serve script '", path, "'");
+    std::vector<engine::JobRequest> requests;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream tokens(line);
+        engine::JobRequest request;
+        bool have_spec = false;
+        std::string tok;
+        while (tokens >> tok) {
+            if (tok.rfind("tenant=", 0) == 0) {
+                request.tenant = tok.substr(7);
+            } else if (tok.rfind("priority=", 0) == 0) {
+                request.priority = std::atoi(tok.c_str() + 9);
+            } else if (!have_spec) {
+                request.spec = tok;
+                have_spec = true;
+            } else {
+                fatal("digraph_cli: --serve script '", path,
+                      "': unexpected token '", tok, "' in line '", line,
+                      "'");
+            }
+        }
+        if (have_spec)
+            requests.push_back(request);
+    }
+    if (requests.empty()) {
+        fatal("digraph_cli: --serve script '", path,
+              "' contains no jobs");
+    }
+    return requests;
+}
+
 } // namespace
 
 int
@@ -358,6 +489,72 @@ main(int argc, char **argv)
         fatal("digraph_cli: ", err);
     if (opts.verbose && !fault_plan.empty())
         std::printf("faults: %s\n", fault_plan.describe().c_str());
+    if (!opts.serve_script.empty()) {
+        if (opts.system != "digraph")
+            fatal("digraph_cli: --serve requires --system digraph");
+        if (!opts.jobs.empty() || opts.evolve_batches > 0)
+            fatal("digraph_cli: --serve is mutually exclusive with "
+                  "--jobs and --evolve-batches");
+        const auto requests = parseServeScript(opts.serve_script);
+        engine::ServiceConfig sconfig;
+        sconfig.session_threads = opts.serve_threads;
+        sconfig.quantum_waves =
+            opts.serve_fifo ? 0 : opts.serve_quantum;
+        sconfig.co_schedule = !opts.serve_fifo;
+        sconfig.state_budget_bytes = opts.serve_budget_mb * 1000000ull;
+        sconfig.max_queued_jobs = opts.serve_queue;
+        sconfig.tenant_quota = opts.serve_quota;
+        sconfig.with_traces = want_trace;
+        sconfig.trace = want_trace ? &sink : nullptr;
+        engine::GraphService service(g, eopts, sconfig);
+        std::printf("service       %zu jobs, %zu threads, quantum %llu "
+                    "waves%s\n",
+                    requests.size(), service.sessionThreads(),
+                    static_cast<unsigned long long>(
+                        sconfig.quantum_waves),
+                    opts.serve_fifo ? " (fifo)" : "");
+        std::printf("shared bytes  %.3f MB\n",
+                    static_cast<double>(service.sharedBytes()) / 1e6);
+        for (const auto &request : requests)
+            service.addJobAsync(request);
+        for (engine::JobId id = 0; id < service.numJobs(); ++id) {
+            const auto status = service.poll(id);
+            if (status.state == engine::JobState::Rejected) {
+                std::printf("--- job %s REJECTED: %s\n",
+                            status.spec.c_str(),
+                            status.detail.c_str());
+            }
+        }
+        const auto results = service.drain();
+        for (const auto &job : results) {
+            std::printf("--- job %s tenant=%s priority=%d parked=%llu "
+                        "(%.3f MB private state)\n",
+                        job.spec.c_str(), job.tenant.c_str(),
+                        job.priority,
+                        static_cast<unsigned long long>(
+                            job.times_parked),
+                        static_cast<double>(job.job_state_bytes) / 1e6);
+            printReport(job.report,
+                        service.substrate()->pre.timings.total());
+        }
+        const auto stats = service.stats();
+        std::printf(
+            "scheduler     admitted=%llu rejected=%llu grants=%llu "
+            "co=%llu parks=%llu peak_jobs=%zu peak_state=%.3f MB\n",
+            static_cast<unsigned long long>(stats.admitted),
+            static_cast<unsigned long long>(stats.rejected),
+            static_cast<unsigned long long>(stats.grants),
+            static_cast<unsigned long long>(stats.co_scheduled_grants),
+            static_cast<unsigned long long>(stats.parks),
+            stats.peak_running,
+            static_cast<double>(stats.peak_inflight_bytes) / 1e6);
+        if (want_trace) {
+            // Base path: the scheduler events; each job: its own pair.
+            writeTraces(sink, opts);
+            writeJobTraces(results, opts);
+        }
+        return 0;
+    }
     if (!opts.jobs.empty()) {
         if (opts.system != "digraph")
             fatal("digraph_cli: --jobs requires --system digraph");
@@ -378,10 +575,10 @@ main(int argc, char **argv)
             printReport(job.report,
                         manager.substrate()->pre.timings.total());
         }
-        if (want_trace && !results.empty() && results.front().trace) {
-            // Export the first job's trace (one file pair per CLI run).
-            writeTraces(*results.front().trace, opts);
-        }
+        // One spec-suffixed file pair per job (exporting only the first
+        // job's trace silently dropped the rest).
+        if (want_trace)
+            writeJobTraces(results, opts);
         return 0;
     }
     if (opts.evolve_batches > 0) {
