@@ -50,7 +50,8 @@ jq -e '.traceEvents | type == "array" and length > 0' "$TRACE" >/dev/null ||
 for key in edge_processings vertex_updates rounds waves \
     partition_processings num_partitions host_transfer_bytes \
     ring_transfer_bytes global_load_bytes loaded_vertices used_vertices \
-    faults_injected transfer_retries checkpoints recoveries
+    faults_injected transfer_retries checkpoints recoveries \
+    store_commits store_recovers
 do
     jq -e --arg k "$key" '.counters[$k] | type == "number"' \
         "$TRACE" >/dev/null || fail "counter $key missing or non-numeric"
@@ -70,7 +71,8 @@ jq -e '.traceEvents | map(.name) | unique - ["wave_start", "wave_end",
         "dispatch", "merge_barrier", "mirror_push", "path_schedule",
         "steal", "fault_injected", "transfer_retry", "checkpoint",
         "recovery", "job_admit", "job_grant", "job_park",
-        "job_done"] | length == 0' "$TRACE" >/dev/null ||
+        "job_done", "store_commit", "store_recover"] | length == 0' \
+    "$TRACE" >/dev/null ||
     fail "event name outside the documented taxonomy"
 
 jq -e '([.traceEvents[] | select(.name == "wave_start")] | length) ==

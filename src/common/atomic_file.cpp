@@ -1,0 +1,42 @@
+#include "common/atomic_file.hpp"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace digraph {
+
+AtomicFileWriter::AtomicFileWriter(std::string path,
+                                   std::ios::openmode mode)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp." + std::to_string(::getpid())),
+      out_(tmp_path_, mode)
+{
+}
+
+AtomicFileWriter::~AtomicFileWriter()
+{
+    if (!committed_) {
+        out_.close();
+        std::remove(tmp_path_.c_str());
+    }
+}
+
+bool
+AtomicFileWriter::commit()
+{
+    out_.flush();
+    if (!out_) {
+        // Keep the destination untouched; the destructor unlinks tmp.
+        return false;
+    }
+    out_.close();
+    if (out_.fail())
+        return false;
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
+        return false;
+    committed_ = true;
+    return true;
+}
+
+} // namespace digraph

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Crash-consistent whole-file emission: every writer in the repo that
+ * produces a file a later run will read (binary graphs, edge lists,
+ * snapshots, trace exports, store shards) goes through the same
+ * temp-file -> flush -> atomic-rename protocol, so a crash or I/O error
+ * mid-write can never leave a truncated file under the final name — the
+ * destination either holds the complete previous content or the
+ * complete new content.
+ *
+ * AtomicFileWriter is a thin std::ofstream wrapper: stream into
+ * `path + ".tmp.<pid>"`, then commit() flushes, closes, re-checks the
+ * stream state and renames over the destination. Anything short of a
+ * successful commit (error, exception, early return) unlinks the temp
+ * file in the destructor, so failures leave no partial artifacts at
+ * all.
+ */
+
+#pragma once
+
+#include <fstream>
+#include <ios>
+#include <string>
+
+namespace digraph {
+
+class AtomicFileWriter
+{
+  public:
+    /** Open `path + ".tmp.<pid>"` for writing with @p mode. A failed
+     *  open leaves the stream in a bad state (check ok()). */
+    explicit AtomicFileWriter(std::string path,
+                              std::ios::openmode mode = std::ios::out);
+
+    /** Unlinks the temp file unless commit() succeeded. */
+    ~AtomicFileWriter();
+
+    AtomicFileWriter(const AtomicFileWriter &) = delete;
+    AtomicFileWriter &operator=(const AtomicFileWriter &) = delete;
+
+    /** The underlying stream (write through this). */
+    std::ofstream &stream() { return out_; }
+
+    /** Stream state (true while every write so far succeeded). */
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /** Destination path the commit will rename to. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Flush, close, verify the stream, and atomically rename the temp
+     * file over the destination. @return false (temp unlinked, the
+     * destination untouched) when any write, the flush, or the rename
+     * failed.
+     */
+    bool commit();
+
+  private:
+    std::string path_;
+    std::string tmp_path_;
+    std::ofstream out_;
+    bool committed_ = false;
+};
+
+} // namespace digraph

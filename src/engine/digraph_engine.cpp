@@ -33,7 +33,7 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
       pre_(sub_->pre), sync_(sub_->sync), sched_(sub_->dispatcher),
       transport_(options_.platform)
 {
-    ft_enabled_ = !options_.faults.empty();
+    ft_enabled_ = !options_.faults.empty() || options_.store != nullptr;
     plane_.bindLayout(sub_->layout, g_.numVertices());
     plane_.attach(&sync_);
 }
@@ -55,7 +55,7 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
       pre_(sub_->pre), sync_(sub_->sync), sched_(sub_->dispatcher),
       transport_(options_.platform)
 {
-    ft_enabled_ = !options_.faults.empty();
+    ft_enabled_ = !options_.faults.empty() || options_.store != nullptr;
     plane_.bindLayout(sub_->layout, g_.numVertices());
     plane_.attach(&sync_);
 }
@@ -84,7 +84,7 @@ DiGraphEngine::DiGraphEngine(const graph::DirectedGraph &g,
       pre_(sub_->pre), sync_(sub_->sync), sched_(sub_->dispatcher),
       transport_(options_.platform)
 {
-    ft_enabled_ = !options_.faults.empty();
+    ft_enabled_ = !options_.faults.empty() || options_.store != nullptr;
     plane_.bindLayout(sub_->layout, g_.numVertices());
     plane_.attach(&sync_);
 }

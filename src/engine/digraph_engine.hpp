@@ -350,9 +350,14 @@ class DiGraphEngine
      *  copy (specialized) or the Algorithm itself (fallback). */
     const void *kernel_ctx_ = nullptr;
 
-    /** True when options_.faults is non-empty (every hot-path fault
-     *  hook stays a single branch when false). */
+    /** True when options_.faults is non-empty or a durable store is
+     *  attached (every hot-path fault hook stays a single branch when
+     *  false). */
     bool ft_enabled_ = false;
+    /** Durable-store version the next value flush chains from: the
+     *  topology parent before the first flush, then the last flushed
+     *  version (see EngineOptions::store). */
+    std::uint64_t store_version_ = 0;
     /** Device-loss recoveries performed this run. */
     std::size_t recoveries_ = 0;
     /** pollFaults scratch. */

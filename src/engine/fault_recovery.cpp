@@ -19,6 +19,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "storage/durable_store.hpp"
 
 namespace digraph::engine {
 
@@ -29,6 +30,19 @@ DiGraphEngine::initFaultTolerance()
     // Transport::beginRun; only the checkpoint shadows remain.
     plane_.initCheckpoint(g_, pre_);
     recoveries_ = 0;
+    // Epoch-0 flush-through: with a store attached, the initial full
+    // checkpoint immediately becomes a durable version, so a process
+    // crash at any point of the run has a restartable parent.
+    store_version_ = options_.store_parent;
+    if (options_.store && store_version_ != 0) {
+        const std::uint64_t v = options_.store->commitValues(
+            g_, pre_, plane_.ckpt_v, plane_.ckpt_e, {}, store_version_,
+            nullptr);
+        if (v != 0) {
+            store_version_ = v;
+            counters_.add(metrics::Counter::StoreCommits);
+        }
+    }
 }
 
 void
@@ -112,6 +126,11 @@ DiGraphEngine::maybeCheckpoint(std::uint64_t wave,
     const std::uint64_t dirty_vertices = plane_.ckpt_v_dirty_list.size();
     const std::uint64_t dirty_partitions =
         plane_.ckpt_part_dirty_list.size();
+    // Captured before the journals are cleared: the store flush below
+    // writes exactly the E_val shards this epoch dirtied.
+    const std::vector<PartitionId> flush_partitions =
+        options_.store ? plane_.ckpt_part_dirty_list
+                       : std::vector<PartitionId>{};
     for (const VertexId v : plane_.ckpt_v_dirty_list) {
         plane_.ckpt_v[v] = plane_.storage.vVal(v);
         plane_.ckpt_v_dirty[v] = 0;
@@ -123,6 +142,20 @@ DiGraphEngine::maybeCheckpoint(std::uint64_t wave,
     }
     plane_.ckpt_part_dirty_list.clear();
     plane_.ckpt_wave = wave;
+
+    // Flush-through: the advanced shadow (a consistent barrier-state
+    // snapshot) becomes a durable incremental version — only the
+    // epoch's dirty E_val shards are written, clean partitions
+    // reference the parent version's files.
+    if (options_.store && store_version_ != 0) {
+        const std::uint64_t v = options_.store->commitValues(
+            g_, pre_, plane_.ckpt_v, plane_.ckpt_e, {}, store_version_,
+            &flush_partitions);
+        if (v != 0) {
+            store_version_ = v;
+            counters_.add(metrics::Counter::StoreCommits);
+        }
+    }
 
     counters_.add(metrics::Counter::Checkpoints);
     if (trace_) {
@@ -148,6 +181,23 @@ DiGraphEngine::recoverFromDeviceLoss(DeviceId dead, std::uint64_t wave,
     if (platform.numAlive() == 0) {
         fatal("DiGraphEngine: no device survives the loss of device ",
               dead);
+    }
+
+    // Restart from disk when the checkpoints were flushed through a
+    // durable store: reload the shadow arrays from the last committed
+    // version before rolling back. The disk copy is byte-identical to
+    // the in-memory shadow (same barrier snapshot), so results are
+    // unchanged — this exercises the exact path a restarted process
+    // takes, and survives shadow corruption the in-memory path cannot.
+    if (options_.store && store_version_ != 0 &&
+        store_version_ != options_.store_parent) {
+        auto loaded = options_.store->loadValues(store_version_);
+        if (loaded && loaded->v_val.size() == plane_.ckpt_v.size() &&
+            loaded->e_val.size() == plane_.ckpt_e.size()) {
+            plane_.ckpt_v = std::move(loaded->v_val);
+            plane_.ckpt_e = std::move(loaded->e_val);
+            counters_.add(metrics::Counter::StoreRecovers);
+        }
     }
 
     // Roll journalled-dirty masters and E_val slices back to the last

@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "engine/digraph_engine.hpp"
 #include "partition/preprocess.hpp"
+#include "storage/durable_store.hpp"
 
 namespace digraph::engine {
 
@@ -292,6 +293,9 @@ GraphService::addJobAsync(const JobRequest &request)
         ++stats_.queued_on_arrival;
     }
     ++stats_.admitted;
+    if (config_.journal)
+        config_.journal->appendAdmit(id, request.spec, request.priority,
+                                     request.tenant);
     traceEvent(metrics::TraceEventType::JobAdmit, id,
                static_cast<std::uint64_t>(request.priority));
     job.thread = std::thread(&GraphService::jobMain, this, &job);
@@ -334,6 +338,8 @@ GraphService::jobMain(Job *job)
     --tenant_started_[job->tenant];
     completion_order_.push_back(job->id);
     ++stats_.completed;
+    if (config_.journal)
+        config_.journal->appendComplete(job->id);
     traceEvent(metrics::TraceEventType::JobDone, job->id,
                job->result.times_parked);
     job->engine.reset(); // release the plane: in-flight bytes drop NOW

@@ -53,6 +53,10 @@
 #include "metrics/run_report.hpp"
 #include "metrics/trace.hpp"
 
+namespace digraph::storage {
+class JobJournal;
+} // namespace digraph::storage
+
 namespace digraph::engine {
 
 class DiGraphEngine;
@@ -141,6 +145,11 @@ struct ServiceConfig
     /** Service-level sink for scheduler events (job_admit/grant/park/
      *  done); nullptr disables. */
     metrics::TraceSink *trace = nullptr;
+    /** Durable job journal (DESIGN.md §16): every admitted job is
+     *  appended before its thread starts, every completion after its
+     *  result is recorded, so a crashed service can replay the
+     *  admitted-minus-completed set on restart. nullptr disables. */
+    storage::JobJournal *journal = nullptr;
 };
 
 /** Scheduler observability counters (monotonic over the session). */

@@ -17,6 +17,10 @@ namespace digraph::metrics {
 class TraceSink;
 } // namespace digraph::metrics
 
+namespace digraph::storage {
+class DurableStore;
+} // namespace digraph::storage
+
 namespace digraph::engine {
 
 class WaveControl;
@@ -112,6 +116,21 @@ struct EngineOptions
      *  master/mirror coherence, activation recount) inside run() and
      *  panic on violation. Debug/CI tool; off by default. */
     bool verify_invariants = false;
+
+    // --- durable store (DESIGN.md §16) ---
+    /** When set (and store_parent names a committed topology version of
+     *  this substrate), merge-barrier checkpoints are also flushed
+     *  through the durable store as incremental value commits, and
+     *  device-loss rollback reloads the checkpoint from disk — a
+     *  crashed process can restart from the last flushed version.
+     *  Attaching a store enables the checkpoint machinery even with an
+     *  empty fault plan. Never changes results (the disk copy is the
+     *  in-memory shadow, byte for byte). */
+    storage::DurableStore *store = nullptr;
+    /** Durable-store version the first value flush chains from (the
+     *  substrate's topology version, from EngineSubstrate::saveTo).
+     *  0 disables flushing even when store is set. */
+    std::uint64_t store_parent = 0;
 
     /**
      * Reject nonsensical knob combinations before they become UB deep

@@ -1,5 +1,7 @@
 #include "engine/substrate.hpp"
 
+#include "storage/durable_store.hpp"
+
 namespace digraph::engine {
 
 std::shared_ptr<const EngineSubstrate>
@@ -15,6 +17,30 @@ EngineSubstrate::build(const graph::DirectedGraph &g,
     sub->dispatcher.build(sub->pre, sub->sync, *sub->layout,
                           g.numVertices());
     return sub;
+}
+
+std::uint64_t
+EngineSubstrate::saveTo(storage::DurableStore &store,
+                        const graph::DirectedGraph &g,
+                        std::uint64_t parent) const
+{
+    return store.commitTopology(g, pre, parent);
+}
+
+std::shared_ptr<const EngineSubstrate>
+EngineSubstrate::openFrom(storage::DurableStore &store,
+                          const graph::DirectedGraph &g,
+                          std::uint64_t version)
+{
+    if (version == 0) {
+        version = store.recoverVersion(&g);
+        if (version == 0)
+            return nullptr;
+    }
+    auto pre = store.loadTopology(version, g);
+    if (!pre)
+        return nullptr;
+    return build(g, std::move(*pre));
 }
 
 std::size_t

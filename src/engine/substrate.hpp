@@ -24,6 +24,10 @@
 #include "partition/preprocess.hpp"
 #include "storage/path_storage.hpp"
 
+namespace digraph::storage {
+class DurableStore;
+} // namespace digraph::storage
+
 namespace digraph::engine {
 
 struct EngineSubstrate
@@ -48,6 +52,30 @@ struct EngineSubstrate
      */
     static std::shared_ptr<const EngineSubstrate>
     build(const graph::DirectedGraph &g, partition::Preprocessed pre);
+
+    /**
+     * Commit this substrate's topology to @p store (a durable-store
+     * version a later openFrom() can warm-start from). With @p parent
+     * nonzero and an incremental preprocessing result, only appended
+     * partitions' shards are written.
+     * @return the committed version id, or 0 on failure.
+     */
+    std::uint64_t saveTo(storage::DurableStore &store,
+                         const graph::DirectedGraph &g,
+                         std::uint64_t parent = 0) const;
+
+    /**
+     * Instant warm start: load a committed topology from @p store and
+     * build the substrate indexes from it — the whole decomposition
+     * pipeline (decompose/merge/dependency/sketch/partition) is
+     * skipped, which the zeroed preprocessing timings of the result
+     * attest. @p version 0 recovers the newest version whose checksums
+     * verify for @p g (falling back down the lineage).
+     * @return the substrate, or nullptr when nothing loadable exists.
+     */
+    static std::shared_ptr<const EngineSubstrate>
+    openFrom(storage::DurableStore &store, const graph::DirectedGraph &g,
+             std::uint64_t version = 0);
 
     /** Host bytes of the shared structures (topology + indexes +
      *  dependency tables + the preprocessing tables). */

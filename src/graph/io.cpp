@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 #include "graph/builder.hpp"
 
@@ -65,15 +66,18 @@ loadEdgeListText(const std::string &path)
 void
 saveEdgeListText(const DirectedGraph &g, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
+    AtomicFileWriter writer(path);
+    if (!writer.ok())
         fatal("saveEdgeListText: cannot open ", path);
+    std::ofstream &out = writer.stream();
     out << "# vertices " << g.numVertices() << " edges " << g.numEdges()
         << "\n";
     for (EdgeId e = 0; e < g.numEdges(); ++e) {
         out << g.edgeSource(e) << ' ' << g.edgeTarget(e) << ' '
             << g.edgeWeight(e) << "\n";
     }
+    if (!writer.commit())
+        fatal("saveEdgeListText: write failed for ", path);
 }
 
 DirectedGraph
@@ -116,9 +120,10 @@ loadBinary(const std::string &path)
 void
 saveBinary(const DirectedGraph &g, const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
+    AtomicFileWriter writer(path, std::ios::binary);
+    if (!writer.ok())
         fatal("saveBinary: cannot open ", path);
+    std::ofstream &out = writer.stream();
     const std::uint64_t magic = kBinaryMagic;
     const std::uint64_t version = kBinaryVersion;
     const std::uint64_t n = g.numVertices();
@@ -138,8 +143,9 @@ saveBinary(const DirectedGraph &g, const std::string &path)
         out.write(reinterpret_cast<const char *>(&dst), sizeof(dst));
         out.write(reinterpret_cast<const char *>(&w), sizeof(w));
     }
-    out.flush();
-    if (!out)
+    // commit() re-checks the stream after the flush, so a failed write
+    // (ENOSPC included) unlinks the temp and never touches @p path.
+    if (!writer.commit())
         fatal("saveBinary: write failed for ", path);
 }
 

@@ -41,6 +41,8 @@ enum class Counter : unsigned {
     TransferRetries,
     Checkpoints,
     Recoveries,
+    StoreCommits,
+    StoreRecovers,
     Count_ // sentinel, keep last
 };
 
@@ -68,6 +70,8 @@ counterName(Counter c)
       case Counter::TransferRetries:      return "transfer_retries";
       case Counter::Checkpoints:          return "checkpoints";
       case Counter::Recoveries:           return "recoveries";
+      case Counter::StoreCommits:         return "store_commits";
+      case Counter::StoreRecovers:        return "store_recovers";
       case Counter::Count_:               break;
     }
     return "?";
@@ -137,6 +141,8 @@ class CounterRegistry
         report.transfer_retries = get(Counter::TransferRetries);
         report.checkpoints = get(Counter::Checkpoints);
         report.recoveries = get(Counter::Recoveries);
+        report.store_commits = get(Counter::StoreCommits);
+        report.store_recovers = get(Counter::StoreRecovers);
     }
 
     /** Registry holding the aggregates of @p report (test cross-checks). */
@@ -160,6 +166,8 @@ class CounterRegistry
         reg.set(Counter::TransferRetries, report.transfer_retries);
         reg.set(Counter::Checkpoints, report.checkpoints);
         reg.set(Counter::Recoveries, report.recoveries);
+        reg.set(Counter::StoreCommits, report.store_commits);
+        reg.set(Counter::StoreRecovers, report.store_recovers);
         return reg;
     }
 

@@ -63,6 +63,12 @@ struct RunReport
     std::uint64_t checkpoints = 0;
     /** Device-loss recoveries (checkpoint restore + redistribute). */
     std::uint64_t recoveries = 0;
+    /** Durable-store versions this run committed (checkpoint
+     *  flush-through; see EngineOptions::store). */
+    std::uint64_t store_commits = 0;
+    /** Durable-store recoveries feeding this run (device-loss restarts
+     *  reloaded from disk). */
+    std::uint64_t store_recovers = 0;
 
     // --- time ---
     /** Simulated makespan, cycles (primary "time" metric). */

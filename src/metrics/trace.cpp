@@ -4,6 +4,7 @@
 #include <map>
 #include <thread>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 
 namespace digraph::metrics {
@@ -102,9 +103,10 @@ TraceSink::writeChromeJson(const std::string &path) const
     const auto events = this->events();
     const auto counters = this->counters();
 
-    std::ofstream out(path);
-    if (!out)
+    AtomicFileWriter writer(path);
+    if (!writer.ok())
         fatal("TraceSink::writeChromeJson: cannot open ", path);
+    std::ofstream &out = writer.stream();
 
     // Trace Event Format: "ts"/"dur" are microseconds in real traces;
     // here one simulated cycle maps to one "microsecond" so the viewer's
@@ -135,7 +137,7 @@ TraceSink::writeChromeJson(const std::string &path) const
         out << "}}";
     }
     out << "\n]\n}\n";
-    if (!out)
+    if (!writer.commit())
         fatal("TraceSink::writeChromeJson: write failed for ", path);
 }
 
@@ -144,9 +146,10 @@ TraceSink::writeCsv(const std::string &path) const
 {
     const auto events = this->events();
 
-    std::ofstream out(path);
-    if (!out)
+    AtomicFileWriter writer(path);
+    if (!writer.ok())
         fatal("TraceSink::writeCsv: cannot open ", path);
+    std::ofstream &out = writer.stream();
     out << "event,tid,wave,partition,sim_begin,sim_dur,wall_seconds,"
            "arg0,arg1\n";
     const auto flags = out.flags();
@@ -161,7 +164,7 @@ TraceSink::writeCsv(const std::string &path) const
             << e.wall_seconds << ',' << e.arg0 << ',' << e.arg1 << '\n';
     }
     out.flags(flags);
-    if (!out)
+    if (!writer.commit())
         fatal("TraceSink::writeCsv: write failed for ", path);
 }
 

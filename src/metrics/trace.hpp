@@ -78,6 +78,12 @@ enum class TraceEventType : std::uint8_t {
     /** A job ran to convergence and left the session
      *  (arg0 = job id, arg1 = times it was parked). */
     JobDone,
+    /** The durable store committed a version (arg0 = version id,
+     *  arg1 = shards written; reused parent shards not included). */
+    StoreCommit,
+    /** The durable store recovered a version (arg0 = version id,
+     *  arg1 = corrupt newer versions skipped on the way down). */
+    StoreRecover,
 };
 
 /** Stable name of an event type (trace/CSV/JSON key). */
@@ -100,6 +106,8 @@ traceEventName(TraceEventType t)
       case TraceEventType::JobGrant:      return "job_grant";
       case TraceEventType::JobPark:       return "job_park";
       case TraceEventType::JobDone:       return "job_done";
+      case TraceEventType::StoreCommit:   return "store_commit";
+      case TraceEventType::StoreRecover:  return "store_recover";
     }
     return "?";
 }

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <optional>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 #include "graph/builder.hpp"
 
@@ -16,35 +17,6 @@ constexpr std::uint64_t kSnapshotMagic = 0x44695072'65505245ULL;
 /** v2 added the FNV-1a graph content checksum after the edge count;
  *  v1 snapshots (count fingerprint only) are still accepted. */
 constexpr std::uint32_t kSnapshotVersion = 2;
-
-/**
- * FNV-1a over the graph's edge arrays (source, target, weight bits per
- * edge). The v1 fingerprint only compared vertex/edge *counts*, which
- * accepts a snapshot of a different graph with the same shape — the
- * engine then dereferences path vertex ids that may be inconsistent
- * with the adjacency it runs on.
- */
-std::uint64_t
-graphChecksum(const graph::DirectedGraph &g)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    const auto mix = [&h](std::uint64_t word) {
-        for (unsigned byte = 0; byte < 8; ++byte) {
-            h ^= (word >> (8 * byte)) & 0xffULL;
-            h *= 0x100000001b3ULL;
-        }
-    };
-    for (EdgeId e = 0; e < g.numEdges(); ++e) {
-        mix(g.edgeSource(e));
-        mix(g.edgeTarget(e));
-        std::uint64_t weight_bits = 0;
-        const Value w = g.edgeWeight(e);
-        static_assert(sizeof(weight_bits) == sizeof(w));
-        std::memcpy(&weight_bits, &w, sizeof(weight_bits));
-        mix(weight_bits);
-    }
-    return h;
-}
 
 template <typename T>
 void
@@ -127,19 +99,48 @@ unflatten(const FlatPaths &flat)
 
 } // namespace
 
+/*
+ * The v1 fingerprint only compared vertex/edge *counts*, which accepts
+ * a snapshot of a different graph with the same shape — the engine then
+ * dereferences path vertex ids that may be inconsistent with the
+ * adjacency it runs on. v2 (and the durable store) hash the content.
+ */
+std::uint64_t
+graphContentChecksum(const graph::DirectedGraph &g)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t word) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (word >> (8 * byte)) & 0xffULL;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        mix(g.edgeSource(e));
+        mix(g.edgeTarget(e));
+        std::uint64_t weight_bits = 0;
+        const Value w = g.edgeWeight(e);
+        static_assert(sizeof(weight_bits) == sizeof(w));
+        std::memcpy(&weight_bits, &w, sizeof(weight_bits));
+        mix(weight_bits);
+    }
+    return h;
+}
+
 void
 saveSnapshot(const Preprocessed &pre, const graph::DirectedGraph &g,
              const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
+    AtomicFileWriter writer(path, std::ios::binary);
+    if (!writer.ok())
         fatal("saveSnapshot: cannot open ", path);
+    std::ofstream &out = writer.stream();
 
     writePod(out, kSnapshotMagic);
     writePod(out, kSnapshotVersion);
     writePod(out, static_cast<std::uint64_t>(g.numVertices()));
     writePod(out, static_cast<std::uint64_t>(g.numEdges()));
-    writePod(out, graphChecksum(g));
+    writePod(out, graphContentChecksum(g));
 
     const FlatPaths flat = flatten(pre.paths);
     writeVector(out, flat.offsets);
@@ -166,7 +167,7 @@ saveSnapshot(const Preprocessed &pre, const graph::DirectedGraph &g,
     }
     writeVector(out, sketch_src);
     writeVector(out, sketch_dst);
-    if (!out)
+    if (!writer.commit())
         fatal("saveSnapshot: write failed for ", path);
 }
 
@@ -193,7 +194,7 @@ loadSnapshot(const graph::DirectedGraph &g, const std::string &path)
         // v1 files predate the content checksum: only the counts guard
         // them (accepted for back-compat).
         std::uint64_t checksum = 0;
-        if (!readPod(in, checksum) || checksum != graphChecksum(g))
+        if (!readPod(in, checksum) || checksum != graphContentChecksum(g))
             return std::nullopt; // same shape, different graph
     }
 

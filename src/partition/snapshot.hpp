@@ -25,6 +25,13 @@
 
 namespace digraph::partition {
 
+/**
+ * FNV-1a over the graph's edge arrays (source, target, weight bits per
+ * edge) — the v2 snapshot fingerprint, shared with the durable store's
+ * manifests so both layers agree on graph identity.
+ */
+std::uint64_t graphContentChecksum(const graph::DirectedGraph &g);
+
 /** Write @p pre (computed for @p g) to @p path. fatal() on IO errors. */
 void saveSnapshot(const Preprocessed &pre, const graph::DirectedGraph &g,
                   const std::string &path);

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Versioned, partition-sharded durable store (DESIGN.md §16, ROADMAP
+ * item 2): the on-disk home of a preprocessing result (the substrate
+ * topology) and of per-run value planes, with crash-consistent commits
+ * and lineage-based recovery.
+ *
+ * On-disk layout (one directory per store):
+ *
+ *   MANIFEST.v<N>.json      one per committed version; JSON listing
+ *                           every shard the version is made of (file,
+ *                           bytes, FNV-1a checksum), the parent version,
+ *                           and the graph fingerprint (vertex/edge
+ *                           counts + the snapshot-v2 content checksum)
+ *   meta.v<N>.shard         global tables: partition boundaries,
+ *                           per-path metadata, the DAG sketch
+ *   topo.p<q>.v<N>.shard    partition q's path topology (vertex
+ *                           sequences; edge ids are *recomputed* from
+ *                           the graph's CSR on load, so a shard's bytes
+ *                           stay valid across evolving-graph appends
+ *                           that renumber edges)
+ *   vvals.v<N>.shard        V_val master array + activation seed
+ *   evals.p<q>.v<N>.shard   partition q's E_val slice
+ *   jobs.wal                append-only job journal (see JobJournal)
+ *
+ * Commit protocol: every shard is written temp-file -> flush -> atomic
+ * rename (via the FileOps seam), and the manifest is written *last* —
+ * the manifest rename is the commit point. A crash mid-commit leaves at
+ * worst stray shard files of the unfinished version; every previous
+ * version is untouched (shards are immutable once named in a manifest,
+ * and child versions reference parent shard *files*, never rewrite
+ * them).
+ *
+ * Incremental commits: a topology commit with a parent reuses the
+ * parent's per-partition topo shards for the paths appendPreprocess()
+ * carried over verbatim, writing only shards for appended partitions; a
+ * value commit writes the shards named in the caller's dirty-partition
+ * list (PR 4's `Preprocessed::dirty_partitions` ledger / the engine's
+ * checkpoint journal) and references the parent's files for the rest.
+ *
+ * Recovery: recoverVersion() walks the manifests newest-first and
+ * returns the first whose shards all exist with matching sizes and
+ * checksums (and whose graph fingerprint matches, when a graph is
+ * given) — torn or corrupt newest versions are skipped, falling back
+ * down the lineage. Loads are mmap-backed per shard with fully
+ * bounds-checked deserialization, so a short or corrupt file can never
+ * crash the reader.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+#include "partition/preprocess.hpp"
+#include "storage/file_ops.hpp"
+
+namespace digraph::metrics {
+class TraceSink;
+} // namespace digraph::metrics
+
+namespace digraph::storage {
+
+/** FNV-1a over a byte range (shard checksums; same constants as the
+ *  snapshot-v2 graph fingerprint). */
+std::uint64_t fnv1a(const void *data, std::size_t bytes);
+
+/** One shard named by a manifest. */
+struct ShardEntry
+{
+    std::string name; ///< logical name ("meta", "topo.p3", ...)
+    std::string file; ///< file name inside the store dir
+    std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0; ///< FNV-1a over the file bytes
+};
+
+/** Parsed manifest of one committed version. */
+struct Manifest
+{
+    std::uint64_t version = 0;
+    std::uint64_t parent = 0; ///< 0 = no parent
+    std::uint64_t vertices = 0;
+    std::uint64_t edges = 0;
+    std::uint64_t graph_checksum = 0;
+    std::uint64_t partitions = 0;
+    bool has_values = false;
+    std::vector<ShardEntry> shards;
+
+    /** Entry of logical shard @p name, or nullptr. */
+    const ShardEntry *find(const std::string &name) const;
+};
+
+/** Cumulative store activity (tests, CLI reporting). */
+struct StoreStats
+{
+    std::uint64_t commits = 0;  ///< successful commits
+    std::uint64_t recovers = 0; ///< successful recoverVersion() calls
+    /** Versions skipped because a shard was missing/torn/corrupt. */
+    std::uint64_t fallbacks = 0;
+    std::uint64_t shards_written = 0;
+    /** Parent shard files referenced instead of rewritten. */
+    std::uint64_t shards_reused = 0;
+    std::uint64_t bytes_written = 0;
+};
+
+/** A loaded value plane (commitValues() round trip). */
+struct LoadedValues
+{
+    std::vector<Value> v_val;
+    std::vector<Value> e_val;
+    /** Activation seed saved with the plane (may be empty). */
+    std::vector<VertexId> active;
+};
+
+/**
+ * The versioned store over one directory. Not thread-safe; callers
+ * serialize access (the engine commits only from the serial barrier,
+ * the CLI from its main thread).
+ */
+class DurableStore
+{
+  public:
+    /** Bind to @p dir (created on first commit). @p ops defaults to
+     *  RealFileOps::instance(); inject FaultyFileOps for crash tests. */
+    explicit DurableStore(std::string dir, FileOps *ops = nullptr);
+
+    /** Attach (or detach) a sink receiving store_commit/store_recover
+     *  events. */
+    void setTrace(metrics::TraceSink *trace) { trace_ = trace; }
+
+    /** The store directory. */
+    const std::string &dir() const { return dir_; }
+
+    /** Path of the job journal inside this store. */
+    std::string journalPath() const { return dir_ + "/jobs.wal"; }
+
+    /**
+     * Commit the topology of @p pre (computed for @p g) as a new
+     * version. With @p parent nonzero and @p pre marked incremental,
+     * the parent's per-partition topo shards are reused for carried-over
+     * partitions and only appended partitions are written.
+     * @return the new version id, or 0 on failure (no manifest written;
+     *         at worst stray shard files remain).
+     */
+    std::uint64_t commitTopology(const graph::DirectedGraph &g,
+                                 const partition::Preprocessed &pre,
+                                 std::uint64_t parent = 0);
+
+    /**
+     * Commit a value plane on top of version @p parent (which supplies
+     * the topology shards): V_val (+ @p active seed) and per-partition
+     * E_val slices. With @p dirty non-null only those partitions' E_val
+     * shards are written; the rest reference the parent's files (the
+     * parent must then hold values for them — the first flush passes
+     * null to write everything).
+     * @pre v_val/e_val sized for @p pre (checked; 0 on mismatch).
+     * @return the new version id, or 0 on failure.
+     */
+    std::uint64_t
+    commitValues(const graph::DirectedGraph &g,
+                 const partition::Preprocessed &pre,
+                 std::span<const Value> v_val,
+                 std::span<const Value> e_val,
+                 const std::vector<VertexId> &active, std::uint64_t parent,
+                 const std::vector<PartitionId> *dirty = nullptr);
+
+    /**
+     * Load version @p version's topology, verifying the manifest's
+     * graph fingerprint against @p g and rebuilding edge ids from g's
+     * CSR. Timings are zero (nothing was computed).
+     * @return std::nullopt when the version is missing, corrupt, or was
+     *         committed for a different graph.
+     */
+    std::optional<partition::Preprocessed>
+    loadTopology(std::uint64_t version, const graph::DirectedGraph &g);
+
+    /** Load version @p version's value plane (has_values versions
+     *  only). */
+    std::optional<LoadedValues> loadValues(std::uint64_t version);
+
+    /**
+     * Newest version whose shards all verify (existence, size, FNV-1a
+     * checksum) and whose fingerprint matches @p g when given — walking
+     * past torn/corrupt versions down the lineage.
+     * @return the version id, or 0 when nothing recoverable exists.
+     */
+    std::uint64_t recoverVersion(const graph::DirectedGraph *g = nullptr);
+
+    /** Whether @p version's manifest parses and every shard verifies
+     *  (+ fingerprint check against @p g when given). */
+    bool verifyVersion(std::uint64_t version,
+                       const graph::DirectedGraph *g = nullptr);
+
+    /** Parse @p version's manifest (no shard verification). */
+    std::optional<Manifest> readManifest(std::uint64_t version) const;
+
+    /** All versions with a manifest file, ascending. */
+    std::vector<std::uint64_t> listVersions() const;
+
+    /** Newest version with a manifest file (0 when empty/missing). */
+    std::uint64_t newestVersion() const;
+
+    /** Cumulative activity counters. */
+    const StoreStats &stats() const { return stats_; }
+
+  private:
+    std::string shardFile(const std::string &name,
+                          std::uint64_t version) const;
+    std::string manifestFile(std::uint64_t version) const;
+    /** Serialize-checksum-write one shard; updates stats. */
+    bool writeShard(const std::string &name, std::uint64_t version,
+                    const std::vector<std::uint8_t> &payload,
+                    ShardEntry &entry);
+    /** Map + verify (size, checksum) one shard of @p m. */
+    MappedFile mapVerified(const ShardEntry &entry);
+    bool writeManifest(const Manifest &m);
+    void emitCommit(std::uint64_t version, std::uint64_t shards_written);
+
+    std::string dir_;
+    FileOps *ops_;
+    metrics::TraceSink *trace_ = nullptr;
+    StoreStats stats_;
+};
+
+/**
+ * Append-only write-ahead journal of GraphService jobs, stored beside
+ * the versioned shards (jobs.wal).
+ *
+ * Records are single lines: `A <id> <priority> <tenant> <spec>` when a
+ * job is admitted, `C <id>` when it completes. replay() returns the
+ * admitted-minus-completed set in admission order — the jobs a
+ * restarted service must resume. A torn tail (crash mid-append leaves
+ * an unterminated last line) is discarded; a *lost* completion record
+ * (job finished between the crash and its `C` append) merely re-runs
+ * that job, which is idempotent — engine results are deterministic.
+ */
+class JobJournal
+{
+  public:
+    explicit JobJournal(std::string path, FileOps *ops = nullptr);
+
+    /** One journaled-but-not-completed job. */
+    struct PendingJob
+    {
+        std::uint64_t id = 0;
+        int priority = 0;
+        std::string tenant;
+        std::string spec;
+    };
+
+    /** Journal an admission (flushed before returning). */
+    bool appendAdmit(std::uint64_t id, const std::string &spec,
+                     int priority, const std::string &tenant);
+
+    /** Journal a completion. */
+    bool appendComplete(std::uint64_t id);
+
+    /** Admitted jobs without a completion record, in admission order. */
+    std::vector<PendingJob> replay() const;
+
+    /** Remove the journal file (after the pending set was re-admitted
+     *  — the new service journals them afresh). */
+    bool reset();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    FileOps *ops_;
+};
+
+} // namespace digraph::storage

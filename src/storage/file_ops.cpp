@@ -1,0 +1,202 @@
+#include "storage/file_ops.hpp"
+
+#include "common/atomic_file.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace digraph::storage {
+
+namespace {
+
+/** RAII fd so every early return closes the descriptor. */
+struct Fd
+{
+    int fd = -1;
+    explicit Fd(int f) : fd(f) {}
+    ~Fd()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+};
+
+} // namespace
+
+bool
+RealFileOps::writeFileAtomic(const std::string &path, const void *data,
+                             std::size_t bytes)
+{
+    AtomicFileWriter writer(path, std::ios::out | std::ios::binary);
+    if (!writer.ok())
+        return false;
+    if (bytes > 0)
+        writer.stream().write(static_cast<const char *>(data),
+                              static_cast<std::streamsize>(bytes));
+    return writer.commit();
+}
+
+MappedFile
+RealFileOps::mapFile(const std::string &path)
+{
+    Fd fd(::open(path.c_str(), O_RDONLY));
+    if (fd.fd < 0)
+        return {};
+    struct stat st;
+    if (::fstat(fd.fd, &st) != 0 || !S_ISREG(st.st_mode))
+        return {};
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        // An empty file is a valid (empty) mapping; mmap(0) would fail.
+        static const std::uint8_t kEmpty = 0;
+        return MappedFile(nullptr, &kEmpty, 0);
+    }
+    void *addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
+    if (addr != MAP_FAILED) {
+        std::shared_ptr<const void> owner(
+            addr, [size](const void *p) {
+                ::munmap(const_cast<void *>(p), size);
+            });
+        return MappedFile(std::move(owner),
+                          static_cast<const std::uint8_t *>(addr), size);
+    }
+    // mmap unavailable (e.g. special filesystem): buffered fallback.
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(size);
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t got = ::read(fd.fd, buf->data() + off, size - off);
+        if (got <= 0)
+            return {};
+        off += static_cast<std::size_t>(got);
+    }
+    const std::uint8_t *ptr = buf->data();
+    return MappedFile(std::shared_ptr<const void>(std::move(buf), ptr), ptr,
+                      size);
+}
+
+bool
+RealFileOps::appendLine(const std::string &path, const std::string &line)
+{
+    Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644));
+    if (fd.fd < 0)
+        return false;
+    std::string record = line;
+    record.push_back('\n');
+    // A single O_APPEND write is atomic with respect to concurrent
+    // appenders; a crash mid-write can still tear the record, which the
+    // journal reader tolerates by discarding an unterminated tail.
+    std::size_t off = 0;
+    while (off < record.size()) {
+        const ssize_t put =
+            ::write(fd.fd, record.data() + off, record.size() - off);
+        if (put <= 0)
+            return false;
+        off += static_cast<std::size_t>(put);
+    }
+    return ::fsync(fd.fd) == 0;
+}
+
+bool
+RealFileOps::exists(const std::string &path)
+{
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+}
+
+bool
+RealFileOps::remove(const std::string &path)
+{
+    std::error_code ec;
+    const bool existed = std::filesystem::remove(path, ec);
+    return existed && !ec;
+}
+
+std::vector<std::string>
+RealFileOps::listDir(const std::string &dir)
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec))
+            names.push_back(it->path().filename().string());
+    }
+    return names;
+}
+
+bool
+RealFileOps::createDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return !ec && std::filesystem::is_directory(dir, ec);
+}
+
+RealFileOps &
+RealFileOps::instance()
+{
+    static RealFileOps ops;
+    return ops;
+}
+
+bool
+FaultyFileOps::writeFileAtomic(const std::string &path, const void *data,
+                               std::size_t bytes)
+{
+    const long n = writes_++;
+    if (n == plan_.fail_write_at)
+        return false; // Crash before the rename: no file appears.
+    if (n == plan_.torn_write_at) {
+        // Torn writeback: a truncated prefix lands under the final
+        // name — exactly what a non-atomic filesystem leaves behind.
+        base_->writeFileAtomic(path, data, bytes / 2);
+        return false;
+    }
+    return base_->writeFileAtomic(path, data, bytes);
+}
+
+MappedFile
+FaultyFileOps::mapFile(const std::string &path)
+{
+    MappedFile mapped = base_->mapFile(path);
+    if (reads_++ == plan_.short_read_at && mapped.valid()) {
+        // Copy the surviving prefix so the short view owns its bytes.
+        auto buf = std::make_shared<std::vector<std::uint8_t>>(
+            mapped.data(), mapped.data() + mapped.size() / 2);
+        const std::uint8_t *ptr = buf->data();
+        return MappedFile(std::shared_ptr<const void>(std::move(buf), ptr),
+                          ptr, mapped.size() / 2);
+    }
+    return mapped;
+}
+
+bool
+FaultyFileOps::appendLine(const std::string &path, const std::string &line)
+{
+    const long n = appends_++;
+    if (n == plan_.fail_append_at)
+        return false;
+    if (n == plan_.torn_append_at) {
+        // Write a prefix with no terminating newline, then report
+        // failure — the crash happened mid-append.
+        const std::string prefix = line.substr(0, line.size() / 2);
+        Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644));
+        if (fd.fd >= 0) {
+            const ssize_t ignored =
+                ::write(fd.fd, prefix.data(), prefix.size());
+            (void)ignored;
+        }
+        return false;
+    }
+    return base_->appendLine(path, line);
+}
+
+} // namespace digraph::storage

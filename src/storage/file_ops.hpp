@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Injectable filesystem seam for the durable store (DESIGN.md §16).
+ *
+ * Every byte the DurableStore moves to or from disk goes through a
+ * FileOps instance, so the crash-injection harness can make I/O fail in
+ * precisely controlled ways without touching the store logic:
+ *
+ *  - RealFileOps is the production implementation: crash-consistent
+ *    whole-file writes (temp -> flush -> fsync -> atomic rename via
+ *    AtomicFileWriter), mmap-backed read-only file mappings (falling
+ *    back to a buffered read when mmap is unavailable), and fsync'd
+ *    O_APPEND journal appends;
+ *  - FaultyFileOps wraps another FileOps with a FileFaultPlan: fail the
+ *    Nth atomic write outright (crash before the rename — no file
+ *    appears), tear the Nth rename (the destination ends up holding a
+ *    truncated prefix, as after a crash mid-writeback on a
+ *    non-atomic filesystem), return a short read for the Nth
+ *    read/mapping, or fail the Nth journal append.
+ *
+ * The store never trusts a read: every deserializer bounds-checks
+ * against the mapped size and every shard is checksummed, so each
+ * injected fault must surface as a clean recovery decision (fall back
+ * one version, ignore a torn journal tail), never as a crash.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace digraph::storage {
+
+/**
+ * A read-only view of one file's bytes. Backed by an mmap when the real
+ * ops produced it (pages are faulted in lazily, so loading a store
+ * version touches only the shards actually deserialized), or by a heap
+ * buffer (fallback path, fault injection). Invalid (data() == nullptr)
+ * when the file could not be opened.
+ */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    MappedFile(std::shared_ptr<const void> owner, const std::uint8_t *data,
+               std::size_t size)
+        : owner_(std::move(owner)), data_(data), size_(size)
+    {
+    }
+
+    bool valid() const { return data_ != nullptr; }
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    /** Keeps the mapping (munmap deleter) or buffer alive. */
+    std::shared_ptr<const void> owner_;
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/** Filesystem operations the durable store performs. */
+class FileOps
+{
+  public:
+    virtual ~FileOps() = default;
+
+    /** Crash-consistent whole-file write: the destination either keeps
+     *  its previous content or holds all @p bytes — never a prefix.
+     *  @return false on failure (no partial file left behind). */
+    virtual bool writeFileAtomic(const std::string &path, const void *data,
+                                 std::size_t bytes) = 0;
+
+    /** Map @p path read-only. Invalid result when it cannot be opened;
+     *  the caller's deserializer detects truncation via bounds checks. */
+    virtual MappedFile mapFile(const std::string &path) = 0;
+
+    /** Append @p line + '\n' to @p path (creating it), flushed to disk
+     *  before returning — the journal append. @return false on any
+     *  failure. */
+    virtual bool appendLine(const std::string &path,
+                            const std::string &line) = 0;
+
+    /** Whether @p path exists (any file type). */
+    virtual bool exists(const std::string &path) = 0;
+
+    /** Remove @p path; false when it existed but could not be removed. */
+    virtual bool remove(const std::string &path) = 0;
+
+    /** Names (not paths) of the regular files directly inside @p dir;
+     *  empty when the directory is missing. */
+    virtual std::vector<std::string> listDir(const std::string &dir) = 0;
+
+    /** Create @p dir (and parents). @return false on failure. */
+    virtual bool createDir(const std::string &dir) = 0;
+};
+
+/** Production FileOps (see file header). */
+class RealFileOps : public FileOps
+{
+  public:
+    bool writeFileAtomic(const std::string &path, const void *data,
+                         std::size_t bytes) override;
+    MappedFile mapFile(const std::string &path) override;
+    bool appendLine(const std::string &path,
+                    const std::string &line) override;
+    bool exists(const std::string &path) override;
+    bool remove(const std::string &path) override;
+    std::vector<std::string> listDir(const std::string &dir) override;
+    bool createDir(const std::string &dir) override;
+
+    /** Process-wide shared instance (the store's default). */
+    static RealFileOps &instance();
+};
+
+/**
+ * One deterministic fault plan for FaultyFileOps. Counters are 0-based
+ * over the wrapped instance's lifetime; -1 disables an injection.
+ */
+struct FileFaultPlan
+{
+    /** Fail the Nth writeFileAtomic before anything reaches the final
+     *  name (simulated crash before rename). */
+    long fail_write_at = -1;
+    /** Tear the Nth writeFileAtomic: the destination ends up holding
+     *  only the first half of the payload (torn writeback). */
+    long torn_write_at = -1;
+    /** Truncate the Nth mapFile result to half its real size (short
+     *  read). */
+    long short_read_at = -1;
+    /** Fail the Nth appendLine (journal append lost). */
+    long fail_append_at = -1;
+    /** Tear the Nth appendLine: only a prefix of the line lands on
+     *  disk (torn journal tail after a crash mid-append). */
+    long torn_append_at = -1;
+};
+
+/** Fault-injecting FileOps decorator (see file header). */
+class FaultyFileOps : public FileOps
+{
+  public:
+    /** Wrap @p base (RealFileOps::instance() when null). */
+    explicit FaultyFileOps(FileFaultPlan plan, FileOps *base = nullptr)
+        : plan_(plan), base_(base ? base : &RealFileOps::instance())
+    {
+    }
+
+    bool writeFileAtomic(const std::string &path, const void *data,
+                         std::size_t bytes) override;
+    MappedFile mapFile(const std::string &path) override;
+    bool appendLine(const std::string &path,
+                    const std::string &line) override;
+    bool exists(const std::string &path) override { return base_->exists(path); }
+    bool remove(const std::string &path) override { return base_->remove(path); }
+    std::vector<std::string> listDir(const std::string &dir) override
+    {
+        return base_->listDir(dir);
+    }
+    bool createDir(const std::string &dir) override
+    {
+        return base_->createDir(dir);
+    }
+
+    /** Operations seen so far (test assertions / plan calibration). */
+    long writesSeen() const { return writes_; }
+    long readsSeen() const { return reads_; }
+    long appendsSeen() const { return appends_; }
+
+  private:
+    FileFaultPlan plan_;
+    FileOps *base_;
+    long writes_ = 0;
+    long reads_ = 0;
+    long appends_ = 0;
+};
+
+} // namespace digraph::storage

@@ -13,6 +13,7 @@
  *               [--serve script.jobs [--serve-threads N]
  *                [--serve-quantum W] [--serve-budget-mb MB]
  *                [--serve-queue N] [--serve-quota N] [--serve-fifo]]
+ *               [--store DIR [--store-version N]]
  *               [--evolve-batches N] [--evolve-batch-size M]
  *               [--evolve-full-rebuild] [--evolve-seed S]
  *   digraph_cli --list-algorithms
@@ -33,6 +34,16 @@
  * and each job gets a ".<id>-<spec>"-suffixed file pair — the same
  * per-job naming --jobs uses.
  *
+ * --store DIR attaches the crash-consistent versioned store (DESIGN.md
+ * §16, digraph systems only). A run warm-starts from the newest
+ * on-disk topology version whose checksums verify for the loaded graph
+ * (skipping the whole decomposition pipeline) and falls back to a cold
+ * preprocess + commit when nothing verifies; --store-version pins an
+ * exact version instead (fatal when it does not verify). Single runs
+ * additionally flush merge-barrier checkpoints through the store and
+ * --serve sessions journal admitted/completed jobs to DIR/jobs.wal,
+ * re-admitting the pending set on restart.
+ *
  * --faults takes a deterministic injection plan (digraph systems only),
  * e.g. "seed=7,device=1@50000,xfer=0.01,smx=0.3@20000x16"; --verify runs
  * the post-run invariant checker and aborts on violation.
@@ -50,11 +61,13 @@
  * (native), else plain edge list.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -75,6 +88,8 @@
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
 #include "metrics/trace.hpp"
+#include "partition/preprocess.hpp"
+#include "storage/durable_store.hpp"
 
 namespace {
 
@@ -103,6 +118,8 @@ struct Options
     std::size_t serve_queue = 0;
     std::size_t serve_quota = 0;
     bool serve_fifo = false;
+    std::string store_dir;
+    std::uint64_t store_version = 0;
     std::size_t evolve_batches = 0;
     std::size_t evolve_batch_size = 512;
     bool evolve_full_rebuild = false;
@@ -123,6 +140,7 @@ usage(const char *argv0)
         "          [--serve script.jobs [--serve-threads N]\n"
         "           [--serve-quantum W] [--serve-budget-mb MB]\n"
         "           [--serve-queue N] [--serve-quota N] [--serve-fifo]]\n"
+        "          [--store DIR [--store-version N]]\n"
         "          [--evolve-batches N] [--evolve-batch-size M]\n"
         "          [--evolve-full-rebuild] [--evolve-seed S]\n"
         "       %s --list-algorithms\n"
@@ -215,6 +233,11 @@ parse(int argc, char **argv)
                 static_cast<std::size_t>(std::atol(need(i)));
         else if (arg == "--serve-fifo")
             opts.serve_fifo = true;
+        else if (arg == "--store")
+            opts.store_dir = need(i);
+        else if (arg == "--store-version")
+            opts.store_version =
+                static_cast<std::uint64_t>(std::atoll(need(i)));
         else if (arg == "--list-algorithms")
             listAlgorithms();
         else if (arg == "--evolve-batches")
@@ -357,17 +380,33 @@ writeJobTraces(const std::vector<engine::JobResult> &results,
     }
 }
 
+/** "file:line: message" prefix for --serve script diagnostics. */
+[[noreturn]] void
+scriptError(const std::string &path, std::size_t line_no,
+            const std::string &line, const std::string &message)
+{
+    fatal("digraph_cli: ", path, ":", line_no, ": ", message,
+          " in line '", line, "'");
+}
+
 /** Parse a --serve batch script: one job per line,
- *  "SPEC [tenant=NAME] [priority=P]", '#' starts a comment. */
+ *  "SPEC [tenant=NAME] [priority=P]", '#' starts a comment. Every
+ *  diagnostic carries the script name and line number; unknown
+ *  key=value annotations and unknown algorithm names are rejected
+ *  here, before any substrate is built. */
 std::vector<engine::JobRequest>
 parseServeScript(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
         fatal("digraph_cli: cannot read --serve script '", path, "'");
+    const auto known_algos = algorithms::allAlgorithmNames();
     std::vector<engine::JobRequest> requests;
-    std::string line;
-    while (std::getline(in, line)) {
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = raw;
         const std::size_t hash = line.find('#');
         if (hash != std::string::npos)
             line.resize(hash);
@@ -376,21 +415,48 @@ parseServeScript(const std::string &path)
         bool have_spec = false;
         std::string tok;
         while (tokens >> tok) {
+            const std::size_t eq = tok.find('=');
             if (tok.rfind("tenant=", 0) == 0) {
                 request.tenant = tok.substr(7);
+                if (request.tenant.empty())
+                    scriptError(path, line_no, raw,
+                                "empty tenant= annotation");
             } else if (tok.rfind("priority=", 0) == 0) {
-                request.priority = std::atoi(tok.c_str() + 9);
+                const std::string value = tok.substr(9);
+                char *end = nullptr;
+                request.priority = static_cast<int>(
+                    std::strtol(value.c_str(), &end, 10));
+                if (value.empty() || end == nullptr || *end != '\0')
+                    scriptError(path, line_no, raw,
+                                "malformed priority= annotation '" +
+                                    value + "'");
+            } else if (eq != std::string::npos && have_spec) {
+                // A key=value after the spec can only be an annotation,
+                // and only tenant=/priority= exist.
+                scriptError(path, line_no, raw,
+                            "unknown annotation '" + tok.substr(0, eq) +
+                                "=' (expected tenant= or priority=)");
             } else if (!have_spec) {
                 request.spec = tok;
                 have_spec = true;
             } else {
-                fatal("digraph_cli: --serve script '", path,
-                      "': unexpected token '", tok, "' in line '", line,
-                      "'");
+                scriptError(path, line_no, raw,
+                            "unexpected token '" + tok +
+                                "' after the job spec");
             }
         }
-        if (have_spec)
-            requests.push_back(request);
+        if (!have_spec)
+            continue;
+        // Validate the algorithm name now: a typo should name the
+        // script line, not abort mid-session at submission time.
+        const std::string name =
+            request.spec.substr(0, request.spec.find(':'));
+        if (std::find(known_algos.begin(), known_algos.end(), name) ==
+            known_algos.end()) {
+            scriptError(path, line_no, raw,
+                        "unknown algorithm '" + name + "'");
+        }
+        requests.push_back(request);
     }
     if (requests.empty()) {
         fatal("digraph_cli: --serve script '", path,
@@ -410,11 +476,25 @@ main(int argc, char **argv)
     probeWritable(opts.trace_json);
     probeWritable(opts.trace_csv);
 
+    const bool digraph_system = opts.system == "digraph" ||
+                                opts.system == "digraph-t" ||
+                                opts.system == "digraph-w";
+    if (!opts.store_dir.empty()) {
+        if (!digraph_system) {
+            fatal("digraph_cli: --store requires a digraph system "
+                  "(the durable store holds path/partition shards '",
+                  opts.system, "' has no use for)");
+        }
+        if (opts.evolve_batches > 0) {
+            fatal("digraph_cli: --store and --evolve-batches are "
+                  "mutually exclusive");
+        }
+    }
+    if (opts.store_version != 0 && opts.store_dir.empty())
+        fatal("digraph_cli: --store-version requires --store");
+
     gpusim::FaultPlan fault_plan;
     if (!opts.faults.empty()) {
-        const bool digraph_system = opts.system == "digraph" ||
-                                    opts.system == "digraph-t" ||
-                                    opts.system == "digraph-w";
         if (!digraph_system) {
             fatal("digraph_cli: --faults requires a digraph system "
                   "(fault tolerance is not implemented for '",
@@ -489,6 +569,53 @@ main(int argc, char **argv)
         fatal("digraph_cli: ", err);
     if (opts.verbose && !fault_plan.empty())
         std::printf("faults: %s\n", fault_plan.describe().c_str());
+
+    // Durable store (DESIGN.md §16): warm-start the substrate from the
+    // newest verifying on-disk version, or cold-preprocess and commit
+    // so the NEXT run is warm.
+    std::unique_ptr<storage::DurableStore> store;
+    std::shared_ptr<const engine::EngineSubstrate> sub;
+    std::uint64_t store_version = 0;
+    if (!opts.store_dir.empty()) {
+        store = std::make_unique<storage::DurableStore>(opts.store_dir);
+        if (want_trace)
+            store->setTrace(&sink);
+        store_version = opts.store_version
+                            ? opts.store_version
+                            : store->recoverVersion(&g);
+        if (store_version != 0) {
+            if (auto pre = store->loadTopology(store_version, g)) {
+                sub = engine::EngineSubstrate::build(g,
+                                                     std::move(*pre));
+                std::printf("store         warm start from '%s' "
+                            "version %llu (decomposition skipped)\n",
+                            opts.store_dir.c_str(),
+                            static_cast<unsigned long long>(
+                                store_version));
+            } else if (opts.store_version != 0) {
+                fatal("digraph_cli: --store-version ",
+                      opts.store_version,
+                      " does not verify against the loaded graph");
+            } else {
+                store_version = 0;
+            }
+        }
+        if (!sub) {
+            eopts.resolvePartitionBudget(g.numEdges());
+            sub = engine::EngineSubstrate::build(
+                g, partition::preprocess(g, eopts.preprocess));
+            store_version = sub->saveTo(*store, g);
+            if (store_version == 0) {
+                fatal("digraph_cli: --store: topology commit to '",
+                      opts.store_dir, "' failed");
+            }
+            std::printf("store         cold start, committed "
+                        "version %llu to '%s'\n",
+                        static_cast<unsigned long long>(store_version),
+                        opts.store_dir.c_str());
+        }
+    }
+
     if (!opts.serve_script.empty()) {
         if (opts.system != "digraph")
             fatal("digraph_cli: --serve requires --system digraph");
@@ -506,7 +633,25 @@ main(int argc, char **argv)
         sconfig.tenant_quota = opts.serve_quota;
         sconfig.with_traces = want_trace;
         sconfig.trace = want_trace ? &sink : nullptr;
-        engine::GraphService service(g, eopts, sconfig);
+
+        // With a store, admitted jobs a crashed session never finished
+        // are replayed from the WAL in front of the script's jobs; the
+        // journal is reset first so the new session re-journals them.
+        std::unique_ptr<storage::JobJournal> journal;
+        std::vector<storage::JobJournal::PendingJob> resumed;
+        if (store) {
+            journal = std::make_unique<storage::JobJournal>(
+                store->journalPath());
+            resumed = journal->replay();
+            journal->reset();
+            sconfig.journal = journal.get();
+        }
+        auto service_ptr =
+            sub ? std::make_unique<engine::GraphService>(g, sub, eopts,
+                                                         sconfig)
+                : std::make_unique<engine::GraphService>(g, eopts,
+                                                         sconfig);
+        engine::GraphService &service = *service_ptr;
         std::printf("service       %zu jobs, %zu threads, quantum %llu "
                     "waves%s\n",
                     requests.size(), service.sessionThreads(),
@@ -515,6 +660,18 @@ main(int argc, char **argv)
                     opts.serve_fifo ? " (fifo)" : "");
         std::printf("shared bytes  %.3f MB\n",
                     static_cast<double>(service.sharedBytes()) / 1e6);
+        if (!resumed.empty()) {
+            std::printf("store         resumed %zu journaled job(s)\n",
+                        resumed.size());
+            for (const auto &p : resumed) {
+                engine::JobRequest request;
+                request.spec = p.spec;
+                request.priority = p.priority;
+                if (!p.tenant.empty())
+                    request.tenant = p.tenant;
+                service.addJobAsync(request);
+            }
+        }
         for (const auto &request : requests)
             service.addJobAsync(request);
         for (engine::JobId id = 0; id < service.numJobs(); ++id) {
@@ -561,7 +718,10 @@ main(int argc, char **argv)
         if (opts.evolve_batches > 0)
             fatal("digraph_cli: --jobs and --evolve-batches are "
                   "mutually exclusive");
-        engine::JobManager manager(g, eopts);
+        auto manager_ptr =
+            sub ? std::make_unique<engine::JobManager>(g, sub, eopts)
+                : std::make_unique<engine::JobManager>(g, eopts);
+        engine::JobManager &manager = *manager_ptr;
         manager.addJobs(opts.jobs);
         const auto results = manager.runAll(want_trace);
         std::printf("jobs          %zu over one shared substrate\n",
@@ -627,7 +787,16 @@ main(int argc, char **argv)
         printReport(last, total_ingest);
         return 0;
     }
-    engine::DiGraphEngine eng(g, eopts);
+    if (store) {
+        // Single runs flush merge-barrier checkpoints through the
+        // store, chained on the committed topology version.
+        eopts.store = store.get();
+        eopts.store_parent = store_version;
+    }
+    auto eng_ptr =
+        sub ? std::make_unique<engine::DiGraphEngine>(g, sub, eopts)
+            : std::make_unique<engine::DiGraphEngine>(g, eopts);
+    engine::DiGraphEngine &eng = *eng_ptr;
     if (opts.verbose) {
         std::printf("paths: %u (avg length %.2f), partitions: %u, "
                     "DAG layers: %u\n",
