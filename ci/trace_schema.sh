@@ -51,7 +51,7 @@ for key in edge_processings vertex_updates rounds waves \
     partition_processings num_partitions host_transfer_bytes \
     ring_transfer_bytes global_load_bytes loaded_vertices used_vertices \
     faults_injected transfer_retries checkpoints recoveries \
-    store_commits store_recovers
+    store_commits store_commit_fails store_recovers
 do
     jq -e --arg k "$key" '.counters[$k] | type == "number"' \
         "$TRACE" >/dev/null || fail "counter $key missing or non-numeric"

@@ -2,9 +2,26 @@
 
 #include <cstdio>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 namespace digraph {
+
+namespace {
+
+/** fsync @p path opened with @p flags; false when open or fsync fails. */
+bool
+syncPath(const char *path, int flags)
+{
+    const int fd = ::open(path, flags);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
 
 AtomicFileWriter::AtomicFileWriter(std::string path,
                                    std::ios::openmode mode)
@@ -33,8 +50,22 @@ AtomicFileWriter::commit()
     out_.close();
     if (out_.fail())
         return false;
+    // The data blocks must be on disk BEFORE the rename becomes
+    // visible: without this, a power failure can persist the rename
+    // first and leave the final name holding garbage.
+    if (!syncPath(tmp_path_.c_str(), O_WRONLY))
+        return false;
     if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
         return false;
+    // Persist the rename itself (the directory entry). Best-effort:
+    // some filesystems reject directory fsync, and by this point the
+    // file content is durable and the rename is atomic, so the worst a
+    // power failure can do is roll back to the previous name — which
+    // callers already treat as "the commit never happened".
+    const auto slash = path_.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path_.substr(0, slash);
+    syncPath(dir.c_str(), O_RDONLY);
     committed_ = true;
     return true;
 }

@@ -3,17 +3,18 @@
  * Crash-consistent whole-file emission: every writer in the repo that
  * produces a file a later run will read (binary graphs, edge lists,
  * snapshots, trace exports, store shards) goes through the same
- * temp-file -> flush -> atomic-rename protocol, so a crash or I/O error
- * mid-write can never leave a truncated file under the final name — the
- * destination either holds the complete previous content or the
- * complete new content.
+ * temp-file -> flush -> fsync -> atomic-rename protocol, so a crash,
+ * power failure, or I/O error mid-write can never leave a truncated
+ * file under the final name — the destination either holds the
+ * complete previous content or the complete new content.
  *
  * AtomicFileWriter is a thin std::ofstream wrapper: stream into
  * `path + ".tmp.<pid>"`, then commit() flushes, closes, re-checks the
- * stream state and renames over the destination. Anything short of a
- * successful commit (error, exception, early return) unlinks the temp
- * file in the destructor, so failures leave no partial artifacts at
- * all.
+ * stream state, fsyncs the temp file's data blocks, renames over the
+ * destination, and fsyncs the parent directory (best-effort) so the
+ * rename itself is durable. Anything short of a successful commit
+ * (error, exception, early return) unlinks the temp file in the
+ * destructor, so failures leave no partial artifacts at all.
  */
 
 #pragma once
@@ -48,10 +49,10 @@ class AtomicFileWriter
     const std::string &path() const { return path_; }
 
     /**
-     * Flush, close, verify the stream, and atomically rename the temp
-     * file over the destination. @return false (temp unlinked, the
-     * destination untouched) when any write, the flush, or the rename
-     * failed.
+     * Flush, close, verify the stream, fsync the temp file, atomically
+     * rename it over the destination, and fsync the parent directory.
+     * @return false (temp unlinked, the destination untouched) when any
+     * write, the flush, the fsync, or the rename failed.
      */
     bool commit();
 

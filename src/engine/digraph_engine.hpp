@@ -358,6 +358,22 @@ class DiGraphEngine
      *  topology parent before the first flush, then the last flushed
      *  version (see EngineOptions::store). */
     std::uint64_t store_version_ = 0;
+    /** True while the on-disk version store_version_ is byte-identical
+     *  to the in-memory checkpoint shadow — i.e. the last flush
+     *  succeeded. Device-loss recovery substitutes the disk copy only
+     *  then; after a failed flush the disk lags the shadow and must be
+     *  ignored. */
+    bool store_synced_ = false;
+    /** True once any value flush of this run committed; until then
+     *  every flush writes all partitions (a dirty-list flush may only
+     *  chain on a parent that holds this run's values). */
+    bool store_values_committed_ = false;
+    /** Dirty partitions of checkpoint epochs whose flush failed (or is
+     *  still pending), merged into the next flush's dirty set so a
+     *  failed commit can never mark them clean against a stale
+     *  parent shard. Flag array mirrors membership. */
+    std::vector<PartitionId> store_backlog_;
+    std::vector<std::uint8_t> store_backlog_flag_;
     /** Device-loss recoveries performed this run. */
     std::size_t recoveries_ = 0;
     /** pollFaults scratch. */

@@ -34,13 +34,24 @@ DiGraphEngine::initFaultTolerance()
     // checkpoint immediately becomes a durable version, so a process
     // crash at any point of the run has a restartable parent.
     store_version_ = options_.store_parent;
+    store_synced_ = false;
+    store_values_committed_ = false;
+    store_backlog_.clear();
+    store_backlog_flag_.assign(pre_.numPartitions(), 0);
     if (options_.store && store_version_ != 0) {
         const std::uint64_t v = options_.store->commitValues(
             g_, pre_, plane_.ckpt_v, plane_.ckpt_e, {}, store_version_,
             nullptr);
         if (v != 0) {
             store_version_ = v;
+            store_synced_ = true;
+            store_values_committed_ = true;
             counters_.add(metrics::Counter::StoreCommits);
+        } else {
+            counters_.add(metrics::Counter::StoreCommitFails);
+            logWarn("DiGraphEngine: initial checkpoint flush to the "
+                    "durable store failed; running with the in-memory "
+                    "shadow only until a flush lands");
         }
     }
 }
@@ -126,11 +137,18 @@ DiGraphEngine::maybeCheckpoint(std::uint64_t wave,
     const std::uint64_t dirty_vertices = plane_.ckpt_v_dirty_list.size();
     const std::uint64_t dirty_partitions =
         plane_.ckpt_part_dirty_list.size();
-    // Captured before the journals are cleared: the store flush below
-    // writes exactly the E_val shards this epoch dirtied.
-    const std::vector<PartitionId> flush_partitions =
-        options_.store ? plane_.ckpt_part_dirty_list
-                       : std::vector<PartitionId>{};
+    // Merge this epoch's dirty partitions into the un-flushed backlog
+    // BEFORE the journals are cleared: the store flush below writes the
+    // E_val shards of every epoch since the last *successful* commit,
+    // so a failed flush can never silently mark a partition clean.
+    if (options_.store && store_version_ != 0) {
+        for (const PartitionId q : plane_.ckpt_part_dirty_list) {
+            if (!store_backlog_flag_[q]) {
+                store_backlog_flag_[q] = 1;
+                store_backlog_.push_back(q);
+            }
+        }
+    }
     for (const VertexId v : plane_.ckpt_v_dirty_list) {
         plane_.ckpt_v[v] = plane_.storage.vVal(v);
         plane_.ckpt_v_dirty[v] = 0;
@@ -144,16 +162,36 @@ DiGraphEngine::maybeCheckpoint(std::uint64_t wave,
     plane_.ckpt_wave = wave;
 
     // Flush-through: the advanced shadow (a consistent barrier-state
-    // snapshot) becomes a durable incremental version — only the
-    // epoch's dirty E_val shards are written, clean partitions
-    // reference the parent version's files.
+    // snapshot) becomes a durable incremental version — only the E_val
+    // shards dirtied since the last successful flush (the backlog) are
+    // written, clean partitions reference the parent version's files.
+    // Until a flush of this run has committed, everything is written:
+    // a dirty-list flush may only chain on a parent holding this run's
+    // values.
     if (options_.store && store_version_ != 0) {
+        const std::vector<PartitionId> *dirty =
+            store_values_committed_ ? &store_backlog_ : nullptr;
         const std::uint64_t v = options_.store->commitValues(
             g_, pre_, plane_.ckpt_v, plane_.ckpt_e, {}, store_version_,
-            &flush_partitions);
+            dirty);
         if (v != 0) {
             store_version_ = v;
+            store_synced_ = true;
+            store_values_committed_ = true;
+            for (const PartitionId q : store_backlog_)
+                store_backlog_flag_[q] = 0;
+            store_backlog_.clear();
             counters_.add(metrics::Counter::StoreCommits);
+        } else {
+            // The disk now lags the shadow: recovery must ignore it,
+            // and the backlog (including this epoch) rides into the
+            // next flush.
+            store_synced_ = false;
+            counters_.add(metrics::Counter::StoreCommitFails);
+            logWarn("DiGraphEngine: checkpoint flush to the durable "
+                    "store failed at wave ", wave, "; ",
+                    store_backlog_.size(),
+                    " dirty partition(s) carried to the next flush");
         }
     }
 
@@ -185,11 +223,15 @@ DiGraphEngine::recoverFromDeviceLoss(DeviceId dead, std::uint64_t wave,
 
     // Restart from disk when the checkpoints were flushed through a
     // durable store: reload the shadow arrays from the last committed
-    // version before rolling back. The disk copy is byte-identical to
-    // the in-memory shadow (same barrier snapshot), so results are
-    // unchanged — this exercises the exact path a restarted process
-    // takes, and survives shadow corruption the in-memory path cannot.
-    if (options_.store && store_version_ != 0 &&
+    // version before rolling back. Only when the store is in sync —
+    // after a failed or pending flush the disk holds an OLDER epoch
+    // than the shadow, and substituting it would mix rolled-back and
+    // live entries (the dirty journals only cover the last epoch).
+    // When synced, the disk copy is byte-identical to the in-memory
+    // shadow (same barrier snapshot), so results are unchanged — this
+    // exercises the exact path a restarted process takes, and survives
+    // shadow corruption the in-memory path cannot.
+    if (options_.store && store_synced_ &&
         store_version_ != options_.store_parent) {
         auto loaded = options_.store->loadValues(store_version_);
         if (loaded && loaded->v_val.size() == plane_.ckpt_v.size() &&

@@ -295,7 +295,8 @@ GraphService::addJobAsync(const JobRequest &request)
     ++stats_.admitted;
     if (config_.journal)
         config_.journal->appendAdmit(id, request.spec, request.priority,
-                                     request.tenant);
+                                     request.tenant,
+                                     request.journal_id);
     traceEvent(metrics::TraceEventType::JobAdmit, id,
                static_cast<std::uint64_t>(request.priority));
     job.thread = std::thread(&GraphService::jobMain, this, &job);

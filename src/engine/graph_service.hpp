@@ -91,6 +91,10 @@ struct JobRequest
     std::string tenant = "default";
     /** Higher runs first; ties are FIFO. */
     int priority = 0;
+    /** WAL record id to adopt instead of journaling a fresh admission
+     *  (restart resume of a compacted pending job; see
+     *  storage::JobJournal). Default: journal a fresh record. */
+    std::uint64_t journal_id = ~static_cast<std::uint64_t>(0);
 };
 
 /** One job's outputs (also the JobManager batch result type). */

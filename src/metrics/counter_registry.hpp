@@ -42,6 +42,7 @@ enum class Counter : unsigned {
     Checkpoints,
     Recoveries,
     StoreCommits,
+    StoreCommitFails,
     StoreRecovers,
     Count_ // sentinel, keep last
 };
@@ -71,6 +72,7 @@ counterName(Counter c)
       case Counter::Checkpoints:          return "checkpoints";
       case Counter::Recoveries:           return "recoveries";
       case Counter::StoreCommits:         return "store_commits";
+      case Counter::StoreCommitFails:     return "store_commit_fails";
       case Counter::StoreRecovers:        return "store_recovers";
       case Counter::Count_:               break;
     }
@@ -142,6 +144,7 @@ class CounterRegistry
         report.checkpoints = get(Counter::Checkpoints);
         report.recoveries = get(Counter::Recoveries);
         report.store_commits = get(Counter::StoreCommits);
+        report.store_commit_fails = get(Counter::StoreCommitFails);
         report.store_recovers = get(Counter::StoreRecovers);
     }
 
@@ -167,6 +170,7 @@ class CounterRegistry
         reg.set(Counter::Checkpoints, report.checkpoints);
         reg.set(Counter::Recoveries, report.recoveries);
         reg.set(Counter::StoreCommits, report.store_commits);
+        reg.set(Counter::StoreCommitFails, report.store_commit_fails);
         reg.set(Counter::StoreRecovers, report.store_recovers);
         return reg;
     }

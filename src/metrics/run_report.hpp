@@ -66,6 +66,10 @@ struct RunReport
     /** Durable-store versions this run committed (checkpoint
      *  flush-through; see EngineOptions::store). */
     std::uint64_t store_commits = 0;
+    /** Checkpoint flushes the store rejected (I/O failure); their dirty
+     *  partitions are carried into the next flush and device-loss
+     *  recovery ignores the (stale) disk copy until a flush lands. */
+    std::uint64_t store_commit_fails = 0;
     /** Durable-store recoveries feeding this run (device-loss restarts
      *  reloaded from disk). */
     std::uint64_t store_recovers = 0;

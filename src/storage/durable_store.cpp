@@ -456,7 +456,10 @@ DurableStore::listVersions() const
             continue;
         const std::string digits =
             name.substr(10, name.size() - 15);
-        if (digits.empty() ||
+        // <= 19 digits always fits in a uint64_t; longer names are
+        // tampered/corrupt and must be skipped, not crash recovery
+        // with std::out_of_range.
+        if (digits.empty() || digits.size() > 19 ||
             digits.find_first_not_of("0123456789") != std::string::npos)
             continue;
         versions.push_back(std::stoull(digits));
@@ -892,20 +895,90 @@ JobJournal::JobJournal(std::string path, FileOps *ops)
 {
 }
 
-bool
-JobJournal::appendAdmit(std::uint64_t id, const std::string &spec,
-                        int priority, const std::string &tenant)
+std::uint64_t
+JobJournal::nextWalId()
 {
-    std::ostringstream line;
-    line << "A " << id << " " << priority << " "
-         << (tenant.empty() ? "-" : tenant) << " " << spec;
-    return ops_->appendLine(path_, line.str());
+    if (!wal_id_known_) {
+        wal_id_known_ = true;
+        // One-time scan past every id already on disk, so a restarted
+        // session's fresh records can never collide with (and a later
+        // `C` can never accidentally complete) a previous session's
+        // still-pending record.
+        const MappedFile mapped = ops_->mapFile(path_);
+        if (mapped.valid() && mapped.size() > 0) {
+            const std::string text(
+                reinterpret_cast<const char *>(mapped.data()),
+                mapped.size());
+            std::istringstream in(text);
+            std::string line;
+            while (std::getline(in, line)) {
+                std::istringstream rec(line);
+                std::string op;
+                std::uint64_t id = 0;
+                if ((rec >> op >> id) && (op == "A" || op == "C"))
+                    next_wal_id_ = std::max(next_wal_id_, id + 1);
+            }
+        }
+    }
+    return next_wal_id_++;
+}
+
+void
+JobJournal::healTornTail()
+{
+    if (tail_checked_)
+        return;
+    tail_checked_ = true;
+    const MappedFile mapped = ops_->mapFile(path_);
+    if (!mapped.valid() || mapped.size() == 0)
+        return;
+    std::size_t keep = mapped.size();
+    if (mapped.data()[keep - 1] == '\n')
+        return;
+    // A crash (or injected fault) mid-append left an unterminated
+    // prefix. The record was never acknowledged durable, so dropping
+    // it is correct — and appending over it would fuse it with the
+    // next record into one garbage line.
+    while (keep > 0 && mapped.data()[keep - 1] != '\n')
+        --keep;
+    ops_->truncateFile(path_, keep);
 }
 
 bool
-JobJournal::appendComplete(std::uint64_t id)
+JobJournal::appendAdmit(std::uint64_t job_id, const std::string &spec,
+                        int priority, const std::string &tenant,
+                        std::uint64_t adopted)
 {
-    return ops_->appendLine(path_, "C " + std::to_string(id));
+    if (adopted != kNoJournalId) {
+        // Restart re-admission: the record already survives in the
+        // compacted WAL under @p adopted — just bind the new job id.
+        wal_id_of_job_[job_id] = adopted;
+        return true;
+    }
+    healTornTail();
+    const std::uint64_t wal_id = nextWalId();
+    wal_id_of_job_[job_id] = wal_id;
+    std::ostringstream line;
+    line << "A " << wal_id << " " << priority << " "
+         << (tenant.empty() ? "-" : tenant) << " " << spec;
+    const bool ok = ops_->appendLine(path_, line.str());
+    if (!ok)
+        tail_checked_ = false; // the failed append may have torn
+    return ok;
+}
+
+bool
+JobJournal::appendComplete(std::uint64_t job_id)
+{
+    healTornTail();
+    const auto it = wal_id_of_job_.find(job_id);
+    const std::uint64_t wal_id =
+        it != wal_id_of_job_.end() ? it->second : job_id;
+    const bool ok =
+        ops_->appendLine(path_, "C " + std::to_string(wal_id));
+    if (!ok)
+        tail_checked_ = false;
+    return ok;
 }
 
 std::vector<JobJournal::PendingJob>
@@ -958,6 +1031,31 @@ JobJournal::replay() const
             pending.push_back(admitted[id]);
     }
     return pending;
+}
+
+bool
+JobJournal::compact(const std::vector<PendingJob> &pending)
+{
+    if (pending.empty())
+        return reset();
+    std::ostringstream text;
+    std::uint64_t max_id = 0;
+    for (const auto &p : pending) {
+        text << "A " << p.id << " " << p.priority << " "
+             << (p.tenant.empty() ? "-" : p.tenant) << " " << p.spec
+             << "\n";
+        max_id = std::max(max_id, p.id);
+    }
+    const std::string payload = text.str();
+    // Atomic whole-file replace: a crash leaves either the old WAL
+    // (same pending set plus completed cruft) or the compacted one —
+    // never a state where a durably journaled job is lost.
+    if (!ops_->writeFileAtomic(path_, payload.data(), payload.size()))
+        return false;
+    wal_id_known_ = true;
+    next_wal_id_ = std::max(next_wal_id_, max_id + 1);
+    tail_checked_ = true; // the rewrite is '\n'-terminated by construction
+    return true;
 }
 
 bool

@@ -53,6 +53,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -227,17 +228,37 @@ class DurableStore
     StoreStats stats_;
 };
 
+/** "No adopted WAL record" sentinel for JobJournal::appendAdmit /
+ *  JobRequest::journal_id. */
+inline constexpr std::uint64_t kNoJournalId =
+    ~static_cast<std::uint64_t>(0);
+
 /**
  * Append-only write-ahead journal of GraphService jobs, stored beside
  * the versioned shards (jobs.wal).
  *
  * Records are single lines: `A <id> <priority> <tenant> <spec>` when a
- * job is admitted, `C <id>` when it completes. replay() returns the
- * admitted-minus-completed set in admission order — the jobs a
- * restarted service must resume. A torn tail (crash mid-append leaves
- * an unterminated last line) is discarded; a *lost* completion record
+ * job is admitted, `C <id>` when it completes. Record ids are
+ * journal-assigned (monotonic past every id already in the file, so a
+ * restarted service's records can never collide with a previous
+ * session's); the journal maps each caller job id to its WAL id so
+ * completions pair up. replay() returns the admitted-minus-completed
+ * set in admission order — the jobs a restarted service must resume. A
+ * torn tail (crash mid-append leaves an unterminated last line) is
+ * discarded by replay() and truncated away before the next append, so
+ * it can never fuse with a later record; a *lost* completion record
  * (job finished between the crash and its `C` append) merely re-runs
  * that job, which is idempotent — engine results are deterministic.
+ *
+ * Restart protocol (no loss window): the restarting service calls
+ * replay(), then compact(pending) — an atomic rewrite of the WAL to
+ * exactly the pending set, preserving their WAL ids — and re-admits
+ * each pending job with its WAL id as the adoption token
+ * (appendAdmit's @p adopted). An adopted admission writes nothing (its
+ * record already survives in the compacted WAL) and only binds the new
+ * job id to the old record, so a crash at ANY point of the restart
+ * replays the same pending set; never reset() a journal that still
+ * holds un-resumed jobs.
  */
 class JobJournal
 {
@@ -247,31 +268,58 @@ class JobJournal
     /** One journaled-but-not-completed job. */
     struct PendingJob
     {
-        std::uint64_t id = 0;
+        std::uint64_t id = 0; ///< WAL record id (adoption token)
         int priority = 0;
         std::string tenant;
         std::string spec;
     };
 
-    /** Journal an admission (flushed before returning). */
-    bool appendAdmit(std::uint64_t id, const std::string &spec,
-                     int priority, const std::string &tenant);
+    /**
+     * Journal an admission (flushed before returning). With @p adopted
+     * == kNoJournalId a fresh `A` record is appended under a new WAL
+     * id; otherwise nothing is written and @p job_id is bound to the
+     * existing WAL record @p adopted (restart re-admission of a
+     * compacted pending job).
+     */
+    bool appendAdmit(std::uint64_t job_id, const std::string &spec,
+                     int priority, const std::string &tenant,
+                     std::uint64_t adopted = kNoJournalId);
 
-    /** Journal a completion. */
-    bool appendComplete(std::uint64_t id);
+    /** Journal the completion of @p job_id (resolved to its WAL id). */
+    bool appendComplete(std::uint64_t job_id);
 
     /** Admitted jobs without a completion record, in admission order. */
     std::vector<PendingJob> replay() const;
 
-    /** Remove the journal file (after the pending set was re-admitted
-     *  — the new service journals them afresh). */
+    /**
+     * Atomically rewrite the WAL to exactly @p pending (their ids kept
+     * verbatim), dropping completed and torn records; an empty set
+     * removes the file. Future appends use ids past the kept maximum.
+     * On failure the old WAL is left untouched (still replayable).
+     */
+    bool compact(const std::vector<PendingJob> &pending);
+
+    /** Remove the journal file (only when nothing is pending — a
+     *  restart must use compact() + adoption instead, see above). */
     bool reset();
 
     const std::string &path() const { return path_; }
 
   private:
+    /** Next fresh WAL id (scans the file past existing ids once). */
+    std::uint64_t nextWalId();
+    /** Truncate an unterminated last line left by a torn append, so it
+     *  cannot concatenate with the record about to be written. */
+    void healTornTail();
+
     std::string path_;
     FileOps *ops_;
+    /** WAL record id each live job id was journaled under. */
+    std::unordered_map<std::uint64_t, std::uint64_t> wal_id_of_job_;
+    std::uint64_t next_wal_id_ = 0;
+    bool wal_id_known_ = false;
+    /** Tail verified '\n'-terminated; re-armed after a failed append. */
+    bool tail_checked_ = false;
 };
 
 } // namespace digraph::storage

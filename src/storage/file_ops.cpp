@@ -119,6 +119,14 @@ RealFileOps::remove(const std::string &path)
     return existed && !ec;
 }
 
+bool
+RealFileOps::truncateFile(const std::string &path, std::uint64_t bytes)
+{
+    std::error_code ec;
+    std::filesystem::resize_file(path, bytes, ec);
+    return !ec;
+}
+
 std::vector<std::string>
 RealFileOps::listDir(const std::string &dir)
 {
@@ -154,6 +162,8 @@ FaultyFileOps::writeFileAtomic(const std::string &path, const void *data,
     const long n = writes_++;
     if (n == plan_.fail_write_at)
         return false; // Crash before the rename: no file appears.
+    if (plan_.fail_writes_from >= 0 && n >= plan_.fail_writes_from)
+        return false; // Media failure: every later write is rejected.
     if (n == plan_.torn_write_at) {
         // Torn writeback: a truncated prefix lands under the final
         // name — exactly what a non-atomic filesystem leaves behind.

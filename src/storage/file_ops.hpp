@@ -90,6 +90,11 @@ class FileOps
     /** Remove @p path; false when it existed but could not be removed. */
     virtual bool remove(const std::string &path) = 0;
 
+    /** Truncate @p path to @p bytes (journal torn-tail healing).
+     *  @return false when the file could not be resized. */
+    virtual bool truncateFile(const std::string &path,
+                              std::uint64_t bytes) = 0;
+
     /** Names (not paths) of the regular files directly inside @p dir;
      *  empty when the directory is missing. */
     virtual std::vector<std::string> listDir(const std::string &dir) = 0;
@@ -109,6 +114,8 @@ class RealFileOps : public FileOps
                     const std::string &line) override;
     bool exists(const std::string &path) override;
     bool remove(const std::string &path) override;
+    bool truncateFile(const std::string &path,
+                      std::uint64_t bytes) override;
     std::vector<std::string> listDir(const std::string &dir) override;
     bool createDir(const std::string &dir) override;
 
@@ -125,6 +132,9 @@ struct FileFaultPlan
     /** Fail the Nth writeFileAtomic before anything reaches the final
      *  name (simulated crash before rename). */
     long fail_write_at = -1;
+    /** Fail EVERY writeFileAtomic from the Nth onward (persistent media
+     *  failure: the disk stops accepting new versions mid-run). */
+    long fail_writes_from = -1;
     /** Tear the Nth writeFileAtomic: the destination ends up holding
      *  only the first half of the payload (torn writeback). */
     long torn_write_at = -1;
@@ -155,6 +165,11 @@ class FaultyFileOps : public FileOps
                     const std::string &line) override;
     bool exists(const std::string &path) override { return base_->exists(path); }
     bool remove(const std::string &path) override { return base_->remove(path); }
+    bool truncateFile(const std::string &path,
+                      std::uint64_t bytes) override
+    {
+        return base_->truncateFile(path, bytes);
+    }
     std::vector<std::string> listDir(const std::string &dir) override
     {
         return base_->listDir(dir);

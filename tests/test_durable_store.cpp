@@ -455,6 +455,24 @@ TEST_F(DurableStoreTest, SingleCorruptPartitionFallsBackExactlyOne)
     EXPECT_TRUE(check.loadTopology(v1, g_).has_value());
 }
 
+TEST_F(DurableStoreTest, OverlongManifestVersionNameIsIgnored)
+{
+    DurableStore store(this->store());
+    const std::uint64_t v1 = store.commitTopology(g_, pre_);
+    ASSERT_NE(v1, 0u);
+
+    // A tampered/corrupted store dir can hold a manifest name whose
+    // digit run overflows std::stoull; recovery must skip it — not die
+    // on an uncaught std::out_of_range.
+    std::ofstream(dir_ / "MANIFEST.v99999999999999999999999.json")
+        << "{}";
+    DurableStore check(this->store());
+    EXPECT_EQ(check.recoverVersion(&g_), v1);
+    const auto versions = check.listVersions();
+    ASSERT_EQ(versions.size(), 1u);
+    EXPECT_EQ(versions[0], v1);
+}
+
 // --------------------------------------- engine checkpoint flush-through
 
 TEST_F(DurableStoreTest, EngineFlushesCheckpointsAndRestartsIdentically)
@@ -543,6 +561,109 @@ TEST_F(DurableStoreTest, DeviceLossRecoversFromDiskIdentically)
     }
 }
 
+TEST_F(DurableStoreTest, FailedFlushCarriesDirtyPartitionsForward)
+{
+    // Two stores over sibling dirs: one clean, one whose FIRST
+    // post-epoch-0 flush write dies. The failed epoch's dirty
+    // partitions must ride into the next flush — so both stores' final
+    // committed value planes are bit-identical. (Without the backlog,
+    // the epoch after the failure marks the lost partitions "clean"
+    // and the faulty store's newest version reuses stale shards.)
+    const std::string clean_dir = (dir_ / "clean").string();
+    const std::string faulty_dir = (dir_ / "faulty").string();
+    auto sub = engine::EngineSubstrate::build(
+        g_, partition::Preprocessed(pre_));
+    const auto algo = std::make_shared<algorithms::Sssp>(0);
+
+    DurableStore clean(clean_dir);
+    const std::uint64_t clean_topo = sub->saveTo(clean, g_);
+    ASSERT_NE(clean_topo, 0u);
+    {
+        DurableStore setup(faulty_dir);
+        ASSERT_EQ(sub->saveTo(setup, g_), clean_topo);
+    }
+    // Engine init commit = vvals + one evals per partition + manifest;
+    // the next write is the epoch-1 flush's vvals.
+    FileFaultPlan plan;
+    plan.fail_write_at = static_cast<long>(pre_.numPartitions() + 2);
+    FaultyFileOps ops(plan);
+    DurableStore faulty(faulty_dir, &ops);
+
+    engine::EngineOptions opts;
+    opts.engine_threads = 1;
+    opts.checkpoint_interval = 1; // flush every wave: several epochs
+    opts.store = &clean;
+    opts.store_parent = clean_topo;
+    engine::DiGraphEngine a(g_, sub, opts);
+    const auto clean_report = a.run(*algo);
+
+    opts.store = &faulty;
+    engine::DiGraphEngine b(g_, sub, opts);
+    const auto faulty_report = b.run(*algo);
+
+    // The injected failure fired, and at least one later flush landed.
+    EXPECT_GE(b.counters().get(metrics::Counter::StoreCommitFails), 1u);
+    EXPECT_GE(b.counters().get(metrics::Counter::StoreCommits), 2u);
+    expectIdenticalRuns(clean_report, faulty_report, "failed flush");
+
+    // Both newest versions snapshot the same (last) checkpoint epoch;
+    // the faulty lineage must not have leaked a stale shard into it.
+    const auto want = clean.loadValues(clean.newestVersion());
+    DurableStore reopened(faulty_dir);
+    const auto got = reopened.loadValues(reopened.newestVersion());
+    ASSERT_TRUE(want.has_value());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->v_val, want->v_val);
+    EXPECT_EQ(got->e_val, want->e_val);
+}
+
+TEST_F(DurableStoreTest, DeviceLossAfterFailedFlushUsesTheShadow)
+{
+    // A failed flush leaves the disk one (or more) epochs behind the
+    // in-memory shadow. Device-loss recovery must then ignore the disk
+    // copy: substituting the older version would mix rolled-back and
+    // live entries (the dirty journals only cover the last epoch).
+    auto sub = engine::EngineSubstrate::build(
+        g_, partition::Preprocessed(pre_));
+    DurableStore setup(this->store());
+    const std::uint64_t topo = sub->saveTo(setup, g_);
+    ASSERT_NE(topo, 0u);
+
+    std::string err;
+    const auto fault = gpusim::FaultPlan::parse("seed=3,device=1@1000",
+                                                err);
+    ASSERT_EQ(err, "");
+    const auto algo = std::make_shared<algorithms::Sssp>(0);
+
+    // Every value flush after epoch 0 dies: the store stays pinned at
+    // the initial checkpoint while the shadow advances every wave, so
+    // the loss is guaranteed to land while disk and shadow disagree.
+    FileFaultPlan plan;
+    plan.fail_writes_from = static_cast<long>(pre_.numPartitions() + 2);
+    FaultyFileOps ops(plan);
+    DurableStore faulty(this->store(), &ops);
+
+    engine::EngineOptions with_disk;
+    with_disk.engine_threads = 1;
+    with_disk.platform.num_devices = 2;
+    with_disk.checkpoint_interval = 1;
+    with_disk.faults = fault;
+    with_disk.store = &faulty;
+    with_disk.store_parent = topo;
+    engine::DiGraphEngine a(g_, sub, with_disk);
+    const auto from_disk = a.run(*algo);
+
+    engine::EngineOptions in_memory = with_disk;
+    in_memory.store = nullptr;
+    in_memory.store_parent = 0;
+    engine::DiGraphEngine b(g_, sub, in_memory);
+    const auto from_shadow = b.run(*algo);
+
+    EXPECT_GE(a.counters().get(metrics::Counter::StoreCommitFails), 1u);
+    expectIdenticalRuns(from_disk, from_shadow,
+                        "device loss after failed flush");
+}
+
 // --------------------------------------------------------- job journal
 
 TEST_F(DurableStoreTest, JournalReplayReturnsAdmittedMinusCompleted)
@@ -582,6 +703,76 @@ TEST_F(DurableStoreTest, JournalDiscardsTornTail)
     const auto pending = journal.replay();
     ASSERT_EQ(pending.size(), 1u);
     EXPECT_EQ(pending[0].spec, "sssp:0");
+}
+
+TEST_F(DurableStoreTest, JournalTruncatesTornTailBeforeAppending)
+{
+    // A torn tail must not just be skipped at replay: a later append
+    // would fuse with the torn prefix into one garbage line. The first
+    // append after reopening truncates the unterminated tail away.
+    std::filesystem::create_directories(dir_);
+    const auto path = (dir_ / "jobs.wal").string();
+    {
+        JobJournal journal(path);
+        ASSERT_TRUE(journal.appendAdmit(0, "sssp:0", 0, "a"));
+    }
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "A 1 0 b kco"; // crash mid-append: no newline
+    }
+    JobJournal reopened(path);
+    ASSERT_TRUE(reopened.appendAdmit(5, "wcc", 0, "c"));
+    const auto pending = reopened.replay();
+    ASSERT_EQ(pending.size(), 2u);
+    EXPECT_EQ(pending[0].spec, "sssp:0");
+    EXPECT_EQ(pending[1].spec, "wcc");
+    EXPECT_EQ(pending[1].tenant, "c");
+}
+
+TEST_F(DurableStoreTest, JournalCompactionAndAdoptionSurviveRestart)
+{
+    std::filesystem::create_directories(dir_);
+    const auto path = (dir_ / "jobs.wal").string();
+    JobJournal journal(path);
+    ASSERT_TRUE(journal.appendAdmit(0, "sssp:0", 2, "a"));
+    ASSERT_TRUE(journal.appendAdmit(1, "pagerank", 0, ""));
+    ASSERT_TRUE(journal.appendComplete(0));
+    ASSERT_TRUE(journal.appendAdmit(2, "wcc", -1, "b"));
+
+    const auto pending = journal.replay();
+    ASSERT_EQ(pending.size(), 2u);
+    ASSERT_TRUE(journal.compact(pending));
+
+    // The compacted WAL replays the identical set under the same
+    // record ids — a crash right here loses nothing.
+    JobJournal reopened(path);
+    const auto again = reopened.replay();
+    ASSERT_EQ(again.size(), 2u);
+    EXPECT_EQ(again[0].id, 1u);
+    EXPECT_EQ(again[0].spec, "pagerank");
+    EXPECT_EQ(again[1].id, 2u);
+    EXPECT_EQ(again[1].spec, "wcc");
+    EXPECT_EQ(again[1].priority, -1);
+
+    // Re-admission adopts the surviving records (no new writes), and a
+    // genuinely new job gets a record id that collides with nothing
+    // even though its *service* id (0) is already taken in the WAL.
+    ASSERT_TRUE(reopened.appendAdmit(0, "pagerank", 0, "", 1));
+    ASSERT_TRUE(reopened.appendAdmit(1, "wcc", -1, "b", 2));
+    ASSERT_TRUE(reopened.appendAdmit(2, "kcore:3", 0, ""));
+    const auto mixed = reopened.replay();
+    ASSERT_EQ(mixed.size(), 3u);
+    EXPECT_EQ(mixed[2].id, 3u);
+    EXPECT_EQ(mixed[2].spec, "kcore:3");
+
+    // Completing an adopted job retires the OLD record, not a fresh
+    // id: service job 0 maps back to WAL record 1.
+    ASSERT_TRUE(reopened.appendComplete(0));
+    const auto after = reopened.replay();
+    ASSERT_EQ(after.size(), 2u);
+    EXPECT_EQ(after[0].id, 2u);
+    EXPECT_EQ(after[0].spec, "wcc");
+    EXPECT_EQ(after[1].id, 3u);
 }
 
 TEST_F(DurableStoreTest, TornAppendInjectionLeavesJournalReadable)
@@ -637,7 +828,12 @@ TEST_F(DurableStoreTest,
     ASSERT_TRUE(journal.appendAdmit(9, "sssp:0", 1, "a"));
     const auto pending = journal.replay();
     ASSERT_EQ(pending.size(), 1u);
-    ASSERT_TRUE(journal.reset());
+    // Restart protocol (what the CLI serve path does): compact the WAL
+    // down to the pending set — still replayable if we crash here —
+    // then re-admit with adoption so completions retire the old
+    // records instead of journaling fresh (possibly colliding) ids.
+    ASSERT_TRUE(journal.compact(pending));
+    ASSERT_EQ(journal.replay().size(), 1u);
 
     engine::GraphService restarted(g_, sub, opts, sconfig);
     for (const auto &p : pending) {
@@ -646,6 +842,7 @@ TEST_F(DurableStoreTest,
         request.priority = p.priority;
         if (!p.tenant.empty())
             request.tenant = p.tenant;
+        request.journal_id = p.id;
         restarted.addJobAsync(request);
     }
     const auto results = restarted.drain();
@@ -655,6 +852,9 @@ TEST_F(DurableStoreTest,
     for (std::size_t v = 0; v < first_state.size(); ++v)
         ASSERT_EQ(results[0].report.final_state[v], first_state[v])
             << "vertex " << v;
+    // The adopted record was completed under its original WAL id: a
+    // third restart finds nothing pending.
+    EXPECT_TRUE(journal.replay().empty());
 }
 
 } // namespace

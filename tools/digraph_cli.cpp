@@ -635,15 +635,21 @@ main(int argc, char **argv)
         sconfig.trace = want_trace ? &sink : nullptr;
 
         // With a store, admitted jobs a crashed session never finished
-        // are replayed from the WAL in front of the script's jobs; the
-        // journal is reset first so the new session re-journals them.
+        // are replayed from the WAL in front of the script's jobs. The
+        // WAL is compacted (atomic rewrite to exactly the pending set)
+        // rather than deleted, and each resumed job adopts its surviving
+        // record via journal_id — so a crash at any point of the restart
+        // replays the same pending set instead of losing it.
         std::unique_ptr<storage::JobJournal> journal;
         std::vector<storage::JobJournal::PendingJob> resumed;
         if (store) {
             journal = std::make_unique<storage::JobJournal>(
                 store->journalPath());
             resumed = journal->replay();
-            journal->reset();
+            if (!journal->compact(resumed)) {
+                std::printf("store         WARNING: journal compaction "
+                            "failed; keeping the old WAL\n");
+            }
             sconfig.journal = journal.get();
         }
         auto service_ptr =
@@ -669,6 +675,7 @@ main(int argc, char **argv)
                 request.priority = p.priority;
                 if (!p.tenant.empty())
                     request.tenant = p.tenant;
+                request.journal_id = p.id; // adopt the compacted record
                 service.addJobAsync(request);
             }
         }
